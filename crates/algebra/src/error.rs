@@ -1,0 +1,120 @@
+//! Errors raised while typing or evaluating algebra expressions.
+
+use itq_object::ObjectError;
+use std::fmt;
+
+/// Errors produced by the algebra layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgError {
+    /// A predicate symbol is not declared by the schema.
+    UnknownPredicate {
+        /// The missing predicate name.
+        name: String,
+    },
+    /// An operator was applied to operands of incompatible types (e.g. a union of
+    /// differently-typed expressions, a projection of a non-tuple, collapse of a
+    /// non-set).
+    TypeMismatch {
+        /// The operator that failed to type.
+        operator: String,
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// A projection or selection referenced a coordinate outside the tuple width.
+    BadCoordinate {
+        /// The coordinate requested (1-based).
+        coordinate: usize,
+        /// The width of the tuple type it was applied to.
+        width: usize,
+    },
+    /// Evaluation exceeded the configured budget (typically a powerset blow-up).
+    Budget {
+        /// Human-readable description of what blew up.
+        what: String,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// An error bubbled up from the object model.
+    Object(ObjectError),
+}
+
+impl fmt::Display for AlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgError::UnknownPredicate { name } => write!(f, "unknown predicate {name}"),
+            AlgError::TypeMismatch { operator, detail } => {
+                write!(f, "type error in {operator}: {detail}")
+            }
+            AlgError::BadCoordinate { coordinate, width } => {
+                write!(f, "coordinate {coordinate} out of range for width {width}")
+            }
+            AlgError::Budget { what, limit } => {
+                write!(f, "evaluation budget exceeded: {what} (limit {limit})")
+            }
+            AlgError::Object(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgError {}
+
+impl From<ObjectError> for AlgError {
+    fn from(e: ObjectError) -> Self {
+        match e {
+            ObjectError::BudgetExceeded { what, limit } => AlgError::Budget { what, limit },
+            other => AlgError::Object(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_essentials() {
+        let cases: Vec<(AlgError, &str)> = vec![
+            (
+                AlgError::UnknownPredicate { name: "R".into() },
+                "unknown predicate R",
+            ),
+            (
+                AlgError::TypeMismatch {
+                    operator: "union".into(),
+                    detail: "[U] vs [U, U]".into(),
+                },
+                "union",
+            ),
+            (
+                AlgError::BadCoordinate {
+                    coordinate: 5,
+                    width: 2,
+                },
+                "coordinate 5",
+            ),
+            (
+                AlgError::Budget {
+                    what: "powerset".into(),
+                    limit: 1024,
+                },
+                "limit 1024",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle));
+        }
+    }
+
+    #[test]
+    fn object_errors_convert() {
+        let e = AlgError::from(ObjectError::BudgetExceeded {
+            what: "cons".into(),
+            limit: 3,
+        });
+        assert!(matches!(e, AlgError::Budget { limit: 3, .. }));
+        assert!(matches!(
+            AlgError::from(ObjectError::EmptyTuple),
+            AlgError::Object(_)
+        ));
+    }
+}

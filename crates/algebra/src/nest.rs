@@ -1,0 +1,257 @@
+//! The non-first-normal-form operators *nest* and *unnest*.
+//!
+//! The paper notes (after the algebra definition) that nest and unnest can be
+//! simulated from the primitive operators.  They are nevertheless the workhorses
+//! of the nested-relation literature the paper builds on (Fischer–Thomas,
+//! Jaeschke–Schek, Roth–Korth–Silberschatz), so we provide them directly as
+//! instance-level operations together with their type-level counterparts.
+
+use crate::error::AlgError;
+use itq_object::{Instance, Type, Value};
+use std::collections::BTreeMap;
+
+/// Result type of `nest` applied to a tuple type: the coordinates in
+/// `nest_coords` are replaced by a single trailing set-valued attribute holding
+/// tuples of those coordinates, while the remaining coordinates keep their order.
+pub fn nest_type(ty: &Type, nest_coords: &[usize]) -> Result<Type, AlgError> {
+    let components = match ty {
+        Type::Tuple(cs) => cs,
+        other => {
+            return Err(AlgError::TypeMismatch {
+                operator: "nest".to_string(),
+                detail: format!("operand must be a tuple type, got {other}"),
+            })
+        }
+    };
+    validate_coords(nest_coords, components.len(), "nest")?;
+    let mut kept = Vec::new();
+    for (idx, c) in components.iter().enumerate() {
+        if !nest_coords.contains(&(idx + 1)) {
+            kept.push(c.clone());
+        }
+    }
+    let nested: Vec<Type> = nest_coords
+        .iter()
+        .map(|&c| components[c - 1].clone())
+        .collect();
+    kept.push(Type::set(Type::Tuple(nested)));
+    Ok(Type::Tuple(kept))
+}
+
+/// Result type of `unnest` applied to a tuple type whose `coord`-th component is a
+/// set of tuples (or a set of non-tuple values): the set attribute is replaced in
+/// place by the components of its element type.
+pub fn unnest_type(ty: &Type, coord: usize) -> Result<Type, AlgError> {
+    let components = match ty {
+        Type::Tuple(cs) => cs,
+        other => {
+            return Err(AlgError::TypeMismatch {
+                operator: "unnest".to_string(),
+                detail: format!("operand must be a tuple type, got {other}"),
+            })
+        }
+    };
+    validate_coords(&[coord], components.len(), "unnest")?;
+    let element = components[coord - 1]
+        .element()
+        .ok_or_else(|| AlgError::TypeMismatch {
+            operator: "unnest".to_string(),
+            detail: format!(
+                "coordinate {coord} has type {} which is not a set type",
+                components[coord - 1]
+            ),
+        })?;
+    let mut out = Vec::new();
+    for (idx, c) in components.iter().enumerate() {
+        if idx + 1 == coord {
+            match element {
+                Type::Tuple(inner) => out.extend(inner.iter().cloned()),
+                other => out.push(other.clone()),
+            }
+        } else {
+            out.push(c.clone());
+        }
+    }
+    Ok(Type::Tuple(out))
+}
+
+fn validate_coords(coords: &[usize], width: usize, op: &str) -> Result<(), AlgError> {
+    if coords.is_empty() {
+        return Err(AlgError::TypeMismatch {
+            operator: op.to_string(),
+            detail: "empty coordinate list".to_string(),
+        });
+    }
+    for &c in coords {
+        if c == 0 || c > width {
+            return Err(AlgError::BadCoordinate {
+                coordinate: c,
+                width,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Nest an instance of a tuple type: group tuples by the coordinates *not* in
+/// `nest_coords` and collect, per group, the set of sub-tuples formed by the
+/// coordinates in `nest_coords` (appended as a final set-valued attribute).
+pub fn nest(instance: &Instance, nest_coords: &[usize]) -> Result<Instance, AlgError> {
+    let mut groups: BTreeMap<Vec<Value>, Vec<Value>> = BTreeMap::new();
+    for v in instance.iter() {
+        let components = v.as_tuple().ok_or_else(|| AlgError::TypeMismatch {
+            operator: "nest".to_string(),
+            detail: format!("non-tuple value {v}"),
+        })?;
+        validate_coords(nest_coords, components.len(), "nest")?;
+        let mut key = Vec::new();
+        for (idx, c) in components.iter().enumerate() {
+            if !nest_coords.contains(&(idx + 1)) {
+                key.push(c.clone());
+            }
+        }
+        let nested: Vec<Value> = nest_coords
+            .iter()
+            .map(|&c| components[c - 1].clone())
+            .collect();
+        groups.entry(key).or_default().push(Value::Tuple(nested));
+    }
+    let mut out = Instance::empty();
+    for (mut key, members) in groups {
+        key.push(Value::set(members));
+        out.insert(Value::Tuple(key));
+    }
+    Ok(out)
+}
+
+/// Unnest an instance of a tuple type whose `coord`-th attribute is set-valued:
+/// produce one output tuple per element of the set, splicing the element's
+/// components in place of the set attribute.  Tuples whose set attribute is empty
+/// contribute nothing (the standard unnest semantics).
+pub fn unnest(instance: &Instance, coord: usize) -> Result<Instance, AlgError> {
+    let mut out = Instance::empty();
+    for v in instance.iter() {
+        let components = v.as_tuple().ok_or_else(|| AlgError::TypeMismatch {
+            operator: "unnest".to_string(),
+            detail: format!("non-tuple value {v}"),
+        })?;
+        validate_coords(&[coord], components.len(), "unnest")?;
+        let set = components[coord - 1]
+            .as_set()
+            .ok_or_else(|| AlgError::TypeMismatch {
+                operator: "unnest".to_string(),
+                detail: format!("coordinate {coord} of {v} is not a set"),
+            })?;
+        for member in set {
+            let mut new_components = Vec::new();
+            for (idx, c) in components.iter().enumerate() {
+                if idx + 1 == coord {
+                    match member {
+                        Value::Tuple(inner) => new_components.extend(inner.iter().cloned()),
+                        other => new_components.push(other.clone()),
+                    }
+                } else {
+                    new_components.push(c.clone());
+                }
+            }
+            out.insert(Value::Tuple(new_components));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itq_object::Atom;
+
+    fn enrollment() -> Instance {
+        // (student, course) pairs.
+        Instance::from_pairs(vec![
+            (Atom(1), Atom(10)),
+            (Atom(1), Atom(11)),
+            (Atom(2), Atom(10)),
+        ])
+    }
+
+    #[test]
+    fn nest_groups_by_remaining_coordinates() {
+        let nested = nest(&enrollment(), &[2]).unwrap();
+        assert_eq!(nested.len(), 2);
+        // Student 1 is grouped with both courses.
+        let student1 = nested
+            .iter()
+            .find(|v| v.project(1) == Some(&Value::Atom(Atom(1))))
+            .unwrap();
+        let courses = student1.project(2).unwrap().as_set().unwrap();
+        assert_eq!(courses.len(), 2);
+    }
+
+    #[test]
+    fn unnest_inverts_nest_on_nonempty_groups() {
+        let nested = nest(&enrollment(), &[2]).unwrap();
+        let flat = unnest(&nested, 2).unwrap();
+        assert_eq!(flat, enrollment());
+    }
+
+    #[test]
+    fn nest_then_type_matches_values() {
+        let ty = Type::flat_tuple(2);
+        let nested_ty = nest_type(&ty, &[2]).unwrap();
+        assert_eq!(nested_ty.to_string(), "[U, {[U]}]");
+        let nested = nest(&enrollment(), &[2]).unwrap();
+        assert!(nested.conforms_to(&nested_ty));
+        let flat_ty = unnest_type(&nested_ty, 2).unwrap();
+        assert_eq!(flat_ty, ty);
+    }
+
+    #[test]
+    fn nest_multiple_coordinates() {
+        let triples = Instance::from_values(vec![
+            Value::atom_tuple(vec![Atom(1), Atom(2), Atom(3)]),
+            Value::atom_tuple(vec![Atom(1), Atom(4), Atom(5)]),
+        ]);
+        let nested = nest(&triples, &[2, 3]).unwrap();
+        assert_eq!(nested.len(), 1);
+        let v = nested.iter().next().unwrap();
+        assert_eq!(v.project(2).unwrap().as_set().unwrap().len(), 2);
+        let back = unnest(&nested, 2).unwrap();
+        assert_eq!(back, triples);
+    }
+
+    #[test]
+    fn empty_sets_vanish_under_unnest() {
+        let with_empty = Instance::from_values(vec![Value::tuple(vec![
+            Value::Atom(Atom(1)),
+            Value::empty_set(),
+        ])]);
+        let flat = unnest(&with_empty, 2).unwrap();
+        assert!(flat.is_empty());
+    }
+
+    #[test]
+    fn errors_on_bad_arguments() {
+        assert!(nest(&enrollment(), &[5]).is_err());
+        assert!(nest(&enrollment(), &[]).is_err());
+        assert!(unnest(&enrollment(), 1).is_err()); // coordinate 1 is not a set
+        assert!(nest_type(&Type::Atomic, &[1]).is_err());
+        assert!(unnest_type(&Type::flat_tuple(2), 1).is_err());
+        assert!(unnest_type(&Type::Atomic, 1).is_err());
+        let atoms_only = Instance::from_atoms(vec![Atom(0)]);
+        assert!(nest(&atoms_only, &[1]).is_err());
+        assert!(unnest(&atoms_only, 1).is_err());
+    }
+
+    #[test]
+    fn unnest_type_with_atomic_element() {
+        let ty = Type::tuple(vec![Type::Atomic, Type::set(Type::Atomic)]);
+        assert_eq!(unnest_type(&ty, 2).unwrap(), Type::flat_tuple(2));
+        let inst = Instance::from_values(vec![Value::tuple(vec![
+            Value::Atom(Atom(1)),
+            Value::set(vec![Value::Atom(Atom(2)), Value::Atom(Atom(3))]),
+        ])]);
+        let flat = unnest(&inst, 2).unwrap();
+        assert_eq!(flat.len(), 2);
+        assert!(flat.contains(&Value::pair(Atom(1), Atom(2))));
+    }
+}

@@ -1,0 +1,288 @@
+//! Type inference for algebraic expressions.
+//!
+//! Every algebraic expression `E` has an associated type `ᾱ(E)` determined by the
+//! schema's assignment of types to predicate symbols; the expression denotes
+//! instances of that type.  This module computes `ᾱ(E)` and validates the typing
+//! side-conditions of the paper's definition (matching operand types for the
+//! set-theoretic operators, tuple operands for projection/selection, width-1
+//! tuples for untuple, set operands for collapse, and well-typed selection
+//! formulas).
+
+use crate::error::AlgError;
+use crate::expr::{AlgExpr, SelFormula, SelTerm};
+use itq_object::{Schema, Type};
+
+/// Infer the type `ᾱ(E)` of an expression over a schema, validating all typing
+/// side-conditions along the way.
+pub fn infer_type(expr: &AlgExpr, schema: &Schema) -> Result<Type, AlgError> {
+    match expr {
+        AlgExpr::Pred(p) => schema
+            .type_of(p)
+            .cloned()
+            .ok_or_else(|| AlgError::UnknownPredicate { name: p.clone() }),
+        AlgExpr::Singleton(_) => Ok(Type::Atomic),
+        AlgExpr::Union(a, b) | AlgExpr::Intersect(a, b) | AlgExpr::Diff(a, b) => {
+            let ta = infer_type(a, schema)?;
+            let tb = infer_type(b, schema)?;
+            if ta != tb {
+                let op = match expr {
+                    AlgExpr::Union(..) => "union",
+                    AlgExpr::Intersect(..) => "intersection",
+                    _ => "difference",
+                };
+                return Err(AlgError::TypeMismatch {
+                    operator: op.to_string(),
+                    detail: format!("{ta} vs {tb}"),
+                });
+            }
+            Ok(ta)
+        }
+        AlgExpr::Project(coords, a) => {
+            let ta = infer_type(a, schema)?;
+            let components = match &ta {
+                Type::Tuple(cs) => cs,
+                other => {
+                    return Err(AlgError::TypeMismatch {
+                        operator: "projection".to_string(),
+                        detail: format!("operand has non-tuple type {other}"),
+                    })
+                }
+            };
+            if coords.is_empty() {
+                return Err(AlgError::TypeMismatch {
+                    operator: "projection".to_string(),
+                    detail: "empty coordinate list".to_string(),
+                });
+            }
+            let mut selected = Vec::with_capacity(coords.len());
+            for &c in coords {
+                if c == 0 || c > components.len() {
+                    return Err(AlgError::BadCoordinate {
+                        coordinate: c,
+                        width: components.len(),
+                    });
+                }
+                selected.push(components[c - 1].clone());
+            }
+            Ok(Type::Tuple(selected))
+        }
+        AlgExpr::Select(sel, a) => {
+            let ta = infer_type(a, schema)?;
+            check_selection(sel, &ta)?;
+            Ok(ta)
+        }
+        AlgExpr::Product(a, b) => {
+            let ta = infer_type(a, schema)?;
+            let tb = infer_type(b, schema)?;
+            Ok(Type::tuple(vec![ta, tb]))
+        }
+        AlgExpr::Untuple(a) => {
+            let ta = infer_type(a, schema)?;
+            match &ta {
+                Type::Tuple(cs) if cs.len() == 1 => Ok(cs[0].clone()),
+                other => Err(AlgError::TypeMismatch {
+                    operator: "untuple".to_string(),
+                    detail: format!("operand must have a width-1 tuple type, got {other}"),
+                }),
+            }
+        }
+        AlgExpr::Collapse(a) => {
+            let ta = infer_type(a, schema)?;
+            match &ta {
+                Type::Set(inner) => Ok(inner.as_ref().clone()),
+                other => Err(AlgError::TypeMismatch {
+                    operator: "collapse".to_string(),
+                    detail: format!("operand must have a set type, got {other}"),
+                }),
+            }
+        }
+        AlgExpr::Powerset(a) => Ok(Type::set(infer_type(a, schema)?)),
+    }
+}
+
+/// The type of a selection term relative to the operand tuple type.
+fn sel_term_type(term: &SelTerm, operand: &Type) -> Result<Type, AlgError> {
+    match term {
+        SelTerm::Const(_) => Ok(Type::Atomic),
+        SelTerm::Coord(i) => {
+            let components = match operand {
+                Type::Tuple(cs) => cs,
+                other => {
+                    return Err(AlgError::TypeMismatch {
+                        operator: "selection".to_string(),
+                        detail: format!("selection over non-tuple type {other}"),
+                    })
+                }
+            };
+            if *i == 0 || *i > components.len() {
+                return Err(AlgError::BadCoordinate {
+                    coordinate: *i,
+                    width: components.len(),
+                });
+            }
+            Ok(components[*i - 1].clone())
+        }
+    }
+}
+
+/// Check a selection formula against the operand type, enforcing the paper's
+/// "natural typing requirements" (e.g. `1 ∈ 2` is permitted only when coordinate 2
+/// has type `{T}` for the type `T` of coordinate 1).
+pub fn check_selection(sel: &SelFormula, operand: &Type) -> Result<(), AlgError> {
+    match sel {
+        SelFormula::Eq(t1, t2) => {
+            let ty1 = sel_term_type(t1, operand)?;
+            let ty2 = sel_term_type(t2, operand)?;
+            if ty1 != ty2 {
+                return Err(AlgError::TypeMismatch {
+                    operator: "selection =".to_string(),
+                    detail: format!("{ty1} vs {ty2}"),
+                });
+            }
+            Ok(())
+        }
+        SelFormula::In(t1, t2) => {
+            let ty1 = sel_term_type(t1, operand)?;
+            let ty2 = sel_term_type(t2, operand)?;
+            if ty2.element() != Some(&ty1) {
+                return Err(AlgError::TypeMismatch {
+                    operator: "selection ∈".to_string(),
+                    detail: format!("expected container {{{ty1}}}, got {ty2}"),
+                });
+            }
+            Ok(())
+        }
+        SelFormula::Not(f) => check_selection(f, operand),
+        SelFormula::And(fs) | SelFormula::Or(fs) => {
+            for f in fs {
+                check_selection(f, operand)?;
+            }
+            Ok(())
+        }
+        SelFormula::Implies(f1, f2) => {
+            check_selection(f1, operand)?;
+            check_selection(f2, operand)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itq_object::Atom;
+
+    fn schema() -> Schema {
+        Schema::single("PAR", Type::flat_tuple(2))
+            .with("PERSON", Type::Atomic)
+            .with("NESTED", Type::tuple(vec![Type::Atomic, Type::set(Type::Atomic)]))
+    }
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(
+            infer_type(&AlgExpr::pred("PAR"), &schema()).unwrap(),
+            Type::flat_tuple(2)
+        );
+        assert_eq!(
+            infer_type(&AlgExpr::singleton(Atom(3)), &schema()).unwrap(),
+            Type::Atomic
+        );
+        assert!(matches!(
+            infer_type(&AlgExpr::pred("NOPE"), &schema()),
+            Err(AlgError::UnknownPredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn set_operators_require_equal_types() {
+        let ok = AlgExpr::pred("PAR").union(AlgExpr::pred("PAR"));
+        assert_eq!(infer_type(&ok, &schema()).unwrap(), Type::flat_tuple(2));
+        let bad = AlgExpr::pred("PAR").intersect(AlgExpr::pred("PERSON"));
+        assert!(matches!(
+            infer_type(&bad, &schema()),
+            Err(AlgError::TypeMismatch { .. })
+        ));
+        let bad2 = AlgExpr::pred("PAR").diff(AlgExpr::pred("PERSON"));
+        assert!(infer_type(&bad2, &schema()).is_err());
+    }
+
+    #[test]
+    fn projection_typing() {
+        let e = AlgExpr::pred("NESTED").project(vec![2, 1]);
+        assert_eq!(
+            infer_type(&e, &schema()).unwrap(),
+            Type::Tuple(vec![Type::set(Type::Atomic), Type::Atomic])
+        );
+        let narrow = AlgExpr::pred("PAR").project(vec![1]);
+        assert_eq!(
+            infer_type(&narrow, &schema()).unwrap(),
+            Type::Tuple(vec![Type::Atomic])
+        );
+        assert!(matches!(
+            infer_type(&AlgExpr::pred("PAR").project(vec![3]), &schema()),
+            Err(AlgError::BadCoordinate { .. })
+        ));
+        assert!(infer_type(&AlgExpr::pred("PERSON").project(vec![1]), &schema()).is_err());
+        assert!(infer_type(&AlgExpr::pred("PAR").project(vec![]), &schema()).is_err());
+    }
+
+    #[test]
+    fn selection_typing() {
+        // $1 = $2 over PAR is fine; $1 ∈ $2 over NESTED is fine; $1 ∈ $2 over PAR is not.
+        let ok = AlgExpr::pred("PAR").select(SelFormula::coords_eq(1, 2));
+        assert!(infer_type(&ok, &schema()).is_ok());
+        let member = AlgExpr::pred("NESTED").select(SelFormula::coord_in(1, 2));
+        assert!(infer_type(&member, &schema()).is_ok());
+        let bad_member = AlgExpr::pred("PAR").select(SelFormula::coord_in(1, 2));
+        assert!(infer_type(&bad_member, &schema()).is_err());
+        let bad_eq = AlgExpr::pred("NESTED").select(SelFormula::coords_eq(1, 2));
+        assert!(infer_type(&bad_eq, &schema()).is_err());
+        let const_eq = AlgExpr::pred("PAR").select(SelFormula::coord_is(2, Atom(0)));
+        assert!(infer_type(&const_eq, &schema()).is_ok());
+        let out_of_range = AlgExpr::pred("PAR").select(SelFormula::coords_eq(1, 5));
+        assert!(matches!(
+            infer_type(&out_of_range, &schema()),
+            Err(AlgError::BadCoordinate { .. })
+        ));
+        // Connectives are checked recursively.
+        let nested = AlgExpr::pred("PAR").select(SelFormula::implies(
+            SelFormula::negate(SelFormula::coords_eq(1, 2)),
+            SelFormula::any(vec![SelFormula::coord_in(1, 2)]),
+        ));
+        assert!(infer_type(&nested, &schema()).is_err());
+    }
+
+    #[test]
+    fn product_flattens_tuples() {
+        let e = AlgExpr::pred("PAR").product(AlgExpr::pred("NESTED"));
+        assert_eq!(
+            infer_type(&e, &schema()).unwrap(),
+            Type::Tuple(vec![
+                Type::Atomic,
+                Type::Atomic,
+                Type::Atomic,
+                Type::set(Type::Atomic)
+            ])
+        );
+        // Product with a non-tuple operand keeps it as a single component.
+        let e2 = AlgExpr::pred("PERSON").product(AlgExpr::pred("PAR"));
+        assert_eq!(infer_type(&e2, &schema()).unwrap(), Type::flat_tuple(3));
+    }
+
+    #[test]
+    fn untuple_collapse_powerset() {
+        let single = AlgExpr::pred("PAR").project(vec![1]);
+        assert_eq!(infer_type(&single.clone().untuple(), &schema()).unwrap(), Type::Atomic);
+        assert!(infer_type(&AlgExpr::pred("PAR").untuple(), &schema()).is_err());
+        assert!(infer_type(&AlgExpr::pred("PERSON").untuple(), &schema()).is_err());
+
+        let pow = AlgExpr::pred("PAR").powerset();
+        assert_eq!(
+            infer_type(&pow, &schema()).unwrap(),
+            Type::set(Type::flat_tuple(2))
+        );
+        let back = pow.collapse();
+        assert_eq!(infer_type(&back, &schema()).unwrap(), Type::flat_tuple(2));
+        assert!(infer_type(&AlgExpr::pred("PAR").collapse(), &schema()).is_err());
+    }
+}

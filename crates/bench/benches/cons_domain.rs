@@ -1,0 +1,69 @@
+//! E1 (Figure 1 / Examples 2.1–2.3): enumerating the constructive domains of the
+//! paper's example types, and the cost of the canonical `BTreeSet` representation
+//! versus rank-order generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itq_object::cons::{cons_cardinality, enumerate_cons, ConsIter};
+use itq_object::{Atom, Type};
+use std::collections::BTreeSet;
+
+fn figure1_types() -> Vec<(&'static str, Type)> {
+    vec![
+        ("T1=[U,U]", Type::flat_tuple(2)),
+        ("T2={[U,U]}", Type::set(Type::flat_tuple(2))),
+        ("T3={{[U,U]}}", Type::set(Type::set(Type::flat_tuple(2)))),
+    ]
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1/cons-enumeration");
+    group.sample_size(20);
+    for (name, ty) in figure1_types() {
+        for atoms in [1usize, 2] {
+            let domain: Vec<Atom> = (0..atoms as u32).map(Atom).collect();
+            let card = cons_cardinality(&ty, atoms);
+            if !card.fits_within(1 << 16) {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("a={atoms}")),
+                &domain,
+                |b, domain| {
+                    b.iter(|| enumerate_cons(&ty, domain, 1 << 16).unwrap().len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_rank_iteration_vs_materialisation(c: &mut Criterion) {
+    // Ablation: lazily walking the rank iterator vs materialising the vector.
+    let ty = Type::set(Type::flat_tuple(2));
+    let domain: Vec<Atom> = (0..2u32).map(Atom).collect();
+    let mut group = c.benchmark_group("E1/rank-vs-materialise");
+    group.sample_size(30);
+    group.bench_function("lazy-iterator", |b| {
+        b.iter(|| ConsIter::new(&ty, &domain).map(|v| v.size()).sum::<usize>())
+    });
+    group.bench_function("materialised", |b| {
+        b.iter(|| {
+            enumerate_cons(&ty, &domain, 1 << 16)
+                .unwrap()
+                .iter()
+                .map(|v| v.size())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("canonical-set", |b| {
+        b.iter(|| {
+            ConsIter::new(&ty, &domain)
+                .collect::<BTreeSet<_>>()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_rank_iteration_vs_materialisation);
+criterion_main!(benches);

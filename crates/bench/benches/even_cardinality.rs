@@ -1,0 +1,35 @@
+//! E3 (Example 3.2): the even-cardinality query — a CALC_{0,1} query deciding a
+//! property outside the relational calculus — against the trivial counting
+//! baseline, as the committee grows one member at a time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itq_calculus::eval::EvalConfig;
+use itq_core::queries::{even_cardinality_query, parity_reference};
+use itq_workloads::people::person_database;
+
+fn bench_parity_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/calc01-parity-query");
+    group.sample_size(10);
+    let query = even_cardinality_query();
+    for n in [1u32, 2, 3, 4] {
+        let db = person_database(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| query.eval(db, &EvalConfig::default()).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_counting_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E3/counting-baseline");
+    for n in [4u32, 64, 1024] {
+        let db = person_database(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| parity_reference(db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parity_query, bench_counting_baseline);
+criterion_main!(benches);

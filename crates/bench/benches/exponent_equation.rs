@@ -1,0 +1,36 @@
+//! E5 (Example 3.7): the exponent-equation reference arithmetic at increasing
+//! hierarchy levels, and the perfect-square CALC_{0,1} query on the only input
+//! sizes for which its quantifier domains stay materialisable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itq_calculus::eval::EvalConfig;
+use itq_core::queries::{exponent_equation_witness, perfect_square_query};
+use itq_object::{Atom, Database, Instance};
+
+fn bench_reference_arithmetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5/exponent-equation-search");
+    for (n, level) in [(4u64, 0u32), (4, 1), (3, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("search", format!("n={n},level={level}")),
+            &(n, level),
+            |b, &(n, level)| b.iter(|| exponent_equation_witness(n, level, 128)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_perfect_square_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5/perfect-square-query");
+    group.sample_size(10);
+    let query = perfect_square_query();
+    for n in [1u32, 2] {
+        let db = Database::single("R", Instance::from_atoms((0..n).map(Atom)));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| query.eval(db, &EvalConfig::default()).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reference_arithmetic, bench_perfect_square_query);
+criterion_main!(benches);

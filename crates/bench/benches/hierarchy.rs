@@ -1,0 +1,45 @@
+//! E8 (Theorem 5.1): the counting-power mechanism behind the strictness of the
+//! CALC_{0,i} hierarchy, and the classification cost of the separation witnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itq_core::hierarchy::{counting_power, hierarchy_table, level_zero_one_witnesses};
+
+fn bench_counting_power(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8/counting-power");
+    for atoms in [4u64, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, &atoms| {
+            b.iter(|| {
+                (0..=4u32)
+                    .map(|level| counting_power(2, atoms, level).log2())
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchy_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8/hierarchy-table");
+    for levels in [2u32, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
+            b.iter(|| hierarchy_table(2, 10, levels).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8/witness-classification");
+    group.bench_function("level-0-vs-1-witnesses", |b| {
+        b.iter(|| {
+            level_zero_one_witnesses()
+                .into_iter()
+                .map(|w| w.query.classification().minimal_class.i)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting_power, bench_hierarchy_table, bench_witness_classification);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E7 (Theorem 4.4, Corollaries 4.5/4.6): the hyper-exponential growth of
+//! constructive domains and of the Theorem 4.4 space bounds, plus the cost of the
+//! cardinality arithmetic itself (exact u128 vs log-domain ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itq_core::complexity::{growth_table, object_size_bound, variable_space_bound};
+use itq_core::queries::{even_cardinality_query, transitive_closure_query};
+use itq_object::cons::cons_cardinality;
+use itq_object::{hyp, Type};
+
+fn bench_growth_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/growth-table");
+    for atoms in [3u64, 6, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, &atoms| {
+            b.iter(|| growth_table(4, atoms, 3).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cardinality_arithmetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/cardinality-arithmetic");
+    group.bench_function("cons-cardinality-height3", |b| {
+        let ty = Type::big(3, 3);
+        b.iter(|| cons_cardinality(&ty, 8).log2())
+    });
+    group.bench_function("hyp-3-8-3", |b| b.iter(|| hyp(3, 8, 3).log2()));
+    group.bench_function("object-size-bound-height2", |b| {
+        let ty = Type::set(Type::set(Type::flat_tuple(3)));
+        b.iter(|| object_size_bound(&ty, 32).log2())
+    });
+    group.finish();
+}
+
+fn bench_theorem_bounds_for_the_query_library(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7/variable-space-bounds");
+    let tc = transitive_closure_query();
+    let parity = even_cardinality_query();
+    for m in [4u64, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("transitive-closure", m), &m, |b, &m| {
+            b.iter(|| variable_space_bound(&tc, m).log2())
+        });
+        group.bench_with_input(BenchmarkId::new("even-cardinality", m), &m, |b, &m| {
+            b.iter(|| variable_space_bound(&parity, m).log2())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_growth_table,
+    bench_cardinality_arithmetic,
+    bench_theorem_bounds_for_the_query_library
+);
+criterion_main!(benches);

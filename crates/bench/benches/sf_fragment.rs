@@ -1,0 +1,50 @@
+//! E6 (Theorem 4.3 / Lemma 4.2): the existential fragment CALC_{0,1,∃}.
+//! Measures the prenex-normal-form transformation used to recognise the fragment
+//! and the NP-style witness search performed by the parity query (a member of the
+//! fragment) versus the universally-quantified transitive-closure query (not a
+//! member).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itq_calculus::eval::EvalConfig;
+use itq_calculus::normal::{sf_classification, to_prenex};
+use itq_core::queries::{even_cardinality_query, transitive_closure_query};
+use itq_core::queries::{parent_database, person_schema};
+use itq_workloads::graphs::chain_edges;
+use itq_workloads::people::person_database;
+
+fn bench_prenex_and_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6/prenex-and-sf-classification");
+    let parity = even_cardinality_query();
+    let tc = transitive_closure_query();
+    group.bench_function("prenex-parity", |b| b.iter(|| to_prenex(parity.body()).prefix.len()));
+    group.bench_function("prenex-tc", |b| b.iter(|| to_prenex(tc.body()).prefix.len()));
+    group.bench_function("sf-classify-parity", |b| {
+        b.iter(|| sf_classification(&parity).is_in_sf())
+    });
+    group.bench_function("sf-classify-tc", |b| b.iter(|| sf_classification(&tc).is_in_sf()));
+    group.finish();
+}
+
+fn bench_existential_vs_universal_evaluation(c: &mut Criterion) {
+    // The ∃-fragment query can stop at the first witness; the ∀-query must sweep
+    // the whole powerset domain.  Same number of atoms on both sides.
+    let mut group = c.benchmark_group("E6/existential-vs-universal");
+    group.sample_size(10);
+    let parity = even_cardinality_query();
+    let parity_db = person_database(4);
+    let tc = transitive_closure_query();
+    let tc_db = parent_database(&chain_edges(3));
+    let config = EvalConfig::default();
+    group.bench_function("existential-parity-4", |b| {
+        b.iter(|| parity.eval(&parity_db, &config).unwrap().len())
+    });
+    group.bench_function("universal-tc-3", |b| {
+        b.iter(|| tc.eval(&tc_db, &config).unwrap().len())
+    });
+    group.finish();
+    // Keep the schema helper linked so the experiment index can name it.
+    let _ = person_schema();
+}
+
+criterion_group!(benches, bench_prenex_and_classification, bench_existential_vs_universal_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E4 (Example 3.5 / Figure 2): the cost of laying a Turing-machine computation
+//! out as a `(step, cell, symbol, state)` relation and of verifying the `COMP`
+//! constraints, as a function of the run length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itq_object::Universe;
+use itq_turing::machines::{palindrome_machine, stepper_machine, ONE};
+use itq_turing::{encode_run, run, verify_encoding};
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4/encode-computation");
+    for n in [4usize, 8, 12] {
+        let machine = palindrome_machine();
+        let execution = run(&machine, &vec![ONE; n], 1_000_000);
+        group.bench_with_input(
+            BenchmarkId::new("palindrome-input", n),
+            &execution,
+            |b, execution| {
+                b.iter(|| {
+                    let mut universe = Universe::new();
+                    encode_run(execution, &machine, &mut universe).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E4/verify-comp-constraints");
+    for steps in [8u16, 32, 64] {
+        let machine = stepper_machine(steps);
+        let execution = run(&machine, &[], 100_000);
+        let mut universe = Universe::new();
+        let encoding = encode_run(&execution, &machine, &mut universe);
+        group.bench_with_input(
+            BenchmarkId::new("stepper", steps),
+            &encoding,
+            |b, encoding| b.iter(|| verify_encoding(encoding, &machine, true).is_ok()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_verification);
+criterion_main!(benches);

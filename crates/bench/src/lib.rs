@@ -1,0 +1,8 @@
+//! # itq-bench — benchmark harness (placeholder library target)
+//!
+//! The real content of this crate lives in `benches/` (one Criterion bench per
+//! experiment of DESIGN.md) and in the `report` binary that prints the
+//! paper-style tables.  This library target only hosts shared helpers.
+
+/// Width of the printed report tables.
+pub const REPORT_WIDTH: usize = 100;

@@ -1,0 +1,242 @@
+//! Intermediate types and the `CALC_{k,i}` classification (Section 3).
+//!
+//! For a query `Q : D → T`, a type `S` is an *intermediate type* of `Q` if some
+//! variable of `Q`'s formula has type `S` and `S` is neither one of the schema
+//! types of `D` nor the output type `T`.  The family `CALC_{k,i}` consists of the
+//! calculus queries whose input and output types have set-height at most `k` and
+//! whose intermediate types have set-height at most `i`.
+
+use crate::query::Query;
+use itq_object::Type;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A point `(k, i)` in the `CALC_{k,i}` lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CalcClass {
+    /// Maximum set-height of input and output types.
+    pub k: usize,
+    /// Maximum set-height of intermediate types.
+    pub i: usize,
+}
+
+impl CalcClass {
+    /// The class `CALC_{k,i}`.
+    pub fn new(k: usize, i: usize) -> Self {
+        CalcClass { k, i }
+    }
+
+    /// The classical relational calculus `CALC_{0,0}`.
+    pub fn relational() -> Self {
+        CalcClass { k: 0, i: 0 }
+    }
+
+    /// The family equivalent to the second-order queries, `CALC_{0,1}`
+    /// (Proposition 3.9).
+    pub fn second_order() -> Self {
+        CalcClass { k: 0, i: 1 }
+    }
+
+    /// True if every query in `self` is also syntactically in `other`
+    /// (the containments `CALC_{k,i} ⊆ CALC_{k,i+1}` and
+    /// `CALC_{k,i} ⊆ CALC_{k+1,i}` noted after the definition).
+    pub fn contained_in(&self, other: &CalcClass) -> bool {
+        self.k <= other.k && self.i <= other.i
+    }
+}
+
+impl fmt::Display for CalcClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CALC_{{{},{}}}", self.k, self.i)
+    }
+}
+
+/// The full classification of a query: its input/output types, its intermediate
+/// types, and the minimal `CALC_{k,i}` family containing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryClassification {
+    /// Types of the input schema and the output type.
+    pub io_types: BTreeSet<Type>,
+    /// Intermediate types: types of variables that are neither input nor output
+    /// types.
+    pub intermediate_types: BTreeSet<Type>,
+    /// Types of quantified variables that coincide with input/output types (and
+    /// are therefore *not* intermediate).
+    pub non_intermediate_variable_types: BTreeSet<Type>,
+    /// The minimal class `CALC_{k,i}` containing the query.
+    pub minimal_class: CalcClass,
+}
+
+impl QueryClassification {
+    /// True if the query is (syntactically) a member of `CALC_{k,i}`.
+    pub fn is_in(&self, class: CalcClass) -> bool {
+        self.minimal_class.contained_in(&class)
+    }
+
+    /// True if the query uses no intermediate types at all.
+    pub fn has_no_intermediate_types(&self) -> bool {
+        self.intermediate_types.is_empty()
+    }
+
+    /// True if the query maps flat databases to flat relations (the `CALC_{0,i}`
+    /// families that are the paper's primary focus).
+    pub fn is_relational_to_relational(&self) -> bool {
+        self.minimal_class.k == 0
+    }
+}
+
+/// Classify a query: compute its intermediate types and minimal `CALC_{k,i}`
+/// membership.
+pub fn classify(query: &Query) -> QueryClassification {
+    let mut io_types: BTreeSet<Type> = BTreeSet::new();
+    for (_, ty) in query.schema().iter() {
+        io_types.insert(ty.clone());
+    }
+    io_types.insert(query.target_type().clone());
+
+    let mut intermediate_types = BTreeSet::new();
+    let mut non_intermediate = BTreeSet::new();
+    for ty in query.body().quantified_types() {
+        if io_types.contains(&ty) {
+            non_intermediate.insert(ty);
+        } else {
+            intermediate_types.insert(ty);
+        }
+    }
+
+    let k = io_types.iter().map(Type::set_height).max().unwrap_or(0);
+    let i = intermediate_types
+        .iter()
+        .map(Type::set_height)
+        .max()
+        .unwrap_or(0);
+
+    QueryClassification {
+        io_types,
+        intermediate_types,
+        non_intermediate_variable_types: non_intermediate,
+        minimal_class: CalcClass::new(k, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use crate::term::Term;
+    use itq_object::Schema;
+
+    fn par_schema() -> Schema {
+        Schema::single("PAR", Type::flat_tuple(2))
+    }
+
+    #[test]
+    fn relational_query_without_intermediate_types() {
+        // {t/[U,U] | PAR(t)} uses only the schema type.
+        let q = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::pred("PAR", Term::var("t")),
+            par_schema(),
+        )
+        .unwrap();
+        let c = classify(&q);
+        assert!(c.has_no_intermediate_types());
+        assert_eq!(c.minimal_class, CalcClass::relational());
+        assert!(c.is_relational_to_relational());
+        assert!(c.is_in(CalcClass::second_order()));
+    }
+
+    #[test]
+    fn relational_query_with_flat_intermediate_type() {
+        // A ternary quantified variable over a binary schema: intermediate of
+        // set-height 0, so the query stays in CALC_{0,0}.
+        let q = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::exists(
+                "w",
+                Type::flat_tuple(3),
+                Formula::and(vec![
+                    Formula::pred("PAR", Term::var("t")),
+                    Formula::eq(Term::proj("w", 1), Term::proj("t", 1)),
+                ]),
+            ),
+            par_schema(),
+        )
+        .unwrap();
+        let c = classify(&q);
+        assert_eq!(c.intermediate_types.len(), 1);
+        assert_eq!(c.minimal_class, CalcClass::new(0, 0));
+    }
+
+    #[test]
+    fn transitive_closure_style_query_is_in_calc_0_1() {
+        // {t/[U,U] | ∀x/{[U,U]} (… → t ∈ x)} has one intermediate type {[U,U]}.
+        let q = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::forall(
+                "x",
+                Type::set(Type::flat_tuple(2)),
+                Formula::member(Term::var("t"), Term::var("x")),
+            ),
+            par_schema(),
+        )
+        .unwrap();
+        let c = classify(&q);
+        assert_eq!(c.minimal_class, CalcClass::second_order());
+        assert_eq!(
+            c.intermediate_types,
+            BTreeSet::from([Type::set(Type::flat_tuple(2))])
+        );
+        assert!(!c.is_in(CalcClass::relational()));
+        assert!(c.is_in(CalcClass::new(0, 2)));
+        assert!(c.is_in(CalcClass::new(3, 1)));
+    }
+
+    #[test]
+    fn nested_database_types_raise_k() {
+        // Input type {[U,U]} of set-height 1; quantified variable of set-height 2.
+        let schema = Schema::single("S", Type::set(Type::flat_tuple(2)));
+        let q = Query::new(
+            "t",
+            Type::set(Type::flat_tuple(2)),
+            Formula::exists(
+                "x",
+                Type::set(Type::set(Type::flat_tuple(2))),
+                Formula::member(Term::var("t"), Term::var("x")),
+            ),
+            schema,
+        )
+        .unwrap();
+        let c = classify(&q);
+        assert_eq!(c.minimal_class, CalcClass::new(1, 2));
+        // The io type is not counted as intermediate even though it is quantified.
+        let q2 = Query::new(
+            "t",
+            Type::set(Type::flat_tuple(2)),
+            Formula::exists(
+                "x",
+                Type::set(Type::flat_tuple(2)),
+                Formula::eq(Term::var("t"), Term::var("x")),
+            ),
+            Schema::single("S", Type::set(Type::flat_tuple(2))),
+        )
+        .unwrap();
+        let c2 = classify(&q2);
+        assert!(c2.has_no_intermediate_types());
+        assert_eq!(c2.minimal_class, CalcClass::new(1, 0));
+        assert!(!c2.non_intermediate_variable_types.is_empty());
+    }
+
+    #[test]
+    fn class_lattice_and_display() {
+        assert!(CalcClass::new(0, 1).contained_in(&CalcClass::new(0, 2)));
+        assert!(CalcClass::new(0, 1).contained_in(&CalcClass::new(1, 1)));
+        assert!(!CalcClass::new(1, 1).contained_in(&CalcClass::new(0, 2)));
+        assert_eq!(CalcClass::new(0, 3).to_string(), "CALC_{0,3}");
+        assert_eq!(CalcClass::relational(), CalcClass::new(0, 0));
+        assert_eq!(CalcClass::second_order(), CalcClass::new(0, 1));
+    }
+}

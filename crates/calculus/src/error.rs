@@ -1,0 +1,217 @@
+//! Errors raised while typing or evaluating calculus queries.
+
+use itq_object::ObjectError;
+use std::fmt;
+
+/// Errors produced by the calculus layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalcError {
+    /// A variable was used without being bound by a quantifier or being the
+    /// query's target variable.
+    UnboundVariable {
+        /// The offending variable name.
+        var: String,
+    },
+    /// A variable is quantified twice in the same scope with conflicting types,
+    /// or its use conflicts with the declared type.
+    ConflictingType {
+        /// The offending variable name.
+        var: String,
+        /// First type seen.
+        first: String,
+        /// Conflicting type seen.
+        second: String,
+    },
+    /// A coordinate projection `x.i` was applied to a non-tuple variable or with
+    /// an out-of-range coordinate.
+    BadProjection {
+        /// The offending variable name.
+        var: String,
+        /// The coordinate requested (1-based).
+        coordinate: usize,
+        /// The type of the variable.
+        ty: String,
+    },
+    /// The two sides of `t1 ≈ t2` have different types.
+    EqTypeMismatch {
+        /// Rendered left type.
+        left: String,
+        /// Rendered right type.
+        right: String,
+    },
+    /// In `t1 ∈ t2`, the right-hand side is not of type `{T}` where `T` is the
+    /// type of the left-hand side.
+    MemberTypeMismatch {
+        /// Rendered element type.
+        element: String,
+        /// Rendered container type.
+        container: String,
+    },
+    /// A predicate symbol used by the formula is not declared by the schema.
+    UnknownPredicate {
+        /// The missing predicate name.
+        name: String,
+    },
+    /// A predicate atom `P(t)` where `t` does not have the type of `P`.
+    PredTypeMismatch {
+        /// The predicate name.
+        name: String,
+        /// Rendered declared type.
+        declared: String,
+        /// Rendered argument type.
+        argument: String,
+    },
+    /// The query's formula has free variables other than the target variable.
+    ExtraFreeVariables {
+        /// The offending variable names.
+        vars: Vec<String>,
+    },
+    /// Evaluation exceeded the configured budget.
+    Budget {
+        /// Human-readable description of what blew up.
+        what: String,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// An error bubbled up from the object model.
+    Object(ObjectError),
+}
+
+impl fmt::Display for CalcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalcError::UnboundVariable { var } => write!(f, "unbound variable {var}"),
+            CalcError::ConflictingType { var, first, second } => write!(
+                f,
+                "variable {var} used at conflicting types {first} and {second}"
+            ),
+            CalcError::BadProjection { var, coordinate, ty } => write!(
+                f,
+                "projection {var}.{coordinate} is invalid for type {ty}"
+            ),
+            CalcError::EqTypeMismatch { left, right } => {
+                write!(f, "≈ requires identical types, got {left} and {right}")
+            }
+            CalcError::MemberTypeMismatch { element, container } => write!(
+                f,
+                "∈ requires the container to have type {{{element}}}, got {container}"
+            ),
+            CalcError::UnknownPredicate { name } => write!(f, "unknown predicate {name}"),
+            CalcError::PredTypeMismatch {
+                name,
+                declared,
+                argument,
+            } => write!(
+                f,
+                "predicate {name} declared at type {declared} but applied to a term of type {argument}"
+            ),
+            CalcError::ExtraFreeVariables { vars } => write!(
+                f,
+                "query formula has free variables besides the target: {}",
+                vars.join(", ")
+            ),
+            CalcError::Budget { what, limit } => {
+                write!(f, "evaluation budget exceeded: {what} (limit {limit})")
+            }
+            CalcError::Object(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CalcError {}
+
+impl From<ObjectError> for CalcError {
+    fn from(e: ObjectError) -> Self {
+        match e {
+            ObjectError::BudgetExceeded { what, limit } => CalcError::Budget { what, limit },
+            other => CalcError::Object(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CalcError, &str)> = vec![
+            (
+                CalcError::UnboundVariable { var: "x".into() },
+                "unbound variable x",
+            ),
+            (
+                CalcError::ConflictingType {
+                    var: "x".into(),
+                    first: "U".into(),
+                    second: "{U}".into(),
+                },
+                "conflicting types",
+            ),
+            (
+                CalcError::BadProjection {
+                    var: "x".into(),
+                    coordinate: 3,
+                    ty: "U".into(),
+                },
+                "x.3",
+            ),
+            (
+                CalcError::EqTypeMismatch {
+                    left: "U".into(),
+                    right: "{U}".into(),
+                },
+                "identical types",
+            ),
+            (
+                CalcError::MemberTypeMismatch {
+                    element: "U".into(),
+                    container: "U".into(),
+                },
+                "container",
+            ),
+            (
+                CalcError::UnknownPredicate { name: "Q".into() },
+                "unknown predicate Q",
+            ),
+            (
+                CalcError::PredTypeMismatch {
+                    name: "PAR".into(),
+                    declared: "[U, U]".into(),
+                    argument: "U".into(),
+                },
+                "PAR",
+            ),
+            (
+                CalcError::ExtraFreeVariables {
+                    vars: vec!["y".into(), "z".into()],
+                },
+                "y, z",
+            ),
+            (
+                CalcError::Budget {
+                    what: "quantifier domain".into(),
+                    limit: 64,
+                },
+                "limit 64",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn object_budget_errors_convert_to_calc_budget_errors() {
+        let obj = ObjectError::BudgetExceeded {
+            what: "cons domain".into(),
+            limit: 7,
+        };
+        match CalcError::from(obj) {
+            CalcError::Budget { limit, .. } => assert_eq!(limit, 7),
+            other => panic!("expected budget error, got {other:?}"),
+        }
+        let obj = ObjectError::EmptyTuple;
+        assert!(matches!(CalcError::from(obj), CalcError::Object(_)));
+    }
+}

@@ -1,0 +1,488 @@
+//! Normal forms: implication elimination, prenex normal form, and recognition of
+//! the existential fragment `CALC_{0,1,∃}` (Section 4, Lemma 4.2).
+//!
+//! The prenex transformation renames bound variables apart (to globally fresh
+//! names) before pulling quantifiers to the front, so no capture can occur.  As
+//! usual for classical prenexing of `∀` out of disjunctions/conjunctions, the
+//! transformation preserves the limited-interpretation semantics whenever the
+//! quantifier domains are non-empty — which is the case exactly when the active
+//! domain of the database and query is non-empty, or the quantified types are set
+//! types (whose constructive domains always contain `∅`).
+
+use crate::formula::Formula;
+use crate::query::Query;
+use crate::term::Var;
+use itq_object::Type;
+use std::fmt;
+
+/// Universal or existential quantifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantifier {
+    /// `∃`.
+    Exists,
+    /// `∀`.
+    Forall,
+}
+
+impl Quantifier {
+    /// The dual quantifier (used when pushing negation inward).
+    pub fn dual(self) -> Quantifier {
+        match self {
+            Quantifier::Exists => Quantifier::Forall,
+            Quantifier::Forall => Quantifier::Exists,
+        }
+    }
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Exists => write!(f, "∃"),
+            Quantifier::Forall => write!(f, "∀"),
+        }
+    }
+}
+
+/// A formula in prenex normal form: a quantifier prefix and a quantifier-free
+/// matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrenexForm {
+    /// The quantifier prefix, outermost first.
+    pub prefix: Vec<(Quantifier, Var, Type)>,
+    /// The quantifier-free matrix.
+    pub matrix: Formula,
+}
+
+impl PrenexForm {
+    /// Reassemble the prenex form into an ordinary formula.
+    pub fn to_formula(&self) -> Formula {
+        let mut f = self.matrix.clone();
+        for (q, v, ty) in self.prefix.iter().rev() {
+            f = match q {
+                Quantifier::Exists => Formula::Exists(v.clone(), ty.clone(), Box::new(f)),
+                Quantifier::Forall => Formula::Forall(v.clone(), ty.clone(), Box::new(f)),
+            };
+        }
+        f
+    }
+
+    /// Number of quantifier alternations in the prefix (0 for a purely
+    /// existential or purely universal prefix).
+    pub fn alternations(&self) -> usize {
+        let mut alt = 0;
+        for w in self.prefix.windows(2) {
+            if w[0].0 != w[1].0 {
+                alt += 1;
+            }
+        }
+        alt
+    }
+}
+
+/// Rewrite `→` and `↔` in terms of `¬`, `∧`, `∨`.
+pub fn eliminate_implications(f: &Formula) -> Formula {
+    match f {
+        Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..) => f.clone(),
+        Formula::Not(inner) => Formula::not(eliminate_implications(inner)),
+        Formula::And(fs) => Formula::And(fs.iter().map(eliminate_implications).collect()),
+        Formula::Or(fs) => Formula::Or(fs.iter().map(eliminate_implications).collect()),
+        Formula::Implies(a, b) => Formula::or(vec![
+            Formula::not(eliminate_implications(a)),
+            eliminate_implications(b),
+        ]),
+        Formula::Iff(a, b) => {
+            let a = eliminate_implications(a);
+            let b = eliminate_implications(b);
+            Formula::and(vec![
+                Formula::or(vec![Formula::not(a.clone()), b.clone()]),
+                Formula::or(vec![Formula::not(b), a]),
+            ])
+        }
+        Formula::Exists(v, ty, inner) => {
+            Formula::Exists(v.clone(), ty.clone(), Box::new(eliminate_implications(inner)))
+        }
+        Formula::Forall(v, ty, inner) => {
+            Formula::Forall(v.clone(), ty.clone(), Box::new(eliminate_implications(inner)))
+        }
+    }
+}
+
+/// Push negations down to the atomic formulas (negation normal form).  Assumes
+/// implications have already been eliminated; any remaining `→`/`↔` are rewritten
+/// on the fly.
+pub fn negation_normal_form(f: &Formula) -> Formula {
+    nnf(&eliminate_implications(f), false)
+}
+
+fn nnf(f: &Formula, negate: bool) -> Formula {
+    match f {
+        Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..) => {
+            if negate {
+                Formula::not(f.clone())
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(inner) => nnf(inner, !negate),
+        Formula::And(fs) => {
+            let subs: Vec<Formula> = fs.iter().map(|g| nnf(g, negate)).collect();
+            if negate {
+                Formula::Or(subs)
+            } else {
+                Formula::And(subs)
+            }
+        }
+        Formula::Or(fs) => {
+            let subs: Vec<Formula> = fs.iter().map(|g| nnf(g, negate)).collect();
+            if negate {
+                Formula::And(subs)
+            } else {
+                Formula::Or(subs)
+            }
+        }
+        Formula::Implies(..) | Formula::Iff(..) => nnf(&eliminate_implications(f), negate),
+        Formula::Exists(v, ty, inner) => {
+            let body = Box::new(nnf(inner, negate));
+            if negate {
+                Formula::Forall(v.clone(), ty.clone(), body)
+            } else {
+                Formula::Exists(v.clone(), ty.clone(), body)
+            }
+        }
+        Formula::Forall(v, ty, inner) => {
+            let body = Box::new(nnf(inner, negate));
+            if negate {
+                Formula::Exists(v.clone(), ty.clone(), body)
+            } else {
+                Formula::Forall(v.clone(), ty.clone(), body)
+            }
+        }
+    }
+}
+
+/// Convert a formula into prenex normal form, renaming bound variables apart to
+/// fresh names of the shape `q#<n>`.
+pub fn to_prenex(f: &Formula) -> PrenexForm {
+    let mut counter = 0usize;
+    let nnf = negation_normal_form(f);
+    prenex_rec(&nnf, &mut counter)
+}
+
+fn fresh(counter: &mut usize) -> String {
+    let name = format!("q#{counter}");
+    *counter += 1;
+    name
+}
+
+fn prenex_rec(f: &Formula, counter: &mut usize) -> PrenexForm {
+    match f {
+        Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..) => PrenexForm {
+            prefix: vec![],
+            matrix: f.clone(),
+        },
+        Formula::Not(inner) => {
+            // After NNF the only negations left sit directly on atoms.
+            PrenexForm {
+                prefix: vec![],
+                matrix: Formula::not(inner.as_ref().clone()),
+            }
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            let is_and = matches!(f, Formula::And(_));
+            let mut prefix = Vec::new();
+            let mut matrices = Vec::new();
+            for sub in fs {
+                let p = prenex_rec(sub, counter);
+                prefix.extend(p.prefix);
+                matrices.push(p.matrix);
+            }
+            PrenexForm {
+                prefix,
+                matrix: if is_and {
+                    Formula::And(matrices)
+                } else {
+                    Formula::Or(matrices)
+                },
+            }
+        }
+        Formula::Implies(..) | Formula::Iff(..) => {
+            prenex_rec(&eliminate_implications(f), counter)
+        }
+        Formula::Exists(v, ty, inner) | Formula::Forall(v, ty, inner) => {
+            let quant = if matches!(f, Formula::Exists(..)) {
+                Quantifier::Exists
+            } else {
+                Quantifier::Forall
+            };
+            let new_name = fresh(counter);
+            let renamed = inner.rename_free(v, &new_name);
+            let mut p = prenex_rec(&renamed, counter);
+            let mut prefix = vec![(quant, new_name, ty.clone())];
+            prefix.append(&mut p.prefix);
+            PrenexForm {
+                prefix,
+                matrix: p.matrix,
+            }
+        }
+    }
+}
+
+/// Classification of a query with respect to the `SF`-style fragment of
+/// Theorem 4.3: `CALC_{0,1,∃}` contains the prenex queries mapping flat databases
+/// to flat outputs whose variables of set-height ≥ 1 are all existentially
+/// quantified and of set-height exactly 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SfClassification {
+    /// True if input and output types are all flat.
+    pub flat_io: bool,
+    /// Number of quantified variables with set-height ≥ 1.
+    pub higher_order_vars: usize,
+    /// True if every higher-order variable is existentially quantified.
+    pub all_higher_order_existential: bool,
+    /// Maximum set-height over all quantified variables.
+    pub max_quantified_height: usize,
+}
+
+impl SfClassification {
+    /// True if the query lies in `CALC_{0,1,∃}` (after prenexing).
+    pub fn is_in_sf(&self) -> bool {
+        self.flat_io && self.all_higher_order_existential && self.max_quantified_height <= 1
+    }
+}
+
+/// Classify a query with respect to the existential fragment `CALC_{0,1,∃}`.
+pub fn sf_classification(query: &Query) -> SfClassification {
+    let flat_io = query.schema().is_flat() && query.target_type().is_flat();
+    let prenex = to_prenex(query.body());
+    let mut higher_order_vars = 0;
+    let mut all_existential = true;
+    let mut max_height = 0;
+    for (q, _, ty) in &prenex.prefix {
+        let h = ty.set_height();
+        max_height = max_height.max(h);
+        if h >= 1 {
+            higher_order_vars += 1;
+            if *q != Quantifier::Exists {
+                all_existential = false;
+            }
+        }
+    }
+    SfClassification {
+        flat_io,
+        higher_order_vars,
+        all_higher_order_existential: all_existential,
+        max_quantified_height: max_height,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{satisfies_sentence, EvalConfig};
+    use crate::term::Term;
+    use itq_object::{Atom, Database, Instance, Schema};
+
+    fn sample_db() -> Database {
+        Database::single(
+            "PAR",
+            Instance::from_pairs(vec![(Atom(0), Atom(1)), (Atom(1), Atom(2))]),
+        )
+    }
+
+    #[test]
+    fn implication_elimination_removes_arrows() {
+        let f = Formula::implies(
+            Formula::pred("PAR", Term::var("x")),
+            Formula::iff(Formula::truth(), Formula::falsity()),
+        );
+        let g = eliminate_implications(&f);
+        g.visit(&mut |sub| {
+            assert!(!matches!(sub, Formula::Implies(..) | Formula::Iff(..)));
+            true
+        });
+    }
+
+    #[test]
+    fn nnf_pushes_negation_to_atoms() {
+        let f = Formula::not(Formula::exists(
+            "x",
+            Type::flat_tuple(2),
+            Formula::and(vec![
+                Formula::pred("PAR", Term::var("x")),
+                Formula::not(Formula::eq(Term::proj("x", 1), Term::proj("x", 2))),
+            ]),
+        ));
+        let g = negation_normal_form(&f);
+        // The top-level connective becomes ∀ and negation sits only on atoms.
+        assert!(matches!(g, Formula::Forall(..)));
+        g.visit(&mut |sub| {
+            if let Formula::Not(inner) = sub {
+                assert!(matches!(
+                    inner.as_ref(),
+                    Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..)
+                ));
+            }
+            true
+        });
+    }
+
+    #[test]
+    fn prenex_prefix_collects_all_quantifiers() {
+        let f = Formula::and(vec![
+            Formula::exists("x", Type::flat_tuple(2), Formula::pred("PAR", Term::var("x"))),
+            Formula::forall(
+                "x",
+                Type::Atomic,
+                Formula::exists(
+                    "y",
+                    Type::Atomic,
+                    Formula::eq(Term::var("x"), Term::var("y")),
+                ),
+            ),
+        ]);
+        let p = to_prenex(&f);
+        assert_eq!(p.prefix.len(), 3);
+        assert!(p.matrix.quantifier_count() == 0);
+        // Renaming kept the two distinct x's apart.
+        let names: Vec<&str> = p.prefix.iter().map(|(_, v, _)| v.as_str()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.iter().all(|n| n.starts_with("q#")));
+        assert_eq!(p.alternations(), 2); // ∃, ∀, ∃
+    }
+
+    #[test]
+    fn prenex_preserves_semantics_on_sentences() {
+        let db = sample_db();
+        let cfg = EvalConfig::default();
+        let sentences = vec![
+            // ∃x PAR(x) ∧ ¬∀y/U ∃z/[U,U] (PAR(z) ∧ z.1 ≈ y)
+            Formula::and(vec![
+                Formula::exists("x", Type::flat_tuple(2), Formula::pred("PAR", Term::var("x"))),
+                Formula::not(Formula::forall(
+                    "y",
+                    Type::Atomic,
+                    Formula::exists(
+                        "z",
+                        Type::flat_tuple(2),
+                        Formula::and(vec![
+                            Formula::pred("PAR", Term::var("z")),
+                            Formula::eq(Term::proj("z", 1), Term::var("y")),
+                        ]),
+                    ),
+                )),
+            ]),
+            // An implication inside a universal quantifier.
+            Formula::forall(
+                "z",
+                Type::flat_tuple(2),
+                Formula::implies(
+                    Formula::pred("PAR", Term::var("z")),
+                    Formula::not(Formula::eq(Term::proj("z", 1), Term::proj("z", 2))),
+                ),
+            ),
+            // An iff between two closed subformulas.
+            Formula::iff(
+                Formula::exists("x", Type::Atomic, Formula::eq(Term::var("x"), Term::var("x"))),
+                Formula::exists("y", Type::flat_tuple(2), Formula::pred("PAR", Term::var("y"))),
+            ),
+        ];
+        for sentence in sentences {
+            let direct = satisfies_sentence(&sentence, &db, &[], &cfg).unwrap();
+            let prenexed = to_prenex(&sentence).to_formula();
+            let via_prenex = satisfies_sentence(&prenexed, &db, &[], &cfg).unwrap();
+            assert_eq!(direct, via_prenex, "sentence {sentence}");
+        }
+    }
+
+    #[test]
+    fn sf_classification_recognises_the_existential_fragment() {
+        let schema = Schema::single("PAR", Type::flat_tuple(2));
+        // ∃x/{[U,U]} (t ∈ x): purely existential height-1 variable → in SF.
+        let q_sf = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::exists(
+                "x",
+                Type::set(Type::flat_tuple(2)),
+                Formula::member(Term::var("t"), Term::var("x")),
+            ),
+            schema.clone(),
+        )
+        .unwrap();
+        let c = sf_classification(&q_sf);
+        assert!(c.is_in_sf());
+        assert_eq!(c.higher_order_vars, 1);
+
+        // ∀x/{[U,U]} (t ∈ x): universally quantified height-1 variable → not in SF.
+        let q_univ = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::forall(
+                "x",
+                Type::set(Type::flat_tuple(2)),
+                Formula::member(Term::var("t"), Term::var("x")),
+            ),
+            schema.clone(),
+        )
+        .unwrap();
+        assert!(!sf_classification(&q_univ).is_in_sf());
+
+        // Negated existential prenexes to a universal → not in SF.
+        let q_neg = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::and(vec![
+                Formula::pred("PAR", Term::var("t")),
+                Formula::not(Formula::exists(
+                    "x",
+                    Type::set(Type::flat_tuple(2)),
+                    Formula::member(Term::var("t"), Term::var("x")),
+                )),
+            ]),
+            schema.clone(),
+        )
+        .unwrap();
+        assert!(!sf_classification(&q_neg).is_in_sf());
+
+        // A purely first-order query is trivially in SF.
+        let q_fo = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::pred("PAR", Term::var("t")),
+            schema,
+        )
+        .unwrap();
+        let c = sf_classification(&q_fo);
+        assert!(c.is_in_sf());
+        assert_eq!(c.higher_order_vars, 0);
+        assert_eq!(c.max_quantified_height, 0);
+    }
+
+    #[test]
+    fn prenex_round_trip_keeps_quantifier_count() {
+        let f = Formula::forall(
+            "a",
+            Type::Atomic,
+            Formula::or(vec![
+                Formula::exists("b", Type::Atomic, Formula::eq(Term::var("a"), Term::var("b"))),
+                Formula::not(Formula::exists(
+                    "c",
+                    Type::Atomic,
+                    Formula::eq(Term::var("a"), Term::var("c")),
+                )),
+            ]),
+        );
+        let p = to_prenex(&f);
+        let back = p.to_formula();
+        assert_eq!(back.quantifier_count(), 3);
+        assert_eq!(to_prenex(&back).prefix.len(), 3);
+    }
+
+    #[test]
+    fn quantifier_duals() {
+        assert_eq!(Quantifier::Exists.dual(), Quantifier::Forall);
+        assert_eq!(Quantifier::Forall.dual(), Quantifier::Exists);
+        assert_eq!(Quantifier::Exists.to_string(), "∃");
+        assert_eq!(Quantifier::Forall.to_string(), "∀");
+    }
+}

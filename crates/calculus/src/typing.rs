@@ -1,0 +1,334 @@
+//! Type assignments and t-wff checking (Section 2).
+//!
+//! The paper assigns types to variables through a *type assignment* α and defines
+//! *typed well-formed formulas* (t-wffs) as pairs (φ, α) satisfying natural
+//! constraints: the two sides of `≈` have identical types, `∈` relates an element
+//! type to its set type, and `P(t)` applies a predicate to a term of its declared
+//! type.  Here the assignment of bound variables is carried by the quantifiers
+//! themselves, so the checker only needs the types of the *free* variables — for a
+//! query, just the target variable — plus the database schema for the predicates.
+
+use crate::error::CalcError;
+use crate::formula::Formula;
+use crate::term::{Term, Var};
+use itq_object::{Schema, Type};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A type assignment for (free) variables.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct TypeEnv {
+    map: BTreeMap<Var, Type>,
+}
+
+impl TypeEnv {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an assignment from `(variable, type)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Var, Type)>>(pairs: I) -> Self {
+        TypeEnv {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Assignment with a single binding.
+    pub fn single(var: &str, ty: Type) -> Self {
+        let mut env = TypeEnv::new();
+        env.bind(var, ty);
+        env
+    }
+
+    /// Bind (or rebind) a variable.
+    pub fn bind(&mut self, var: &str, ty: Type) {
+        self.map.insert(var.to_string(), ty);
+    }
+
+    /// Builder-style binding.
+    pub fn with(mut self, var: &str, ty: Type) -> Self {
+        self.bind(var, ty);
+        self
+    }
+
+    /// Remove a binding (the paper's α↑x).
+    pub fn unbind(&mut self, var: &str) -> Option<Type> {
+        self.map.remove(var)
+    }
+
+    /// Look up a variable's type.
+    pub fn get(&self, var: &str) -> Option<&Type> {
+        self.map.get(var)
+    }
+
+    /// Iterate bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Type)> {
+        self.map.iter().map(|(v, t)| (v.as_str(), t))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl fmt::Debug for TypeEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.map.iter()).finish()
+    }
+}
+
+/// The type of a term under a type environment — the paper's extended type
+/// assignment ᾱ.
+pub fn term_type(term: &Term, env: &TypeEnv) -> Result<Type, CalcError> {
+    match term {
+        Term::Const(_) => Ok(Type::Atomic),
+        Term::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| CalcError::UnboundVariable { var: v.clone() }),
+        Term::Proj(v, i) => {
+            let ty = env
+                .get(v)
+                .ok_or_else(|| CalcError::UnboundVariable { var: v.clone() })?;
+            ty.component(*i)
+                .cloned()
+                .ok_or_else(|| CalcError::BadProjection {
+                    var: v.clone(),
+                    coordinate: *i,
+                    ty: ty.to_string(),
+                })
+        }
+    }
+}
+
+/// Check that `(formula, env)` is a t-wff over the given schema.
+///
+/// `env` must assign types to the formula's free variables (for a query, the
+/// target variable).  Bound variables are typed by their quantifiers, with inner
+/// bindings shadowing outer ones.
+pub fn check_formula(formula: &Formula, schema: &Schema, env: &TypeEnv) -> Result<(), CalcError> {
+    let mut env = env.clone();
+    check_rec(formula, schema, &mut env)
+}
+
+fn check_rec(formula: &Formula, schema: &Schema, env: &mut TypeEnv) -> Result<(), CalcError> {
+    match formula {
+        Formula::Eq(t1, t2) => {
+            let ty1 = term_type(t1, env)?;
+            let ty2 = term_type(t2, env)?;
+            if ty1 != ty2 {
+                return Err(CalcError::EqTypeMismatch {
+                    left: ty1.to_string(),
+                    right: ty2.to_string(),
+                });
+            }
+            Ok(())
+        }
+        Formula::Member(t1, t2) => {
+            let elem = term_type(t1, env)?;
+            let container = term_type(t2, env)?;
+            if container.element() != Some(&elem) {
+                return Err(CalcError::MemberTypeMismatch {
+                    element: elem.to_string(),
+                    container: container.to_string(),
+                });
+            }
+            Ok(())
+        }
+        Formula::Pred(name, t) => {
+            let declared = schema
+                .type_of(name)
+                .ok_or_else(|| CalcError::UnknownPredicate { name: name.clone() })?;
+            let arg = term_type(t, env)?;
+            if &arg != declared {
+                return Err(CalcError::PredTypeMismatch {
+                    name: name.clone(),
+                    declared: declared.to_string(),
+                    argument: arg.to_string(),
+                });
+            }
+            Ok(())
+        }
+        Formula::Not(f) => check_rec(f, schema, env),
+        Formula::And(fs) | Formula::Or(fs) => {
+            for f in fs {
+                check_rec(f, schema, env)?;
+            }
+            Ok(())
+        }
+        Formula::Implies(f1, f2) | Formula::Iff(f1, f2) => {
+            check_rec(f1, schema, env)?;
+            check_rec(f2, schema, env)
+        }
+        Formula::Exists(v, ty, f) | Formula::Forall(v, ty, f) => {
+            ty.validate()?;
+            let shadowed = env.get(v).cloned();
+            env.bind(v, ty.clone());
+            let result = check_rec(f, schema, env);
+            match shadowed {
+                Some(old) => env.bind(v, old),
+                None => {
+                    env.unbind(v);
+                }
+            }
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itq_object::Atom;
+
+    fn schema() -> Schema {
+        Schema::single("PAR", Type::flat_tuple(2)).with("PERSON", Type::Atomic)
+    }
+
+    #[test]
+    fn term_types_follow_the_extended_assignment() {
+        let env = TypeEnv::single("x", Type::flat_tuple(2)).with("s", Type::set(Type::Atomic));
+        assert_eq!(term_type(&Term::constant(Atom(1)), &env), Ok(Type::Atomic));
+        assert_eq!(term_type(&Term::var("s"), &env), Ok(Type::set(Type::Atomic)));
+        assert_eq!(term_type(&Term::proj("x", 2), &env), Ok(Type::Atomic));
+        assert!(matches!(
+            term_type(&Term::var("missing"), &env),
+            Err(CalcError::UnboundVariable { .. })
+        ));
+        assert!(matches!(
+            term_type(&Term::proj("x", 3), &env),
+            Err(CalcError::BadProjection { .. })
+        ));
+        assert!(matches!(
+            term_type(&Term::proj("s", 1), &env),
+            Err(CalcError::BadProjection { .. })
+        ));
+    }
+
+    #[test]
+    fn well_typed_grandparent_body_checks() {
+        let t_pair = Type::flat_tuple(2);
+        let body = Formula::exists(
+            "x",
+            t_pair.clone(),
+            Formula::exists(
+                "y",
+                t_pair.clone(),
+                Formula::and(vec![
+                    Formula::pred("PAR", Term::var("x")),
+                    Formula::pred("PAR", Term::var("y")),
+                    Formula::eq(Term::proj("x", 2), Term::proj("y", 1)),
+                    Formula::eq(Term::proj("t", 1), Term::proj("x", 1)),
+                    Formula::eq(Term::proj("t", 2), Term::proj("y", 2)),
+                ]),
+            ),
+        );
+        let env = TypeEnv::single("t", t_pair);
+        assert!(check_formula(&body, &schema(), &env).is_ok());
+    }
+
+    #[test]
+    fn eq_requires_identical_types() {
+        let f = Formula::eq(Term::var("x"), Term::var("s"));
+        let env = TypeEnv::single("x", Type::Atomic).with("s", Type::set(Type::Atomic));
+        assert!(matches!(
+            check_formula(&f, &schema(), &env),
+            Err(CalcError::EqTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn membership_requires_matching_set_type() {
+        let env = TypeEnv::single("x", Type::Atomic)
+            .with("s", Type::set(Type::Atomic))
+            .with("r", Type::set(Type::flat_tuple(2)));
+        let good = Formula::member(Term::var("x"), Term::var("s"));
+        assert!(check_formula(&good, &schema(), &env).is_ok());
+        let bad = Formula::member(Term::var("x"), Term::var("r"));
+        assert!(matches!(
+            check_formula(&bad, &schema(), &env),
+            Err(CalcError::MemberTypeMismatch { .. })
+        ));
+        let not_a_set = Formula::member(Term::var("x"), Term::var("x"));
+        assert!(check_formula(&not_a_set, &schema(), &env).is_err());
+    }
+
+    #[test]
+    fn predicates_must_exist_and_match_types() {
+        let env = TypeEnv::single("x", Type::flat_tuple(2)).with("p", Type::Atomic);
+        let unknown = Formula::pred("MISSING", Term::var("x"));
+        assert!(matches!(
+            check_formula(&unknown, &schema(), &env),
+            Err(CalcError::UnknownPredicate { .. })
+        ));
+        let mismatched = Formula::pred("PERSON", Term::var("x"));
+        assert!(matches!(
+            check_formula(&mismatched, &schema(), &env),
+            Err(CalcError::PredTypeMismatch { .. })
+        ));
+        let ok = Formula::and(vec![
+            Formula::pred("PAR", Term::var("x")),
+            Formula::pred("PERSON", Term::var("p")),
+        ]);
+        assert!(check_formula(&ok, &schema(), &env).is_ok());
+    }
+
+    #[test]
+    fn quantifiers_shadow_and_restore_bindings() {
+        // t is the free target of type U; inside, t is re-quantified at [U, U].
+        let f = Formula::and(vec![
+            Formula::pred("PERSON", Term::var("t")),
+            Formula::exists(
+                "t",
+                Type::flat_tuple(2),
+                Formula::pred("PAR", Term::var("t")),
+            ),
+            // After the quantifier closes, t must again be usable at type U.
+            Formula::pred("PERSON", Term::var("t")),
+        ]);
+        let env = TypeEnv::single("t", Type::Atomic);
+        assert!(check_formula(&f, &schema(), &env).is_ok());
+    }
+
+    #[test]
+    fn unbound_free_variables_are_reported() {
+        let f = Formula::pred("PERSON", Term::var("nobody"));
+        assert!(matches!(
+            check_formula(&f, &schema(), &TypeEnv::new()),
+            Err(CalcError::UnboundVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn connectives_propagate_errors() {
+        let env = TypeEnv::single("x", Type::Atomic);
+        let bad = Formula::eq(Term::var("x"), Term::var("y"));
+        for f in [
+            Formula::not(bad.clone()),
+            Formula::implies(Formula::truth(), bad.clone()),
+            Formula::iff(bad.clone(), Formula::truth()),
+            Formula::or(vec![Formula::truth(), bad.clone()]),
+        ] {
+            assert!(check_formula(&f, &schema(), &env).is_err());
+        }
+    }
+
+    #[test]
+    fn env_utilities() {
+        let mut env = TypeEnv::from_pairs(vec![("a".to_string(), Type::Atomic)]);
+        assert_eq!(env.len(), 1);
+        assert!(!env.is_empty());
+        env.bind("b", Type::universal());
+        assert_eq!(env.iter().count(), 2);
+        assert_eq!(env.unbind("a"), Some(Type::Atomic));
+        assert_eq!(env.get("a"), None);
+        assert!(format!("{env:?}").contains("b"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Complexity calculators for Theorem 4.4 and its corollaries.
+//!
+//! Theorem 4.4 sandwiches the `CALC_{0,i}` families between hyper-exponential
+//! time and space classes: `QTIME(H_{i-1}) ⊆ CALC_{0,i} ⊆ QSPACE(H_{i-1})`.  The
+//! proof's upper bound rests on the observation that an instantiation of all the
+//! query's variables can be written in `O(hyp(w+1, m, i-1))` space, where `w` is
+//! the maximum tuple width among the variable types and `m` the size of the
+//! active domain.  This module turns those bounds into numbers so the experiment
+//! harness can tabulate them next to measured evaluator statistics.
+
+use itq_calculus::Query;
+use itq_object::cons::cons_cardinality;
+use itq_object::{hyp, Cardinality, Type};
+
+/// The symbolic complexity bounds Theorem 4.4 assigns to a `CALC_{0,i}` query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TheoremBounds {
+    /// The intermediate-type level `i` of the query.
+    pub level: usize,
+    /// Human-readable lower bound (`QTIME(H_{i-1}) ⊆ CALC_{0,i}`).
+    pub time_lower: String,
+    /// Human-readable upper bound (`CALC_{0,i} ⊆ QSPACE(H_{i-1})`).
+    pub space_upper: String,
+}
+
+/// The Theorem 4.4 bounds for intermediate-type level `i`.
+pub fn theorem_4_4_bounds(level: usize) -> TheoremBounds {
+    if level == 0 {
+        // CALC_{0,0} is the relational calculus: LOGSPACE data complexity
+        // (Theorem 4.1, after Vardi).
+        return TheoremBounds {
+            level,
+            time_lower: "first-order (AC0) queries".to_string(),
+            space_upper: "O(log n) space (Theorem 4.1)".to_string(),
+        };
+    }
+    TheoremBounds {
+        level,
+        time_lower: format!("QTIME(H_{}) ⊆ CALC_{{0,{level}}}", level - 1),
+        space_upper: format!("CALC_{{0,{level}}} ⊆ QSPACE(H_{})", level - 1),
+    }
+}
+
+/// Size bound on writing one object of type `ty` over an active domain of `m`
+/// atoms, following the case analysis in the proof of Theorem 4.4:
+///
+/// * set-height 0: `w · m`;
+/// * set-height 1: `w · m^w`, i.e. `O(hyp(w+1, m, 0))`;
+/// * set-height `j > 1`: `O(hyp(w+1, m, j-1))`.
+pub fn object_size_bound(ty: &Type, m: u64) -> Cardinality {
+    let w = ty.max_tuple_width() as u32;
+    match ty.set_height() {
+        0 => Cardinality::from(w as u64) * Cardinality::from(m),
+        1 => Cardinality::from(w as u64) * Cardinality::from(m).pow(w),
+        j => hyp(w + 1, m, (j - 1) as u32),
+    }
+}
+
+/// Space bound (in the sense of the Theorem 4.4 proof) for instantiating *all*
+/// quantified variables of a query over an active domain of `m` atoms.
+pub fn variable_space_bound(query: &Query, m: u64) -> Cardinality {
+    query
+        .body()
+        .quantified_vars()
+        .into_iter()
+        .map(|(_, ty)| object_size_bound(&ty, m))
+        .fold(Cardinality::ZERO, |acc, c| acc + c)
+}
+
+/// The number of candidate instantiations the naive evaluator must consider for a
+/// single quantifier of type `ty` — `|cons_A(T)|` — together with the
+/// hyper-exponential bound `hyp(w, m, sh(T))` the paper compares it against.
+pub fn quantifier_domain_bounds(ty: &Type, m: u64) -> (Cardinality, Cardinality) {
+    let actual = cons_cardinality(ty, m as usize);
+    let bound = hyp(ty.max_tuple_width() as u32, m, ty.set_height() as u32);
+    (actual, bound)
+}
+
+/// A row of the E7 growth table: how the constructive domain of the canonical
+/// "largest" type `T_big(w, i)` grows with the set-height `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthRow {
+    /// Set-height of the intermediate type.
+    pub level: usize,
+    /// Number of atoms in the active domain.
+    pub atoms: u64,
+    /// Tuple width of `T_big`.
+    pub width: usize,
+    /// `log2 |cons_A(T_big(w, i))|`.
+    pub cons_log2: f64,
+    /// `log2 hyp(w, m, i)` — the Theorem 4.4 bound.
+    pub hyp_log2: f64,
+}
+
+/// Tabulate constructive-domain growth for levels `0..=max_level` over `atoms`
+/// atoms with tuple width `width`.
+pub fn growth_table(max_level: usize, atoms: u64, width: usize) -> Vec<GrowthRow> {
+    (0..=max_level)
+        .map(|level| {
+            let ty = Type::big(width, level);
+            let cons = cons_cardinality(&ty, atoms as usize);
+            let bound = hyp(width as u32, atoms, level as u32);
+            GrowthRow {
+                level,
+                atoms,
+                width,
+                cons_log2: cons.log2().max(0.0),
+                hyp_log2: bound.log2().max(0.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{even_cardinality_query, grandparent_query, transitive_closure_query};
+
+    #[test]
+    fn theorem_bounds_text() {
+        let b0 = theorem_4_4_bounds(0);
+        assert!(b0.space_upper.contains("log"));
+        let b1 = theorem_4_4_bounds(1);
+        assert!(b1.time_lower.contains("H_0"));
+        assert!(b1.space_upper.contains("H_0"));
+        let b3 = theorem_4_4_bounds(3);
+        assert!(b3.time_lower.contains("H_2"));
+        assert_eq!(b3.level, 3);
+    }
+
+    #[test]
+    fn object_size_bounds_follow_the_case_analysis() {
+        let flat = Type::flat_tuple(3);
+        assert_eq!(object_size_bound(&flat, 10), Cardinality::Exact(30));
+        let height1 = Type::set(Type::flat_tuple(2));
+        assert_eq!(object_size_bound(&height1, 10), Cardinality::Exact(200));
+        let height2 = Type::set(Type::set(Type::flat_tuple(2)));
+        // hyp(3, 10, 1) = 2^(3 * 1000): enormous but with a well-defined log.
+        let bound = object_size_bound(&height2, 10);
+        assert!(!bound.is_exact());
+        assert!((bound.log2() - 3000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn variable_space_bound_orders_queries_sensibly() {
+        let m = 6;
+        let fo = variable_space_bound(&grandparent_query(), m);
+        let tc = variable_space_bound(&transitive_closure_query(), m);
+        let parity = variable_space_bound(&even_cardinality_query(), m);
+        assert!(fo.log2() < tc.log2());
+        assert!(fo.log2() < parity.log2());
+    }
+
+    #[test]
+    fn quantifier_domain_bounds_respect_the_hyp_bound() {
+        for level in 0..3usize {
+            let ty = Type::big(2, level);
+            let (actual, bound) = quantifier_domain_bounds(&ty, 3);
+            assert!(actual.log2() <= bound.log2() + 1e-9, "level {level}");
+        }
+    }
+
+    #[test]
+    fn growth_table_is_monotone_and_hyperexponential() {
+        let table = growth_table(3, 3, 2);
+        assert_eq!(table.len(), 4);
+        for pair in table.windows(2) {
+            assert!(pair[0].cons_log2 <= pair[1].cons_log2);
+            assert!(pair[0].hyp_log2 <= pair[1].hyp_log2);
+            assert!(pair[0].cons_log2 <= pair[0].hyp_log2 + 1e-9);
+        }
+        // Each level gains at least one exponential once past the base level:
+        // log2 at level i+1 is at least the *value* at level i (up to constants).
+        assert!(table[2].cons_log2 >= table[1].cons_log2 * 2.0);
+    }
+}

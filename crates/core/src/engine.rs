@@ -1,0 +1,311 @@
+//! The [`Engine`] facade: one object that evaluates queries under every semantics
+//! the paper considers, with uniform configuration and error reporting.
+
+use itq_algebra::{AlgError, AlgExpr, EvalConfig as AlgConfig};
+use itq_calculus::eval::{EvalConfig, Evaluation};
+use itq_calculus::{CalcError, Query, QueryClassification};
+use itq_invention::{
+    finite_invention, terminal_invention, FiniteInventionReport, InventionConfig,
+    InventionError, TerminalOutcome,
+};
+use itq_object::{Database, Instance, Schema, Universe};
+use std::fmt;
+
+/// Which semantics to evaluate a calculus query under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// The limited (active-domain) interpretation of Sections 2–5.
+    Limited,
+    /// Finite invention `Q^fi` (Section 6), approximated up to the configured
+    /// bound.
+    FiniteInvention,
+    /// Terminal invention `Q^ti` (Theorem 6.19), searched up to the configured
+    /// bound; an undefined outcome is reported as an empty answer plus a flag.
+    TerminalInvention,
+}
+
+/// Errors surfaced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A calculus evaluation failed.
+    Calc(CalcError),
+    /// An algebra evaluation failed.
+    Alg(AlgError),
+    /// An invention-semantics evaluation failed.
+    Invention(InventionError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Calc(e) => write!(f, "{e}"),
+            EngineError::Alg(e) => write!(f, "{e}"),
+            EngineError::Invention(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CalcError> for EngineError {
+    fn from(e: CalcError) -> Self {
+        EngineError::Calc(e)
+    }
+}
+impl From<AlgError> for EngineError {
+    fn from(e: AlgError) -> Self {
+        EngineError::Alg(e)
+    }
+}
+impl From<InventionError> for EngineError {
+    fn from(e: InventionError) -> Self {
+        EngineError::Invention(e)
+    }
+}
+
+/// The result of evaluating a query under an invention-aware semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemanticAnswer {
+    /// The answer instance.
+    pub result: Instance,
+    /// True if the semantics was only decided up to its bound (finite invention)
+    /// or came back undefined within the bound (terminal invention).
+    pub bounded_approximation: bool,
+}
+
+/// The evaluation facade.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    /// Budgets for calculus evaluation.
+    pub calc_config: EvalConfig,
+    /// Budgets for algebra evaluation.
+    pub alg_config: AlgConfig,
+    /// Budgets for the invention semantics.
+    pub invention_config: InventionConfig,
+    universe: Universe,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default budgets.
+    pub fn new() -> Engine {
+        Engine {
+            calc_config: EvalConfig::default(),
+            alg_config: AlgConfig::default(),
+            invention_config: InventionConfig::default(),
+            universe: Universe::new(),
+        }
+    }
+
+    /// An engine with custom calculus budgets.
+    pub fn with_calc_config(calc_config: EvalConfig) -> Engine {
+        Engine {
+            calc_config,
+            ..Engine::new()
+        }
+    }
+
+    /// Access the engine's universe (used to intern workload atoms by name).
+    pub fn universe_mut(&mut self) -> &mut Universe {
+        &mut self.universe
+    }
+
+    /// Classify a query into its minimal `CALC_{k,i}` family.
+    pub fn classify(&self, query: &Query) -> QueryClassification {
+        query.classification()
+    }
+
+    /// Evaluate a calculus query under the limited interpretation.
+    pub fn eval_calculus(&self, query: &Query, db: &Database) -> Result<Evaluation, EngineError> {
+        Ok(query.eval_full(db, &self.calc_config)?)
+    }
+
+    /// Evaluate an algebra expression.
+    pub fn eval_algebra(
+        &self,
+        expr: &AlgExpr,
+        schema: &Schema,
+        db: &Database,
+    ) -> Result<Instance, EngineError> {
+        Ok(expr.eval(db, schema, &self.alg_config)?)
+    }
+
+    /// Evaluate a calculus query under finite invention, returning the full
+    /// per-level report.
+    pub fn eval_finite_invention(
+        &mut self,
+        query: &Query,
+        db: &Database,
+    ) -> Result<FiniteInventionReport, EngineError> {
+        Ok(finite_invention(
+            query,
+            db,
+            &mut self.universe,
+            &self.invention_config,
+        )?)
+    }
+
+    /// Evaluate a calculus query under terminal invention.
+    pub fn eval_terminal_invention(
+        &mut self,
+        query: &Query,
+        db: &Database,
+    ) -> Result<TerminalOutcome, EngineError> {
+        Ok(terminal_invention(
+            query,
+            db,
+            &mut self.universe,
+            &self.invention_config,
+        )?)
+    }
+
+    /// Evaluate a query under the chosen [`Semantics`], reducing every outcome to
+    /// a [`SemanticAnswer`].
+    pub fn eval_with_semantics(
+        &mut self,
+        query: &Query,
+        db: &Database,
+        semantics: Semantics,
+    ) -> Result<SemanticAnswer, EngineError> {
+        match semantics {
+            Semantics::Limited => {
+                let evaluation = self.eval_calculus(query, db)?;
+                Ok(SemanticAnswer {
+                    result: evaluation.result,
+                    bounded_approximation: false,
+                })
+            }
+            Semantics::FiniteInvention => {
+                let report = self.eval_finite_invention(query, db)?;
+                let bounded = report.stabilised_at.is_none();
+                Ok(SemanticAnswer {
+                    result: report.union,
+                    bounded_approximation: bounded,
+                })
+            }
+            Semantics::TerminalInvention => match self.eval_terminal_invention(query, db)? {
+                TerminalOutcome::Defined { answer, .. } => Ok(SemanticAnswer {
+                    result: answer,
+                    bounded_approximation: false,
+                }),
+                TerminalOutcome::UndefinedWithinBound { .. } => Ok(SemanticAnswer {
+                    result: Instance::empty(),
+                    bounded_approximation: true,
+                }),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{grandparent_query, parent_database, parent_schema};
+    use itq_algebra::SelFormula;
+    use itq_calculus::{CalcClass, Formula, Term};
+    use itq_object::{Atom, Type};
+
+    fn db() -> Database {
+        parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))])
+    }
+
+    #[test]
+    fn calculus_and_algebra_agree_through_the_engine() {
+        let engine = Engine::new();
+        let calc = engine.eval_calculus(&grandparent_query(), &db()).unwrap();
+        let alg_expr = AlgExpr::pred("PAR")
+            .product(AlgExpr::pred("PAR"))
+            .select(SelFormula::coords_eq(2, 3))
+            .project(vec![1, 4]);
+        let alg = engine
+            .eval_algebra(&alg_expr, &parent_schema(), &db())
+            .unwrap();
+        assert_eq!(calc.result, alg);
+        assert_eq!(
+            engine.classify(&grandparent_query()).minimal_class,
+            CalcClass::relational()
+        );
+    }
+
+    #[test]
+    fn semantics_dispatch_limited_vs_invention() {
+        // A query that needs an external witness: empty under the limited
+        // interpretation, full under finite invention.
+        let q = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::and(vec![
+                Formula::pred("PAR", Term::var("t")),
+                Formula::exists(
+                    "y",
+                    Type::Atomic,
+                    Formula::not(Formula::exists(
+                        "z",
+                        Type::flat_tuple(2),
+                        Formula::and(vec![
+                            Formula::pred("PAR", Term::var("z")),
+                            Formula::or(vec![
+                                Formula::eq(Term::proj("z", 1), Term::var("y")),
+                                Formula::eq(Term::proj("z", 2), Term::var("y")),
+                            ]),
+                        ]),
+                    )),
+                ),
+            ]),
+            parent_schema(),
+        )
+        .unwrap();
+        let mut engine = Engine::new();
+        let limited = engine
+            .eval_with_semantics(&q, &db(), Semantics::Limited)
+            .unwrap();
+        assert!(limited.result.is_empty());
+        assert!(!limited.bounded_approximation);
+        let invented = engine
+            .eval_with_semantics(&q, &db(), Semantics::FiniteInvention)
+            .unwrap();
+        assert_eq!(invented.result.len(), 2);
+    }
+
+    #[test]
+    fn terminal_semantics_reports_undefined_as_bounded() {
+        let q = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::pred("PAR", Term::var("t")),
+            parent_schema(),
+        )
+        .unwrap();
+        let mut engine = Engine::new();
+        let outcome = engine
+            .eval_with_semantics(&q, &db(), Semantics::TerminalInvention)
+            .unwrap();
+        assert!(outcome.bounded_approximation);
+        assert!(outcome.result.is_empty());
+        // And the raw API exposes the undefined outcome directly.
+        match engine.eval_terminal_invention(&q, &db()).unwrap() {
+            TerminalOutcome::UndefinedWithinBound { tried } => assert!(tried > 0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_error_display_and_conversions() {
+        let calc_err: EngineError = CalcError::UnboundVariable { var: "x".into() }.into();
+        assert!(calc_err.to_string().contains("unbound"));
+        let alg_err: EngineError = AlgError::UnknownPredicate { name: "R".into() }.into();
+        assert!(alg_err.to_string().contains("unknown predicate"));
+        let inv_err: EngineError =
+            InventionError::Codec { detail: "bad".into() }.into();
+        assert!(inv_err.to_string().contains("bad"));
+        // The universe accessor works.
+        let mut engine = Engine::new();
+        let a = engine.universe_mut().atom("probe");
+        assert_eq!(engine.universe_mut().atom("probe"), a);
+    }
+}

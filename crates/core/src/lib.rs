@@ -1,0 +1,57 @@
+//! # itq-core — intermediate-type queries as a usable library
+//!
+//! This crate is the front door of the reproduction of Hull & Su,
+//! *"On the Expressive Power of Database Queries with Intermediate Types"*
+//! (PODS 1988 / JCSS 1991).  It assembles the substrates
+//! (`itq-object`, `itq-calculus`, `itq-algebra`, `itq-relational`, `itq-turing`,
+//! `itq-invention`) into:
+//!
+//! * a library of the paper's **canonical queries** ([`queries`]): the grandparent
+//!   query of Example 2.4, the transitive-closure query of Example 3.1, the
+//!   even-cardinality query of Example 3.2, the total-order query of Example 3.4,
+//!   and a scaled-down analogue of the exponent-equation family of Example 3.7;
+//! * the **complexity calculators** of Theorem 4.4 ([`complexity`]): hyper-
+//!   exponential bounds on constructive domains and on the space needed to
+//!   instantiate a query's variables;
+//! * the **hierarchy analysis** of Theorem 5.1 ([`hierarchy`]): the per-level
+//!   counting power that makes `CALC_{0,i} ⊊ CALC_{0,i+1}`;
+//! * an [`Engine`](engine::Engine) facade that evaluates queries under the
+//!   limited interpretation, under the algebra, or under the invented-value
+//!   semantics of Section 6, with uniform statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use itq_core::prelude::*;
+//!
+//! // Build the PAR database of Example 2.4.
+//! let mut universe = Universe::new();
+//! let (tom, mary, sue) = (universe.atom("Tom"), universe.atom("Mary"), universe.atom("Sue"));
+//! let db = Database::single("PAR", Instance::from_pairs(vec![(tom, mary), (mary, sue)]));
+//!
+//! // The transitive-closure query of Example 3.1 lives in CALC_{0,1}.
+//! let query = itq_core::queries::transitive_closure_query();
+//! assert_eq!(query.classification().minimal_class, CalcClass::second_order());
+//!
+//! // Evaluate it and compare with the relational baseline.
+//! let engine = Engine::new();
+//! let answer = engine.eval_calculus(&query, &db).unwrap();
+//! assert!(answer.result.contains(&Value::pair(tom, sue)));
+//! ```
+
+pub mod complexity;
+pub mod engine;
+pub mod hierarchy;
+pub mod queries;
+pub mod report;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::engine::{Engine, Semantics};
+    pub use crate::queries;
+    pub use itq_algebra::{AlgExpr, SelFormula};
+    pub use itq_calculus::{CalcClass, EvalConfig, Formula, Query, Term};
+    pub use itq_invention::{InventionConfig, TerminalOutcome, UniversalCodec};
+    pub use itq_object::{Atom, Database, Instance, Schema, Type, Universe, Value};
+    pub use itq_relational::Relation;
+}

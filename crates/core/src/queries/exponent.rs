@@ -1,0 +1,266 @@
+//! A scaled-down executable analogue of the exponent-equation family of
+//! Example 3.7, plus the reference arithmetic for every hierarchy level.
+//!
+//! Example 3.7 defines mappings `f_j : (R : U) → U` with
+//! `f_j(I) = I` iff there exist numbers `p, q ≤ hyp(1, |I|, j)` and `l > 1` with
+//! `p^q + 1 = q^l`, each realisable by a query whose intermediate type has
+//! set-height `j + 1`: the intermediate type supplies enough "index space" to
+//! witness arithmetic over hyper-exponentially large numbers.
+//!
+//! A faithful evaluation of those queries is (by design) hyper-exponentially
+//! expensive, so this module provides
+//!
+//! * [`exponent_equation_witness`] — the reference arithmetic: search for
+//!   `p, q, l` with `p^q + 1 = q^l` below a bound derived from `hyp(1, n, j)`,
+//!   exactly the number-theoretic predicate the queries decide; and
+//! * [`perfect_square_query`] — an executable `CALC_{0,1}` query in the same
+//!   spirit (the intermediate type witnesses arithmetic about `|I|`, here
+//!   "`|I|` is a perfect square" via a bijection between `s × s` and `R`),
+//!   small enough to actually run on tiny inputs and to exhibit the
+//!   hyper-exponential blow-up as the input grows.
+
+use itq_calculus::{Formula, Query, Term};
+use itq_object::{hyp, Schema, Type};
+
+/// The unary input schema `D = (R : U)` of Example 3.7.
+pub fn exponent_schema() -> Schema {
+    Schema::single("R", Type::Atomic)
+}
+
+/// Search for a witness `(p, q, l)` with `p^q + 1 = q^l`, `l > 1`, and
+/// `p, q ≤ min(hyp(1, n, level), search_cap)`.
+///
+/// `search_cap` bounds the exhaustive search (the true bound `hyp(1, n, level)`
+/// exceeds any feasible search almost immediately, which is precisely the paper's
+/// point); the return value reports the effective bound that was used.
+pub fn exponent_equation_witness(
+    n: u64,
+    level: u32,
+    search_cap: u64,
+) -> (u64, Option<(u64, u64, u64)>) {
+    let bound = hyp(1, n, level).saturating_u64().min(search_cap);
+    for q in 2..=bound {
+        for p in 1..=bound {
+            let Some(lhs) = checked_pow(p, q).and_then(|v| v.checked_add(1)) else {
+                break;
+            };
+            // Find l > 1 with q^l = lhs.
+            let mut power = q as u128;
+            let mut l = 1u64;
+            while power < lhs {
+                let Some(next) = power.checked_mul(q as u128) else {
+                    break;
+                };
+                power = next;
+                l += 1;
+                if power == lhs && l > 1 {
+                    return (bound, Some((p, q, l)));
+                }
+            }
+        }
+    }
+    (bound, None)
+}
+
+fn checked_pow(base: u64, exp: u64) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for _ in 0..exp {
+        acc = acc.checked_mul(base as u128)?;
+        if acc > u128::MAX / 2 {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// Reference implementation of the perfect-square property decided by
+/// [`perfect_square_query`].
+pub fn perfect_square_reference(n: usize) -> bool {
+    let mut p = 0usize;
+    while p * p < n {
+        p += 1;
+    }
+    p * p == n
+}
+
+/// The perfect-square query: `{t/U | R(t) ∧ ∃s/{U} ∃w/{[U,U,U]} ψ(s, w)}` where
+/// `ψ` states that `w` is a bijection between `s × s` and `R`.  The answer is `R`
+/// when `|R|` is a perfect square and `∅` otherwise.
+///
+/// Like the queries of Example 3.7 it decides arithmetic about `|R|` using a
+/// set-height-1 intermediate type whose constructive domain grows as
+/// `2^{n^3}` — feasible to evaluate only for the first couple of input sizes,
+/// which is exactly the blow-up experiment E5 measures.
+pub fn perfect_square_query() -> Query {
+    let triple = Type::flat_tuple(3);
+
+    // Every entry of w pairs two elements of s with an element of R.
+    let entries_well_formed = Formula::forall(
+        "z",
+        triple.clone(),
+        Formula::implies(
+            Formula::member(Term::var("z"), Term::var("w")),
+            Formula::and(vec![
+                Formula::member(Term::proj("z", 1), Term::var("s")),
+                Formula::member(Term::proj("z", 2), Term::var("s")),
+                Formula::pred("R", Term::proj("z", 3)),
+            ]),
+        ),
+    );
+    // Totality: every pair over s is assigned some image.
+    let total = Formula::forall(
+        "u",
+        Type::Atomic,
+        Formula::forall(
+            "v",
+            Type::Atomic,
+            Formula::implies(
+                Formula::and(vec![
+                    Formula::member(Term::var("u"), Term::var("s")),
+                    Formula::member(Term::var("v"), Term::var("s")),
+                ]),
+                Formula::exists(
+                    "z",
+                    triple.clone(),
+                    Formula::and(vec![
+                        Formula::member(Term::var("z"), Term::var("w")),
+                        Formula::eq(Term::proj("z", 1), Term::var("u")),
+                        Formula::eq(Term::proj("z", 2), Term::var("v")),
+                    ]),
+                ),
+            ),
+        ),
+    );
+    // Functionality and injectivity of the assignment.
+    let functional_injective = Formula::forall(
+        "z",
+        triple.clone(),
+        Formula::forall(
+            "z2",
+            triple.clone(),
+            Formula::implies(
+                Formula::and(vec![
+                    Formula::member(Term::var("z"), Term::var("w")),
+                    Formula::member(Term::var("z2"), Term::var("w")),
+                ]),
+                Formula::and(vec![
+                    Formula::implies(
+                        Formula::and(vec![
+                            Formula::eq(Term::proj("z", 1), Term::proj("z2", 1)),
+                            Formula::eq(Term::proj("z", 2), Term::proj("z2", 2)),
+                        ]),
+                        Formula::eq(Term::proj("z", 3), Term::proj("z2", 3)),
+                    ),
+                    Formula::implies(
+                        Formula::eq(Term::proj("z", 3), Term::proj("z2", 3)),
+                        Formula::and(vec![
+                            Formula::eq(Term::proj("z", 1), Term::proj("z2", 1)),
+                            Formula::eq(Term::proj("z", 2), Term::proj("z2", 2)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ),
+    );
+    // Surjectivity onto R.
+    let surjective = Formula::forall(
+        "y",
+        Type::Atomic,
+        Formula::implies(
+            Formula::pred("R", Term::var("y")),
+            Formula::exists(
+                "z",
+                triple.clone(),
+                Formula::and(vec![
+                    Formula::member(Term::var("z"), Term::var("w")),
+                    Formula::eq(Term::proj("z", 3), Term::var("y")),
+                ]),
+            ),
+        ),
+    );
+
+    let body = Formula::and(vec![
+        Formula::pred("R", Term::var("t")),
+        Formula::exists(
+            "s",
+            Type::set(Type::Atomic),
+            Formula::exists(
+                "w",
+                Type::set(triple),
+                Formula::and(vec![
+                    entries_well_formed,
+                    total,
+                    functional_injective,
+                    surjective,
+                ]),
+            ),
+        ),
+    ]);
+    Query::new("t", Type::Atomic, body, exponent_schema())
+        .expect("perfect-square query is well-typed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itq_calculus::{CalcClass, EvalConfig};
+    use itq_object::{Atom, Database, Instance};
+
+    #[test]
+    fn exponent_equation_finds_the_classic_witness() {
+        // 2^3 + 1 = 3^2: the smallest (Catalan) witness.
+        let (_bound, witness) = exponent_equation_witness(10, 0, 64);
+        assert_eq!(witness, Some((2, 3, 2)));
+        // With a tiny bound there is no witness.
+        let (_b, none) = exponent_equation_witness(2, 0, 2);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn exponent_equation_bound_grows_with_the_level() {
+        let (b0, _) = exponent_equation_witness(3, 0, u64::MAX);
+        let (b1, _) = exponent_equation_witness(3, 1, u64::MAX);
+        let (b2, _) = exponent_equation_witness(3, 2, u64::MAX);
+        assert!(b0 < b1 && b1 < b2, "{b0} {b1} {b2}");
+        // The cap protects the search from the hyper-exponential bound.
+        let (capped, _) = exponent_equation_witness(10, 3, 100);
+        assert_eq!(capped, 100);
+    }
+
+    #[test]
+    fn perfect_square_reference_values() {
+        let squares: Vec<usize> = (0..30).filter(|&n| perfect_square_reference(n)).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn perfect_square_query_matches_reference_on_tiny_inputs() {
+        let q = perfect_square_query();
+        // n = 1 (square) and n = 2 (not a square) are the feasible sizes; n = 3
+        // already needs a 2^27-element quantifier domain.
+        for n in 1..=2u32 {
+            let db = Database::single("R", Instance::from_atoms((0..n).map(Atom)));
+            let out = q.eval(&db, &EvalConfig::default()).unwrap();
+            if perfect_square_reference(n as usize) {
+                assert_eq!(out.len() as u32, n, "n = {n}");
+            } else {
+                assert!(out.is_empty(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_square_query_blows_its_budget_on_larger_inputs() {
+        let q = perfect_square_query();
+        let db = Database::single("R", Instance::from_atoms((0..4u32).map(Atom)));
+        // 2^(4^3) candidate relations for w: the evaluator must refuse.
+        assert!(q.eval(&db, &EvalConfig::default()).is_err());
+    }
+
+    #[test]
+    fn perfect_square_query_classification() {
+        let c = perfect_square_query().classification();
+        assert_eq!(c.minimal_class, CalcClass::second_order());
+        assert_eq!(c.intermediate_types.len(), 3); // {U}, [U,U,U], {[U,U,U]}
+    }
+}

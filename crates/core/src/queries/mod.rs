@@ -1,0 +1,26 @@
+//! The paper's canonical queries, ready to evaluate.
+//!
+//! Each submodule corresponds to one of the worked examples:
+//!
+//! * [`genealogy`] — the grandparent query (Example 2.4) and the transitive
+//!   closure query via a set-height-1 intermediate type (Example 3.1);
+//! * [`parity`] — the even-cardinality query (Example 3.2);
+//! * [`orders`] — total-order queries built from the `ORD` formula (Example 3.4);
+//! * [`exponent`] — a scaled-down executable analogue of the exponent-equation
+//!   family of Example 3.7, plus the reference arithmetic for every level of the
+//!   hyper-exponential hierarchy.
+//!
+//! The most commonly used constructors are re-exported at this level.
+
+pub mod exponent;
+pub mod genealogy;
+pub mod orders;
+pub mod parity;
+
+pub use exponent::{exponent_equation_witness, perfect_square_query, perfect_square_reference};
+pub use genealogy::{
+    grandparent_query, parent_database, parent_schema, powerset_of_parents,
+    sibling_query, transitive_closure_query,
+};
+pub use orders::{total_orders_query, unary_schema};
+pub use parity::{even_cardinality_query, parity_reference, person_schema};

@@ -1,0 +1,77 @@
+//! Total-order queries built from the `ORD` formula of Example 3.4.
+//!
+//! A query can "create" a total order on its active domain by existentially
+//! quantifying a variable of type `{[U, U]}` constrained by `ORD`; the paper uses
+//! this repeatedly to index Turing-machine computations (Example 3.5,
+//! Theorem 4.4, Remark 3.6).  The query exposed here returns *all* total orders
+//! on the active domain, so its answer has exactly `n!` elements — a convenient
+//! executable check of the `ORD` formula.
+
+use itq_calculus::builders::ord_atoms;
+use itq_calculus::{Query, Term};
+use itq_object::{Schema, Type};
+
+/// The single-relation unary schema `D = (R : U)` used by the order experiments.
+pub fn unary_schema() -> Schema {
+    Schema::single("R", Type::Atomic)
+}
+
+/// The query `{x/{[U,U]} | ORD(x)}` returning every total order on the active
+/// domain of the input.  Its output type has set-height 1, so the query lies in
+/// `CALC_{1,0}` (no intermediate types — the order *is* the output).
+pub fn total_orders_query() -> Query {
+    Query::new(
+        "x",
+        Type::set(Type::flat_tuple(2)),
+        ord_atoms(Term::var("x"), "ord"),
+        unary_schema(),
+    )
+    .expect("total-orders query is well-typed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itq_calculus::{CalcClass, EvalConfig};
+    use itq_object::{Atom, Database, Instance};
+
+    fn unary_db(n: u32) -> Database {
+        Database::single("R", Instance::from_atoms((0..n).map(Atom)))
+    }
+
+    #[test]
+    fn number_of_total_orders_is_factorial() {
+        let q = total_orders_query();
+        let expectations = [(0u32, 1usize), (1, 1), (2, 2), (3, 6)];
+        for (n, expected) in expectations {
+            let out = q.eval(&unary_db(n), &EvalConfig::default()).unwrap();
+            assert_eq!(out.len(), expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn classification_is_output_height_one_with_flat_intermediates() {
+        let c = total_orders_query().classification();
+        // The ORD shorthand introduces auxiliary pair variables, but they are all
+        // flat (set-height 0), so the query sits in CALC_{1,0}.
+        assert_eq!(c.minimal_class, CalcClass::new(1, 0));
+        assert!(c
+            .intermediate_types
+            .iter()
+            .all(|t| t.set_height() == 0));
+    }
+
+    #[test]
+    fn every_returned_order_contains_the_diagonal() {
+        let q = total_orders_query();
+        let out = q.eval(&unary_db(3), &EvalConfig::default()).unwrap();
+        for order in out.iter() {
+            let set = order.as_set().unwrap();
+            for i in 0..3u32 {
+                assert!(set.contains(&itq_object::Value::pair(Atom(i), Atom(i))));
+            }
+            // A reflexive total order on 3 elements has 3 + 3 = 6 pairs.
+            assert_eq!(set.len(), 6);
+        }
+    }
+}

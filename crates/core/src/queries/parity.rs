@@ -1,0 +1,143 @@
+//! The even-cardinality query of Example 3.2.
+//!
+//! Over the schema `D = (PERSON : U)`, the query returns the whole `PERSON`
+//! relation when its cardinality is even and the empty relation when it is odd.
+//! It does so by asking for a *perfect matching* of `PERSON`, held in an
+//! existentially quantified variable of type `{[U, U]}` — an intermediate type of
+//! set-height 1.  Parity is a classical example of a query outside the relational
+//! calculus (and outside first-order logic generally), so this query witnesses
+//! `CALC_{0,0} ⊊ CALC_{0,1}` in executable form.
+
+use itq_calculus::{Formula, Query, Term};
+use itq_object::{Database, Schema, Type};
+
+/// The schema `D = (PERSON : U)` of Example 3.2.
+pub fn person_schema() -> Schema {
+    Schema::single("PERSON", Type::Atomic)
+}
+
+/// The even-cardinality query of Example 3.2.
+///
+/// `Q = {t/U | PERSON(t) ∧ ∃x/{[U,U]} (φ1(x) ∧ φ2(x) ∧ φ3(x))}` where
+///
+/// * `φ1`: every person occurs as an endpoint of some pair in `x`;
+/// * `φ2`: the pairs in `x` are a partial matching over persons — each pair joins
+///   two distinct persons and distinct pairs are disjoint;
+/// * `φ3` is folded into `φ2` here: no person occurs in two different pairs.
+pub fn even_cardinality_query() -> Query {
+    let t_pair = Type::flat_tuple(2);
+
+    // φ1: every person is covered by some pair of x.
+    let covered = Formula::forall(
+        "y",
+        Type::Atomic,
+        Formula::implies(
+            Formula::pred("PERSON", Term::var("y")),
+            Formula::exists(
+                "z",
+                t_pair.clone(),
+                Formula::and(vec![
+                    Formula::member(Term::var("z"), Term::var("x")),
+                    Formula::or(vec![
+                        Formula::eq(Term::proj("z", 1), Term::var("y")),
+                        Formula::eq(Term::proj("z", 2), Term::var("y")),
+                    ]),
+                ]),
+            ),
+        ),
+    );
+
+    // φ2/φ3: x is a matching over PERSON — each pair joins two distinct persons,
+    // and two pairs of x are either identical or endpoint-disjoint.
+    let matching = Formula::forall(
+        "z1",
+        t_pair.clone(),
+        Formula::forall(
+            "z2",
+            t_pair.clone(),
+            Formula::implies(
+                Formula::and(vec![
+                    Formula::member(Term::var("z1"), Term::var("x")),
+                    Formula::member(Term::var("z2"), Term::var("x")),
+                ]),
+                Formula::and(vec![
+                    Formula::not(Formula::eq(Term::proj("z1", 1), Term::proj("z1", 2))),
+                    Formula::pred("PERSON", Term::proj("z1", 1)),
+                    Formula::pred("PERSON", Term::proj("z1", 2)),
+                    Formula::or(vec![
+                        Formula::and(vec![
+                            Formula::eq(Term::proj("z1", 1), Term::proj("z2", 1)),
+                            Formula::eq(Term::proj("z1", 2), Term::proj("z2", 2)),
+                        ]),
+                        Formula::and(vec![
+                            Formula::not(Formula::eq(Term::proj("z1", 1), Term::proj("z2", 1))),
+                            Formula::not(Formula::eq(Term::proj("z1", 1), Term::proj("z2", 2))),
+                            Formula::not(Formula::eq(Term::proj("z1", 2), Term::proj("z2", 1))),
+                            Formula::not(Formula::eq(Term::proj("z1", 2), Term::proj("z2", 2))),
+                        ]),
+                    ]),
+                ]),
+            ),
+        ),
+    );
+
+    let body = Formula::and(vec![
+        Formula::pred("PERSON", Term::var("t")),
+        Formula::exists(
+            "x",
+            Type::set(t_pair),
+            Formula::and(vec![covered, matching]),
+        ),
+    ]);
+    Query::new("t", Type::Atomic, body, person_schema())
+        .expect("even-cardinality query is well-typed")
+}
+
+/// The trivially computable reference implementation of the same mapping:
+/// `PERSON` when `|PERSON|` is even, `∅` otherwise.
+pub fn parity_reference(db: &Database) -> bool {
+    db.relation("PERSON").map(|p| p.len() % 2 == 0).unwrap_or(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itq_calculus::{CalcClass, EvalConfig};
+    use itq_object::{Atom, Instance};
+
+    fn people_db(n: u32) -> Database {
+        Database::single("PERSON", Instance::from_atoms((0..n).map(Atom)))
+    }
+
+    #[test]
+    fn parity_query_matches_reference_on_small_inputs() {
+        for n in 0..5u32 {
+            let db = people_db(n);
+            let out = even_cardinality_query()
+                .eval(&db, &EvalConfig::default())
+                .unwrap();
+            let expected_even = parity_reference(&db);
+            assert_eq!(n % 2 == 0, expected_even);
+            if expected_even {
+                assert_eq!(out.len() as u32, n, "even n = {n} returns all persons");
+            } else {
+                assert!(out.is_empty(), "odd n = {n} returns nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_query_uses_a_height_one_intermediate_type() {
+        let c = even_cardinality_query().classification();
+        assert_eq!(c.minimal_class, CalcClass::second_order());
+        assert!(c
+            .intermediate_types
+            .contains(&Type::set(Type::flat_tuple(2))));
+        assert!(c.is_relational_to_relational());
+    }
+
+    #[test]
+    fn parity_reference_handles_missing_relation() {
+        assert!(parity_reference(&Database::empty()));
+    }
+}

@@ -1,0 +1,72 @@
+//! Errors raised by the invention semantics and the universal-type codec.
+
+use itq_calculus::CalcError;
+use itq_object::ObjectError;
+use std::fmt;
+
+/// Errors produced by the invention layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InventionError {
+    /// A calculus evaluation failed (budget exceeded, typing error, …).
+    Calc(CalcError),
+    /// An object-model error occurred.
+    Object(ObjectError),
+    /// The universal-type codec was given a value that does not conform to the
+    /// type it was built for, or an encoding that cannot be decoded.
+    Codec {
+        /// Explanation of the failure.
+        detail: String,
+    },
+    /// An invention search exhausted its bound without reaching a decision
+    /// (only meaningful for the semantics that are approximated by bounding).
+    BoundExhausted {
+        /// The number of invented values tried.
+        tried: usize,
+    },
+}
+
+impl fmt::Display for InventionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InventionError::Calc(e) => write!(f, "calculus evaluation failed: {e}"),
+            InventionError::Object(e) => write!(f, "object model error: {e}"),
+            InventionError::Codec { detail } => write!(f, "universal-type codec error: {detail}"),
+            InventionError::BoundExhausted { tried } => {
+                write!(f, "invention bound exhausted after {tried} invented values")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InventionError {}
+
+impl From<CalcError> for InventionError {
+    fn from(e: CalcError) -> Self {
+        InventionError::Calc(e)
+    }
+}
+
+impl From<ObjectError> for InventionError {
+    fn from(e: ObjectError) -> Self {
+        InventionError::Object(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let calc = InventionError::from(CalcError::UnboundVariable { var: "x".into() });
+        assert!(calc.to_string().contains("unbound variable"));
+        let obj = InventionError::from(ObjectError::EmptyTuple);
+        assert!(obj.to_string().contains("object model"));
+        let codec = InventionError::Codec {
+            detail: "missing root".into(),
+        };
+        assert!(codec.to_string().contains("missing root"));
+        let bound = InventionError::BoundExhausted { tried: 4 };
+        assert!(bound.to_string().contains("4"));
+    }
+}

@@ -1,0 +1,382 @@
+//! The invented-value semantics of Section 6.
+//!
+//! All semantics are built from the primitive `Q|_n[d]`: evaluate `Q` with the
+//! ranges of all variables extended by `n` fresh atoms, then restrict the answer
+//! to objects constructed from the *original* active domain (invented values are
+//! scratch paper, never output).  By Proposition 6.1 the choice of the `n` fresh
+//! atoms is irrelevant, so we simply draw them from a [`Universe`].
+//!
+//! * **Finite invention** `Q^fi[d] = ⋃_{0 ≤ n < ω} Q|_n[d]`.  The exact union is
+//!   not computable in general (Lemma 6.16 shows it is only recursively
+//!   enumerable, and Lemma 6.18 separates it from countable invention), so
+//!   [`finite_invention`] computes the union up to a configurable bound and
+//!   reports how the per-`n` answers evolved.
+//! * **Bounded invention** `Q|_f[d] = ⋃ { Q|_n[d] : n ≤ f(|adom(d)|) }`
+//!   is computable outright and implemented exactly.
+//! * **Terminal invention** `Q^ti[d]` returns `Q|_n[d]` for the least `n` at which
+//!   the *unrestricted* answer `Q|^Y[d]` contains an invented value, and is
+//!   undefined (`?`) if there is no such `n` (Theorem 6.19 shows this semantics is
+//!   equivalent to the computable queries).
+
+use crate::error::InventionError;
+use itq_calculus::eval::{EvalConfig, Evaluation};
+use itq_calculus::Query;
+use itq_object::{Atom, Database, Instance, Universe, Value};
+use std::collections::BTreeSet;
+
+/// Configuration for the bounded searches that approximate the non-recursive
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InventionConfig {
+    /// Largest number of invented values to try.
+    pub max_invented: usize,
+    /// Budgets for each underlying calculus evaluation.
+    pub eval: EvalConfig,
+}
+
+impl Default for InventionConfig {
+    fn default() -> Self {
+        InventionConfig {
+            max_invented: 4,
+            eval: EvalConfig::default(),
+        }
+    }
+}
+
+/// Evaluate `Q|_n[d]`: extend every variable's range by `n` fresh atoms and keep
+/// only the answers built from the original active domain.
+///
+/// Returns both the restricted answer and the unrestricted `Q|^Y[d]` evaluation
+/// (which terminal invention needs in order to detect invented values in the
+/// output).
+pub fn eval_with_invented(
+    query: &Query,
+    db: &Database,
+    universe: &mut Universe,
+    n: usize,
+    config: &EvalConfig,
+) -> Result<(Instance, Evaluation), InventionError> {
+    let original_domain: BTreeSet<Atom> = query.evaluation_domain(db);
+    // Draw atoms from the universe until we have `n` that are genuinely outside
+    // the active domain of the database and query — the universe may not have
+    // interned the database's atoms, so plain invention could collide with them.
+    let mut invented: Vec<Atom> = Vec::with_capacity(n);
+    while invented.len() < n {
+        let candidate = universe.invent();
+        if !original_domain.contains(&candidate) {
+            invented.push(candidate);
+        }
+    }
+    let evaluation = query.eval_with_extra(db, &invented, config)?;
+    let restricted = Instance::from_values(
+        evaluation
+            .result
+            .iter()
+            .filter(|v| v.active_domain().iter().all(|a| original_domain.contains(a)))
+            .cloned()
+            .collect::<Vec<Value>>(),
+    );
+    Ok((restricted, evaluation))
+}
+
+/// The per-`n` trace and final union computed by [`finite_invention`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiniteInventionReport {
+    /// `answers[n]` is `Q|_n[d]`.
+    pub answers: Vec<Instance>,
+    /// The union of all computed answers — the bounded approximation of `Q^fi[d]`.
+    pub union: Instance,
+    /// The smallest `n` after which no new answer appeared within the bound, if
+    /// the trace stabilised before the bound was hit.
+    pub stabilised_at: Option<usize>,
+}
+
+impl FiniteInventionReport {
+    /// Number of invention levels evaluated.
+    pub fn levels(&self) -> usize {
+        self.answers.len()
+    }
+}
+
+/// Approximate finite invention: `⋃_{n ≤ max} Q|_n[d]`, with a stabilisation
+/// report.  (The exact semantics is a countable union and is not computable in
+/// general; see Lemma 6.16.)
+pub fn finite_invention(
+    query: &Query,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+) -> Result<FiniteInventionReport, InventionError> {
+    let mut answers = Vec::new();
+    let mut union = Instance::empty();
+    let mut stabilised_at = None;
+    for n in 0..=config.max_invented {
+        let (restricted, _) = eval_with_invented(query, db, universe, n, &config.eval)?;
+        let before = union.len();
+        for v in restricted.iter() {
+            union.insert(v.clone());
+        }
+        if union.len() == before && n > 0 {
+            stabilised_at.get_or_insert(n);
+        } else {
+            stabilised_at = None;
+        }
+        answers.push(restricted);
+    }
+    Ok(FiniteInventionReport {
+        answers,
+        union,
+        stabilised_at,
+    })
+}
+
+/// Bounded invention `Q|_f[d]` for a bound function `f` of the active-domain
+/// size: the union of `Q|_n[d]` for `n ≤ f(|adom(d)|)`.
+pub fn bounded_invention(
+    query: &Query,
+    db: &Database,
+    universe: &mut Universe,
+    bound: impl Fn(usize) -> usize,
+    config: &EvalConfig,
+) -> Result<Instance, InventionError> {
+    let limit = bound(db.active_domain().len());
+    let mut union = Instance::empty();
+    for n in 0..=limit {
+        let (restricted, _) = eval_with_invented(query, db, universe, n, config)?;
+        for v in restricted.iter() {
+            union.insert(v.clone());
+        }
+    }
+    Ok(union)
+}
+
+/// The outcome of a terminal-invention evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TerminalOutcome {
+    /// The least `n` at which the unrestricted answer contained an invented value,
+    /// together with `Q|_n[d]`.
+    Defined {
+        /// The least such `n`.
+        n: usize,
+        /// The answer `Q|_n[d]`.
+        answer: Instance,
+    },
+    /// No such `n` was found within the configured bound — the paper's `?`
+    /// (undefined) outcome, which in general cannot be distinguished from
+    /// "defined at some larger n" by any terminating procedure.
+    UndefinedWithinBound {
+        /// The number of invention levels tried.
+        tried: usize,
+    },
+}
+
+/// Terminal invention `Q^ti[d]` (Theorem 6.19), searched up to
+/// `config.max_invented` levels.
+pub fn terminal_invention(
+    query: &Query,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+) -> Result<TerminalOutcome, InventionError> {
+    let original_domain: BTreeSet<Atom> = query.evaluation_domain(db);
+    for n in 0..=config.max_invented {
+        let (restricted, unrestricted) =
+            eval_with_invented(query, db, universe, n, &config.eval)?;
+        let contains_invented = unrestricted
+            .result
+            .iter()
+            .any(|v| v.active_domain().iter().any(|a| !original_domain.contains(a)));
+        if contains_invented {
+            return Ok(TerminalOutcome::Defined {
+                n,
+                answer: restricted,
+            });
+        }
+    }
+    Ok(TerminalOutcome::UndefinedWithinBound {
+        tried: config.max_invented + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itq_calculus::{Formula, Term};
+    use itq_object::{Schema, Type};
+
+    fn unary_schema() -> Schema {
+        Schema::single("R", Type::Atomic)
+    }
+
+    fn unary_db(n: u32) -> Database {
+        Database::single("R", Instance::from_atoms((0..n).map(Atom)))
+    }
+
+    /// `{t/U | R(t) ∧ ∃y/U (¬R(y))}`: returns R exactly when some atom outside R
+    /// is available — false under the limited interpretation, true with ≥1
+    /// invented value.
+    fn needs_external_witness() -> Query {
+        Query::new(
+            "t",
+            Type::Atomic,
+            Formula::and(vec![
+                Formula::pred("R", Term::var("t")),
+                Formula::exists(
+                    "y",
+                    Type::Atomic,
+                    Formula::not(Formula::pred("R", Term::var("y"))),
+                ),
+            ]),
+            unary_schema(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invention_levels_change_answers() {
+        let q = needs_external_witness();
+        let db = unary_db(3);
+        let mut universe = Universe::new();
+        universe.atoms(["a", "b", "c"]);
+        let cfg = EvalConfig::default();
+        let (level0, _) = eval_with_invented(&q, &db, &mut universe, 0, &cfg).unwrap();
+        assert!(level0.is_empty(), "no witness without invention");
+        let (level1, _) = eval_with_invented(&q, &db, &mut universe, 1, &cfg).unwrap();
+        assert_eq!(level1.len(), 3, "one invented value provides the witness");
+        // The answer never contains an invented value.
+        let original = q.evaluation_domain(&db);
+        for v in level1.iter() {
+            assert!(v.active_domain().iter().all(|a| original.contains(a)));
+        }
+    }
+
+    #[test]
+    fn finite_invention_unions_all_levels() {
+        let q = needs_external_witness();
+        let db = unary_db(2);
+        let mut universe = Universe::new();
+        universe.atoms(["a", "b"]);
+        let report = finite_invention(&q, &db, &mut universe, &InventionConfig::default()).unwrap();
+        assert_eq!(report.levels(), 5);
+        assert!(report.answers[0].is_empty());
+        assert_eq!(report.answers[1].len(), 2);
+        assert_eq!(report.union.len(), 2);
+        assert!(report.stabilised_at.is_some());
+    }
+
+    #[test]
+    fn relational_queries_gain_nothing_from_invention() {
+        // Theorem 6.11 (executable spot-check): for a pure relational-calculus
+        // query, Q|_n = Q|_0 for every n.
+        let q = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::exists(
+                "x",
+                Type::flat_tuple(2),
+                Formula::and(vec![
+                    Formula::pred("PAR", Term::var("x")),
+                    Formula::eq(Term::proj("t", 1), Term::proj("x", 2)),
+                    Formula::eq(Term::proj("t", 2), Term::proj("x", 1)),
+                ]),
+            ),
+            Schema::single("PAR", Type::flat_tuple(2)),
+        )
+        .unwrap();
+        let db = Database::single("PAR", Instance::from_pairs(vec![(Atom(0), Atom(1))]));
+        let mut universe = Universe::new();
+        universe.atoms(["a", "b"]);
+        let cfg = EvalConfig::default();
+        let (baseline, _) = eval_with_invented(&q, &db, &mut universe, 0, &cfg).unwrap();
+        for n in 1..4 {
+            let (with_invention, _) = eval_with_invented(&q, &db, &mut universe, n, &cfg).unwrap();
+            assert_eq!(with_invention, baseline, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn bounded_invention_respects_the_bound_function() {
+        let q = needs_external_witness();
+        let db = unary_db(2);
+        let mut universe = Universe::new();
+        universe.atoms(["a", "b"]);
+        let cfg = EvalConfig::default();
+        // Bound 0: no invention allowed → empty.
+        let zero = bounded_invention(&q, &db, &mut universe, |_| 0, &cfg).unwrap();
+        assert!(zero.is_empty());
+        // Bound n ↦ n: plenty of invention → full answer.
+        let linear = bounded_invention(&q, &db, &mut universe, |n| n, &cfg).unwrap();
+        assert_eq!(linear.len(), 2);
+    }
+
+    #[test]
+    fn terminal_invention_detects_the_first_inventing_level() {
+        // {t/U | ⊤} outputs every atom in range, so with 1 invented value the
+        // unrestricted answer already contains an invented atom.
+        let q = Query::new("t", Type::Atomic, Formula::truth(), unary_schema()).unwrap();
+        let db = unary_db(2);
+        let mut universe = Universe::new();
+        universe.atoms(["a", "b"]);
+        let outcome =
+            terminal_invention(&q, &db, &mut universe, &InventionConfig::default()).unwrap();
+        match outcome {
+            TerminalOutcome::Defined { n, answer } => {
+                assert_eq!(n, 1);
+                // The restricted answer only holds original atoms.
+                assert_eq!(answer.len(), 2);
+            }
+            other => panic!("expected defined outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn terminal_invention_reports_undefined_within_bound() {
+        // {t/U | R(t)} never outputs an invented value, so terminal invention is
+        // undefined (the paper's "?").
+        let q = Query::new(
+            "t",
+            Type::Atomic,
+            Formula::pred("R", Term::var("t")),
+            unary_schema(),
+        )
+        .unwrap();
+        let db = unary_db(2);
+        let mut universe = Universe::new();
+        universe.atoms(["a", "b"]);
+        let config = InventionConfig {
+            max_invented: 2,
+            ..Default::default()
+        };
+        let outcome = terminal_invention(&q, &db, &mut universe, &config).unwrap();
+        assert_eq!(outcome, TerminalOutcome::UndefinedWithinBound { tried: 3 });
+    }
+
+    #[test]
+    fn even_cardinality_via_invention_example_6_2_style() {
+        // With invention, parity can be decided with a *flat* intermediate pairing
+        // held in a variable of type {[U,U]} whose left column uses invented
+        // "indices": here we check the simpler observable from Example 6.2's
+        // discussion — the query that needs an external witness has, for every n,
+        // answers that are always restricted to the original domain.
+        let q = needs_external_witness();
+        let db = unary_db(4);
+        let mut universe = Universe::new();
+        universe.atoms(["a", "b", "c", "d"]);
+        let report = finite_invention(
+            &q,
+            &db,
+            &mut universe,
+            &InventionConfig {
+                max_invented: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let original = q.evaluation_domain(&db);
+        for answer in &report.answers {
+            for v in answer.iter() {
+                assert!(v.active_domain().iter().all(|a| original.contains(a)));
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Atomic objects and the universal domain `U`.
+//!
+//! The paper assumes a countably infinite universal domain `U` of atomic objects.
+//! We model individual atoms as interned 32-bit identifiers ([`Atom`]) and the
+//! (lazily materialised) universe as a [`Universe`] interner that maps human-readable
+//! names to atoms and can *invent* fresh atoms that have never appeared before —
+//! the operation underlying the invented-value semantics of Section 6.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An atomic object of the universal domain `U`.
+///
+/// Atoms are plain identifiers: queries in the calculus and algebra are *generic*
+/// (Section 2), so the only observable property of an atom is whether it equals
+/// another atom.  Display names live in the [`Universe`] interner and are purely
+/// cosmetic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom(pub u32);
+
+impl Atom {
+    /// Raw identifier of this atom.
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u32> for Atom {
+    fn from(id: u32) -> Self {
+        Atom(id)
+    }
+}
+
+/// A lazily materialised view of the countably infinite universe `U`.
+///
+/// The universe interns named atoms (so workloads and examples can talk about
+/// `"Tom"` and `"Mary"`), and hands out *fresh* atoms on demand via
+/// [`Universe::invent`].  Fresh atoms are guaranteed to be distinct from every atom
+/// previously returned by this universe, which is exactly the contract needed by
+/// the invented-value semantics (`Q|_n`, finite/countable/terminal invention).
+#[derive(Debug, Clone, Default)]
+pub struct Universe {
+    names: Vec<Option<String>>,
+    by_name: HashMap<String, Atom>,
+}
+
+impl Universe {
+    /// Create an empty universe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a named atom, returning the same [`Atom`] for the same name.
+    pub fn atom(&mut self, name: &str) -> Atom {
+        if let Some(&a) = self.by_name.get(name) {
+            return a;
+        }
+        let a = Atom(self.names.len() as u32);
+        self.names.push(Some(name.to_string()));
+        self.by_name.insert(name.to_string(), a);
+        a
+    }
+
+    /// Intern a batch of named atoms.
+    pub fn atoms<'a, I: IntoIterator<Item = &'a str>>(&mut self, names: I) -> Vec<Atom> {
+        names.into_iter().map(|n| self.atom(n)).collect()
+    }
+
+    /// Invent a fresh, anonymous atom distinct from all previously issued atoms.
+    ///
+    /// This is the primitive behind the invented-value semantics of Section 6: the
+    /// evaluator asks the universe for `n` values outside the active domain.
+    pub fn invent(&mut self) -> Atom {
+        let a = Atom(self.names.len() as u32);
+        self.names.push(None);
+        a
+    }
+
+    /// Invent `n` fresh atoms.
+    pub fn invent_many(&mut self, n: usize) -> Vec<Atom> {
+        (0..n).map(|_| self.invent()).collect()
+    }
+
+    /// Number of atoms materialised so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no atom has been materialised yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Look up the display name of an atom, if it was interned with one.
+    pub fn name(&self, atom: Atom) -> Option<&str> {
+        self.names.get(atom.0 as usize).and_then(|n| n.as_deref())
+    }
+
+    /// Render an atom for human consumption: its interned name if present,
+    /// otherwise `a<id>`.
+    pub fn display(&self, atom: Atom) -> String {
+        match self.name(atom) {
+            Some(n) => n.to_string(),
+            None => format!("a{}", atom.0),
+        }
+    }
+
+    /// Look up an atom by name without interning it.
+    pub fn lookup(&self, name: &str) -> Option<Atom> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterate over all materialised atoms in id order.
+    pub fn iter(&self) -> impl Iterator<Item = Atom> + '_ {
+        (0..self.names.len() as u32).map(Atom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut u = Universe::new();
+        let a = u.atom("Tom");
+        let b = u.atom("Tom");
+        let c = u.atom("Mary");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn invented_atoms_are_fresh() {
+        let mut u = Universe::new();
+        let named: Vec<Atom> = u.atoms(["x", "y", "z"]);
+        let invented = u.invent_many(5);
+        for inv in &invented {
+            assert!(!named.contains(inv));
+            assert!(u.name(*inv).is_none());
+        }
+        // All invented atoms are pairwise distinct.
+        for i in 0..invented.len() {
+            for j in (i + 1)..invented.len() {
+                assert_ne!(invented[i], invented[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_names_when_available() {
+        let mut u = Universe::new();
+        let tom = u.atom("Tom");
+        let anon = u.invent();
+        assert_eq!(u.display(tom), "Tom");
+        assert_eq!(u.display(anon), format!("a{}", anon.id()));
+        assert_eq!(u.lookup("Tom"), Some(tom));
+        assert_eq!(u.lookup("Nobody"), None);
+    }
+
+    #[test]
+    fn iteration_covers_all_atoms() {
+        let mut u = Universe::new();
+        u.atoms(["p", "q"]);
+        u.invent();
+        let all: Vec<Atom> = u.iter().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], Atom(0));
+        assert_eq!(all[2], Atom(2));
+    }
+}

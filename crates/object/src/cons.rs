@@ -1,0 +1,356 @@
+//! The constructive domain `cons_Y(T)` (Section 2) and its enumeration.
+//!
+//! `cons_Y(T)` is the set of all objects of type `T` whose active domain is
+//! contained in the finite atom set `Y`.  The limited-interpretation semantics of
+//! the calculus quantifies variables over exactly these sets, so being able to
+//! (a) compute their cardinality and (b) enumerate them lazily is the engine room
+//! of the whole reproduction.
+//!
+//! Cardinalities grow hyper-exponentially with the set-height of `T`
+//! (`|cons_Y(T)| ≤ hyp(w, |Y|, sh(T))`, Example 3.5), so enumeration is rank-based
+//! and budgeted: callers either walk a [`ConsIter`] lazily or materialise a bounded
+//! [`enumerate_cons`] vector, and both fail loudly when the domain exceeds the
+//! budget instead of silently looping forever.
+
+use crate::atom::Atom;
+use crate::card::Cardinality;
+use crate::error::ObjectError;
+use crate::types::Type;
+use crate::value::Value;
+
+/// Cardinality of `cons_Y(T)` for an atom set of size `n_atoms`.
+///
+/// * `|cons_Y(U)| = |Y|`
+/// * `|cons_Y([T1,…,Tk])| = Π |cons_Y(Ti)|`
+/// * `|cons_Y({T})| = 2^{|cons_Y(T)|}` (all finite subsets)
+pub fn cons_cardinality(ty: &Type, n_atoms: usize) -> Cardinality {
+    match ty {
+        Type::Atomic => Cardinality::from(n_atoms),
+        Type::Tuple(components) => components
+            .iter()
+            .map(|c| cons_cardinality(c, n_atoms))
+            .fold(Cardinality::ONE, |acc, c| acc * c),
+        Type::Set(inner) => cons_cardinality(inner, n_atoms).exp2(),
+    }
+}
+
+/// The `rank`-th element of `cons_Y(T)` under a fixed deterministic order, or
+/// `None` if `rank` is out of range or the domain is too large to rank with a
+/// `u128` index.
+///
+/// The order enumerates atoms in the order of `atoms`, tuples in mixed-radix order
+/// (last coordinate varies fastest), and sets by the bitmask of their elements'
+/// ranks (so the empty set is always rank 0).
+pub fn value_at_rank(ty: &Type, atoms: &[Atom], rank: u128) -> Option<Value> {
+    let total = cons_cardinality(ty, atoms.len()).as_exact()?;
+    if rank >= total {
+        return None;
+    }
+    Some(value_at_rank_unchecked(ty, atoms, rank))
+}
+
+fn value_at_rank_unchecked(ty: &Type, atoms: &[Atom], rank: u128) -> Value {
+    match ty {
+        Type::Atomic => Value::Atom(atoms[rank as usize]),
+        Type::Tuple(components) => {
+            // Mixed radix decomposition, last component varies fastest.
+            let radices: Vec<u128> = components
+                .iter()
+                .map(|c| {
+                    cons_cardinality(c, atoms.len())
+                        .as_exact()
+                        .expect("checked by caller")
+                })
+                .collect();
+            let mut digits = vec![0u128; components.len()];
+            let mut r = rank;
+            for i in (0..components.len()).rev() {
+                let radix = radices[i];
+                digits[i] = r % radix;
+                r /= radix;
+            }
+            Value::Tuple(
+                components
+                    .iter()
+                    .zip(digits)
+                    .map(|(c, d)| value_at_rank_unchecked(c, atoms, d))
+                    .collect(),
+            )
+        }
+        Type::Set(inner) => {
+            let m = cons_cardinality(inner, atoms.len())
+                .as_exact()
+                .expect("checked by caller") as usize;
+            let mut items = Vec::new();
+            for bit in 0..m {
+                if rank & (1u128 << bit) != 0 {
+                    items.push(value_at_rank_unchecked(inner, atoms, bit as u128));
+                }
+            }
+            Value::set(items)
+        }
+    }
+}
+
+/// Rank of a value inside `cons_Y(T)` under the same order as [`value_at_rank`],
+/// or `None` if the value does not belong to the domain or the domain is too large
+/// to rank.
+pub fn rank_of_value(ty: &Type, atoms: &[Atom], value: &Value) -> Option<u128> {
+    let total = cons_cardinality(ty, atoms.len()).as_exact()?;
+    let rank = rank_of_value_inner(ty, atoms, value)?;
+    (rank < total).then_some(rank)
+}
+
+fn rank_of_value_inner(ty: &Type, atoms: &[Atom], value: &Value) -> Option<u128> {
+    match (ty, value) {
+        (Type::Atomic, Value::Atom(a)) => {
+            atoms.iter().position(|x| x == a).map(|i| i as u128)
+        }
+        (Type::Tuple(components), Value::Tuple(vs)) => {
+            if components.len() != vs.len() {
+                return None;
+            }
+            let mut rank: u128 = 0;
+            for (c, v) in components.iter().zip(vs) {
+                let radix = cons_cardinality(c, atoms.len()).as_exact()?;
+                let digit = rank_of_value_inner(c, atoms, v)?;
+                rank = rank.checked_mul(radix)?.checked_add(digit)?;
+            }
+            Some(rank)
+        }
+        (Type::Set(inner), Value::Set(items)) => {
+            let mut rank: u128 = 0;
+            for item in items {
+                let bit = rank_of_value_inner(inner, atoms, item)?;
+                if bit >= 128 {
+                    return None;
+                }
+                rank |= 1u128 << bit;
+            }
+            Some(rank)
+        }
+        _ => None,
+    }
+}
+
+/// A lazy iterator over `cons_Y(T)` in rank order.
+///
+/// Construction fails (returns an iterator that yields nothing and reports an
+/// error through [`ConsIter::error`]) when the domain is too large to be ranked
+/// with a `u128`, which is the crate's stand-in for "hyper-exponentially large".
+#[derive(Clone)]
+pub struct ConsIter {
+    ty: Type,
+    atoms: Vec<Atom>,
+    next: u128,
+    total: u128,
+    too_large: bool,
+}
+
+impl ConsIter {
+    /// Create an iterator over `cons_atoms(ty)`.
+    pub fn new(ty: &Type, atoms: &[Atom]) -> ConsIter {
+        match cons_cardinality(ty, atoms.len()).as_exact() {
+            Some(total) => ConsIter {
+                ty: ty.clone(),
+                atoms: atoms.to_vec(),
+                next: 0,
+                total,
+                too_large: false,
+            },
+            None => ConsIter {
+                ty: ty.clone(),
+                atoms: atoms.to_vec(),
+                next: 0,
+                total: 0,
+                too_large: true,
+            },
+        }
+    }
+
+    /// Total number of values this iterator would yield, when representable.
+    pub fn total(&self) -> Option<u128> {
+        (!self.too_large).then_some(self.total)
+    }
+
+    /// True if the domain was too large to enumerate at all.
+    pub fn is_too_large(&self) -> bool {
+        self.too_large
+    }
+
+    /// The budget error corresponding to an over-large domain, if any.
+    pub fn error(&self) -> Option<ObjectError> {
+        self.too_large.then(|| ObjectError::BudgetExceeded {
+            what: format!("cons domain of {}", self.ty),
+            limit: u64::MAX,
+        })
+    }
+}
+
+impl Iterator for ConsIter {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        if self.too_large || self.next >= self.total {
+            return None;
+        }
+        let v = value_at_rank_unchecked(&self.ty, &self.atoms, self.next);
+        self.next += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.too_large {
+            return (0, Some(0));
+        }
+        let remaining = (self.total - self.next).min(usize::MAX as u128) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+/// Materialise `cons_Y(T)` as a vector, refusing to do so if the domain has more
+/// than `limit` elements.
+pub fn enumerate_cons(ty: &Type, atoms: &[Atom], limit: u64) -> Result<Vec<Value>, ObjectError> {
+    let card = cons_cardinality(ty, atoms.len());
+    if !card.fits_within(limit) {
+        return Err(ObjectError::BudgetExceeded {
+            what: format!("cons domain of {ty} over {} atoms (size {card})", atoms.len()),
+            limit,
+        });
+    }
+    Ok(ConsIter::new(ty, atoms).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn atoms(n: u32) -> Vec<Atom> {
+        (0..n).map(Atom).collect()
+    }
+
+    #[test]
+    fn cardinalities_match_the_recursive_definition() {
+        let t_pair = Type::flat_tuple(2);
+        let t_rel = Type::set(t_pair.clone());
+        assert_eq!(cons_cardinality(&Type::Atomic, 3), Cardinality::Exact(3));
+        assert_eq!(cons_cardinality(&t_pair, 3), Cardinality::Exact(9));
+        assert_eq!(cons_cardinality(&t_rel, 2), Cardinality::Exact(16)); // 2^(2*2)
+        assert_eq!(
+            cons_cardinality(&Type::set(Type::Atomic), 4),
+            Cardinality::Exact(16)
+        );
+        // Set-height 2 over 2 atoms: 2^(2^2) = 16 for {{U}}.
+        assert_eq!(
+            cons_cardinality(&Type::set(Type::set(Type::Atomic)), 2),
+            Cardinality::Exact(16)
+        );
+        assert_eq!(cons_cardinality(&Type::Atomic, 0), Cardinality::ZERO);
+        // The empty atom set still admits the empty set at set types.
+        assert_eq!(
+            cons_cardinality(&Type::set(Type::Atomic), 0),
+            Cardinality::Exact(1)
+        );
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_duplicate_free() {
+        let a = atoms(2);
+        let t_rel = Type::set(Type::flat_tuple(2));
+        let all = enumerate_cons(&t_rel, &a, 1000).unwrap();
+        assert_eq!(all.len(), 16);
+        let distinct: BTreeSet<&Value> = all.iter().collect();
+        assert_eq!(distinct.len(), 16);
+        for v in &all {
+            assert!(v.has_type(&t_rel));
+            assert!(v.active_domain().iter().all(|x| a.contains(x)));
+        }
+        // The empty relation is element 0.
+        assert_eq!(all[0], Value::empty_set());
+    }
+
+    #[test]
+    fn enumeration_respects_budgets() {
+        let a = atoms(3);
+        let t = Type::set(Type::flat_tuple(2)); // 2^9 = 512 values
+        assert!(enumerate_cons(&t, &a, 100).is_err());
+        assert_eq!(enumerate_cons(&t, &a, 512).unwrap().len(), 512);
+    }
+
+    #[test]
+    fn rank_round_trips() {
+        let a = atoms(3);
+        let t = Type::tuple(vec![Type::Atomic, Type::set(Type::Atomic)]);
+        let total = cons_cardinality(&t, a.len()).as_exact().unwrap();
+        assert_eq!(total, 3 * 8);
+        for rank in 0..total {
+            let v = value_at_rank(&t, &a, rank).unwrap();
+            assert_eq!(rank_of_value(&t, &a, &v), Some(rank));
+        }
+        assert_eq!(value_at_rank(&t, &a, total), None);
+    }
+
+    #[test]
+    fn rank_of_value_rejects_foreign_values() {
+        let a = atoms(2);
+        let t = Type::set(Type::Atomic);
+        // A value mentioning an atom outside Y is not in cons_Y(T).
+        let foreign = Value::set(vec![Value::Atom(Atom(99))]);
+        assert_eq!(rank_of_value(&t, &a, &foreign), None);
+        // A value of the wrong shape is rejected.
+        assert_eq!(rank_of_value(&t, &a, &Value::Atom(a[0])), None);
+    }
+
+    #[test]
+    fn iterator_reports_oversized_domains() {
+        let a = atoms(4);
+        // {{{U}}} over 4 atoms: 2^(2^(2^4)) = 2^65536 — far beyond u128 ranking.
+        let t = Type::nested_set(3);
+        let it = ConsIter::new(&t, &a);
+        assert!(it.is_too_large());
+        assert!(it.error().is_some());
+        assert_eq!(it.total(), None);
+        assert_eq!(it.count(), 0);
+    }
+
+    #[test]
+    fn iterator_size_hint_is_exact() {
+        let a = atoms(2);
+        let t = Type::set(Type::Atomic);
+        let mut it = ConsIter::new(&t, &a);
+        assert_eq!(it.size_hint(), (4, Some(4)));
+        it.next();
+        assert_eq!(it.size_hint(), (3, Some(3)));
+        assert_eq!(it.total(), Some(4));
+    }
+
+    #[test]
+    fn empty_atom_set_enumerations() {
+        let t = Type::set(Type::Atomic);
+        let vals = enumerate_cons(&t, &[], 10).unwrap();
+        assert_eq!(vals, vec![Value::empty_set()]);
+        let flat = enumerate_cons(&Type::Atomic, &[], 10).unwrap();
+        assert!(flat.is_empty());
+    }
+
+    #[test]
+    fn growth_matches_hyperexponential_bound() {
+        // |cons_A(T_big(w, i))| ≤ hyp(w, a, i) — check the bound's shape for small
+        // parameters (Example 3.5 / Theorem 4.4).
+        use crate::card::hyp;
+        for w in 1..3usize {
+            for i in 0..2u32 {
+                for a in 1..4u64 {
+                    let t = Type::big(w, i as usize);
+                    let actual = cons_cardinality(&t, a as usize).log2();
+                    let bound = hyp(w as u32, a, i).log2();
+                    assert!(
+                        actual <= bound + 1e-9,
+                        "w={w} i={i} a={a}: {actual} > {bound}"
+                    );
+                }
+            }
+        }
+    }
+}

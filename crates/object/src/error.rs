@@ -1,0 +1,114 @@
+//! Error types shared across the object model.
+
+use std::fmt;
+
+/// Errors produced while constructing or inspecting complex objects and types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectError {
+    /// A tuple type or tuple value with zero components was encountered; the paper
+    /// requires tuple width `n ≥ 1`.
+    EmptyTuple,
+    /// A tuple type has a direct tuple child, violating the "no consecutive tuple
+    /// constructors" invariant.  `collapse` repairs this.
+    NestedTuple {
+        /// Rendered offending type.
+        ty: String,
+    },
+    /// A value does not conform to the type it was used at.
+    TypeMismatch {
+        /// Rendered expected type.
+        expected: String,
+        /// Rendered offending value.
+        value: String,
+    },
+    /// A constructive domain enumeration or cardinality computation exceeded the
+    /// configured budget (the hyper-exponential blow-up the paper analyses).
+    BudgetExceeded {
+        /// Human-readable description of what blew up.
+        what: String,
+        /// The configured limit that was exceeded.
+        limit: u64,
+    },
+    /// A named predicate was not found in a schema or database instance.
+    UnknownPredicate {
+        /// The missing predicate name.
+        name: String,
+    },
+    /// A database instance does not match its schema (arity, predicate set, or
+    /// value typing).
+    SchemaMismatch {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::EmptyTuple => {
+                write!(f, "tuple types and values must have at least one component")
+            }
+            ObjectError::NestedTuple { ty } => {
+                write!(f, "tuple type {ty} has a direct tuple child; apply collapse()")
+            }
+            ObjectError::TypeMismatch { expected, value } => {
+                write!(f, "value {value} does not conform to type {expected}")
+            }
+            ObjectError::BudgetExceeded { what, limit } => {
+                write!(f, "{what} exceeded the configured budget of {limit}")
+            }
+            ObjectError::UnknownPredicate { name } => {
+                write!(f, "unknown predicate {name}")
+            }
+            ObjectError::SchemaMismatch { detail } => {
+                write!(f, "database instance does not match schema: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let cases: Vec<(ObjectError, &str)> = vec![
+            (ObjectError::EmptyTuple, "at least one component"),
+            (
+                ObjectError::NestedTuple { ty: "[U, [U]]".into() },
+                "collapse",
+            ),
+            (
+                ObjectError::TypeMismatch {
+                    expected: "{U}".into(),
+                    value: "a0".into(),
+                },
+                "does not conform",
+            ),
+            (
+                ObjectError::BudgetExceeded {
+                    what: "cons domain".into(),
+                    limit: 10,
+                },
+                "budget of 10",
+            ),
+            (
+                ObjectError::UnknownPredicate { name: "PAR".into() },
+                "unknown predicate PAR",
+            ),
+            (
+                ObjectError::SchemaMismatch {
+                    detail: "arity".into(),
+                },
+                "does not match schema",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the object model: type invariants, cardinality
+//! arithmetic, and constructive-domain enumeration.
+
+use itq_object::cons::{cons_cardinality, enumerate_cons};
+use itq_object::{hyp, Atom, Cardinality, Type, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Strategy: an arbitrary (possibly ill-formed w.r.t. the tuple rule) raw type tree
+/// of bounded depth, built directly from the enum.
+fn raw_type() -> impl Strategy<Value = Type> {
+    let leaf = Just(Type::Atomic);
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| Type::Set(Box::new(t))),
+            proptest::collection::vec(inner, 1..3).prop_map(Type::Tuple),
+        ]
+    })
+}
+
+/// Strategy: a well-formed type built through the checked constructors.
+fn well_formed_type() -> impl Strategy<Value = Type> {
+    raw_type().prop_map(|t| t.collapse())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `collapse` always produces a valid type and is idempotent.
+    #[test]
+    fn collapse_is_idempotent_and_validates(ty in raw_type()) {
+        let collapsed = ty.collapse();
+        prop_assert!(collapsed.validate().is_ok());
+        prop_assert_eq!(collapsed.collapse(), collapsed.clone());
+        // Collapsing never changes the set-height.
+        prop_assert_eq!(collapsed.set_height(), ty.set_height());
+    }
+
+    /// Set-height equals the maximum set-nesting of any member value we can
+    /// enumerate, and every enumerated value type-checks.
+    #[test]
+    fn enumerated_values_respect_the_type(ty in well_formed_type(), n_atoms in 1usize..3) {
+        let atoms: Vec<Atom> = (0..n_atoms as u32).map(Atom).collect();
+        let card = cons_cardinality(&ty, n_atoms);
+        if card.fits_within(256) {
+            let values = enumerate_cons(&ty, &atoms, 256).unwrap();
+            prop_assert_eq!(Cardinality::from(values.len()), card);
+            for v in &values {
+                prop_assert!(v.has_type(&ty));
+                prop_assert!(v.set_height() <= ty.set_height());
+                prop_assert!(v.active_domain().iter().all(|a| atoms.contains(a)));
+            }
+            // Enumeration yields pairwise distinct values.
+            let distinct: BTreeSet<&Value> = values.iter().collect();
+            prop_assert_eq!(distinct.len(), values.len());
+        }
+    }
+
+    /// Cardinalities are monotone in the number of atoms and bounded by
+    /// hyp(width, atoms, set-height).
+    #[test]
+    fn cardinality_monotone_and_bounded(ty in well_formed_type(), n_atoms in 1u64..5) {
+        let smaller = cons_cardinality(&ty, n_atoms as usize);
+        let larger = cons_cardinality(&ty, n_atoms as usize + 1);
+        prop_assert!(smaller.log2() <= larger.log2() + 1e-9);
+        let bound = hyp(ty.max_tuple_width() as u32, n_atoms, ty.set_height() as u32);
+        prop_assert!(smaller.log2() <= bound.log2() + 1e-9);
+    }
+
+    /// Cardinality arithmetic: addition and multiplication are commutative and
+    /// consistent with the log estimates.
+    #[test]
+    fn cardinality_arithmetic_is_commutative(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (ca, cb) = (Cardinality::from(a), Cardinality::from(b));
+        prop_assert_eq!(ca + cb, cb + ca);
+        prop_assert_eq!(ca * cb, cb * ca);
+        let sum = ca + cb;
+        if let Some(exact) = sum.as_exact() {
+            prop_assert_eq!(exact, a as u128 + b as u128);
+        }
+    }
+
+    /// hyp is monotone in all three arguments (checked pointwise on small values).
+    #[test]
+    fn hyp_monotonicity(c in 1u32..4, n in 1u64..6, i in 0u32..3) {
+        prop_assert!(hyp(c, n, i).log2() <= hyp(c + 1, n, i).log2() + 1e-9);
+        prop_assert!(hyp(c, n, i).log2() <= hyp(c, n + 1, i).log2() + 1e-9);
+        prop_assert!(hyp(c, n, i).log2() <= hyp(c, n, i + 1).log2() + 1e-9);
+    }
+
+    /// Subtype enumeration counts nodes consistently and the rendered tree has one
+    /// line per node.
+    #[test]
+    fn subtypes_and_tree_rendering_are_consistent(ty in well_formed_type()) {
+        prop_assert_eq!(ty.subtypes().len(), ty.node_count());
+        prop_assert_eq!(ty.render_tree().lines().count(), ty.node_count());
+    }
+}

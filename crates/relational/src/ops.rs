@@ -1,0 +1,158 @@
+//! Classical relational-algebra operators specialised to flat [`Relation`]s.
+//!
+//! These are the building blocks of the baseline algorithms (fixpoint, Datalog,
+//! while-programs) against which the complex-object queries are benchmarked.
+
+use crate::relation::Relation;
+use itq_object::Atom;
+use std::collections::HashMap;
+
+/// Project a relation onto the given 1-based coordinates.
+pub fn project(rel: &Relation, coords: &[usize]) -> Relation {
+    let mut out = Relation::empty(coords.len().max(1));
+    if coords.is_empty() {
+        return out;
+    }
+    for t in rel.iter() {
+        let projected: Vec<Atom> = coords.iter().map(|&c| t[c - 1]).collect();
+        out.insert(projected);
+    }
+    out
+}
+
+/// Select the tuples whose `coord`-th component equals `value`.
+pub fn select_const(rel: &Relation, coord: usize, value: Atom) -> Relation {
+    Relation::from_tuples(
+        rel.arity(),
+        rel.iter().filter(|t| t[coord - 1] == value).cloned(),
+    )
+}
+
+/// Select the tuples whose two coordinates are equal.
+pub fn select_eq(rel: &Relation, coord_a: usize, coord_b: usize) -> Relation {
+    Relation::from_tuples(
+        rel.arity(),
+        rel.iter()
+            .filter(|t| t[coord_a - 1] == t[coord_b - 1])
+            .cloned(),
+    )
+}
+
+/// Cartesian product (tuple concatenation).
+pub fn product(left: &Relation, right: &Relation) -> Relation {
+    let mut out = Relation::empty(left.arity() + right.arity());
+    for l in left.iter() {
+        for r in right.iter() {
+            let mut t = l.clone();
+            t.extend_from_slice(r);
+            out.insert(t);
+        }
+    }
+    out
+}
+
+/// Equi-join: combine tuples of `left` and `right` where
+/// `left[left_coord] = right[right_coord]`, keeping all columns of both sides
+/// (a hash join on the join key).
+pub fn equi_join(
+    left: &Relation,
+    left_coord: usize,
+    right: &Relation,
+    right_coord: usize,
+) -> Relation {
+    let mut index: HashMap<Atom, Vec<&Vec<Atom>>> = HashMap::new();
+    for r in right.iter() {
+        index.entry(r[right_coord - 1]).or_default().push(r);
+    }
+    let mut out = Relation::empty(left.arity() + right.arity());
+    for l in left.iter() {
+        if let Some(matches) = index.get(&l[left_coord - 1]) {
+            for r in matches {
+                let mut t = l.clone();
+                t.extend_from_slice(r);
+                out.insert(t);
+            }
+        }
+    }
+    out
+}
+
+/// Compose two binary relations: `{(a, c) | ∃b. (a,b) ∈ left ∧ (b,c) ∈ right}` —
+/// the join-then-project at the heart of transitive closure.
+pub fn compose(left: &Relation, right: &Relation) -> Relation {
+    assert_eq!(left.arity(), 2);
+    assert_eq!(right.arity(), 2);
+    let joined = equi_join(left, 2, right, 1);
+    project(&joined, &[1, 4])
+}
+
+/// The identity (diagonal) relation over a set of atoms.
+pub fn diagonal<I: IntoIterator<Item = Atom>>(atoms: I) -> Relation {
+    Relation::from_pairs(atoms.into_iter().map(|a| (a, a)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Atom {
+        Atom(n)
+    }
+
+    fn edges() -> Relation {
+        Relation::from_pairs(vec![(a(0), a(1)), (a(1), a(2)), (a(2), a(0))])
+    }
+
+    #[test]
+    fn projection_and_selection() {
+        let r = edges();
+        let firsts = project(&r, &[1]);
+        assert_eq!(firsts.arity(), 1);
+        assert_eq!(firsts.len(), 3);
+        let swapped = project(&r, &[2, 1]);
+        assert!(swapped.contains(&[a(1), a(0)]));
+        assert!(project(&r, &[]).is_empty());
+
+        let from_zero = select_const(&r, 1, a(0));
+        assert_eq!(from_zero.len(), 1);
+        let loops = select_eq(&r, 1, 2);
+        assert!(loops.is_empty());
+        let with_loop = r.union(&Relation::from_pairs(vec![(a(3), a(3))]));
+        assert_eq!(select_eq(&with_loop, 1, 2).len(), 1);
+    }
+
+    #[test]
+    fn product_and_join() {
+        let r = edges();
+        let s = Relation::from_atoms(vec![a(0), a(1)]);
+        let p = product(&r, &s);
+        assert_eq!(p.arity(), 3);
+        assert_eq!(p.len(), 6);
+
+        let j = equi_join(&r, 2, &r, 1);
+        assert_eq!(j.arity(), 4);
+        // (0,1)⋈(1,2), (1,2)⋈(2,0), (2,0)⋈(0,1)
+        assert_eq!(j.len(), 3);
+        assert!(j.contains(&[a(0), a(1), a(1), a(2)]));
+    }
+
+    #[test]
+    fn compose_is_relational_composition() {
+        let r = edges();
+        let two_step = compose(&r, &r);
+        assert_eq!(
+            two_step,
+            Relation::from_pairs(vec![(a(0), a(2)), (a(1), a(0)), (a(2), a(1))])
+        );
+    }
+
+    #[test]
+    fn diagonal_relation() {
+        let d = diagonal(vec![a(0), a(1)]);
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&[a(1), a(1)]));
+        // Composing with the diagonal is the identity.
+        let r = edges();
+        assert_eq!(compose(&r, &diagonal(r.active_domain())), r);
+    }
+}

@@ -1,0 +1,334 @@
+//! Relational algebra + while: the imperative fixpoint language referenced in
+//! Remark 3.6 (Chandra's "programming primitives", PSPACE-complete with order).
+//!
+//! A [`WhileProgram`] is a sequence of assignments of relational-algebra
+//! expressions to named relation variables, plus `while <rel> changes` /
+//! `while <rel> nonempty` loops.  Loops carry an iteration budget so that a
+//! diverging program terminates with an error instead of hanging the benchmark
+//! harness.
+
+use crate::ops;
+use crate::relation::Relation;
+use itq_object::Atom;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A relational-algebra expression over named relation variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaExpr {
+    /// A named relation variable.
+    Rel(String),
+    /// An explicit constant relation.
+    Const(Relation),
+    /// Union of two expressions of equal arity.
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Difference of two expressions of equal arity.
+    Diff(Box<RaExpr>, Box<RaExpr>),
+    /// Intersection of two expressions of equal arity.
+    Intersect(Box<RaExpr>, Box<RaExpr>),
+    /// Projection onto 1-based coordinates.
+    Project(Vec<usize>, Box<RaExpr>),
+    /// Selection: coordinate equals constant.
+    SelectConst(usize, Atom, Box<RaExpr>),
+    /// Selection: two coordinates are equal.
+    SelectEq(usize, usize, Box<RaExpr>),
+    /// Cartesian product.
+    Product(Box<RaExpr>, Box<RaExpr>),
+    /// Composition of two binary relations (join + project), provided directly
+    /// because it is the workhorse of the closure benchmarks.
+    Compose(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// A named relation variable.
+    pub fn rel(name: &str) -> RaExpr {
+        RaExpr::Rel(name.to_string())
+    }
+
+    /// Evaluate the expression in an environment of named relations.
+    pub fn eval(&self, env: &BTreeMap<String, Relation>) -> Result<Relation, WhileError> {
+        match self {
+            RaExpr::Rel(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| WhileError::UnknownRelation { name: name.clone() }),
+            RaExpr::Const(rel) => Ok(rel.clone()),
+            RaExpr::Union(a, b) => Ok(a.eval(env)?.union(&b.eval(env)?)),
+            RaExpr::Diff(a, b) => Ok(a.eval(env)?.difference(&b.eval(env)?)),
+            RaExpr::Intersect(a, b) => Ok(a.eval(env)?.intersection(&b.eval(env)?)),
+            RaExpr::Project(coords, a) => Ok(ops::project(&a.eval(env)?, coords)),
+            RaExpr::SelectConst(coord, value, a) => {
+                Ok(ops::select_const(&a.eval(env)?, *coord, *value))
+            }
+            RaExpr::SelectEq(c1, c2, a) => Ok(ops::select_eq(&a.eval(env)?, *c1, *c2)),
+            RaExpr::Product(a, b) => Ok(ops::product(&a.eval(env)?, &b.eval(env)?)),
+            RaExpr::Compose(a, b) => Ok(ops::compose(&a.eval(env)?, &b.eval(env)?)),
+        }
+    }
+}
+
+/// A statement of the while language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `name := expr`.
+    Assign(String, RaExpr),
+    /// `while <watched> keeps changing do body` — the inflationary loop used for
+    /// fixpoint computations.
+    WhileChanges {
+        /// The relation variable whose stabilisation ends the loop.
+        watched: String,
+        /// The loop body.
+        body: Vec<Statement>,
+    },
+    /// `while <watched> is nonempty do body`.
+    WhileNonempty {
+        /// The relation variable whose emptiness ends the loop.
+        watched: String,
+        /// The loop body.
+        body: Vec<Statement>,
+    },
+}
+
+/// Errors raised by while-program evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhileError {
+    /// A relation variable was read before being assigned.
+    UnknownRelation {
+        /// The missing variable.
+        name: String,
+    },
+    /// A loop exceeded the iteration budget.
+    IterationBudget {
+        /// The configured maximum number of iterations.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for WhileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhileError::UnknownRelation { name } => write!(f, "unknown relation variable {name}"),
+            WhileError::IterationBudget { limit } => {
+                write!(f, "while loop exceeded {limit} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WhileError {}
+
+/// A while program: statements executed in order over an environment of named
+/// relations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhileProgram {
+    /// The program body.
+    pub statements: Vec<Statement>,
+    /// Maximum number of iterations any single loop may perform.
+    pub max_iterations: u64,
+}
+
+impl WhileProgram {
+    /// Build a program with the default iteration budget.
+    pub fn new(statements: Vec<Statement>) -> WhileProgram {
+        WhileProgram {
+            statements,
+            max_iterations: 1_000_000,
+        }
+    }
+
+    /// Run the program, mutating the environment in place.
+    pub fn run(&self, env: &mut BTreeMap<String, Relation>) -> Result<(), WhileError> {
+        for statement in &self.statements {
+            self.run_statement(statement, env)?;
+        }
+        Ok(())
+    }
+
+    fn run_statement(
+        &self,
+        statement: &Statement,
+        env: &mut BTreeMap<String, Relation>,
+    ) -> Result<(), WhileError> {
+        match statement {
+            Statement::Assign(name, expr) => {
+                let value = expr.eval(env)?;
+                env.insert(name.clone(), value);
+                Ok(())
+            }
+            Statement::WhileChanges { watched, body } => {
+                let mut iterations = 0u64;
+                loop {
+                    let before = env.get(watched).cloned();
+                    for s in body {
+                        self.run_statement(s, env)?;
+                    }
+                    let after = env.get(watched).cloned();
+                    if before == after {
+                        return Ok(());
+                    }
+                    iterations += 1;
+                    if iterations >= self.max_iterations {
+                        return Err(WhileError::IterationBudget {
+                            limit: self.max_iterations,
+                        });
+                    }
+                }
+            }
+            Statement::WhileNonempty { watched, body } => {
+                let mut iterations = 0u64;
+                loop {
+                    let watched_rel = env.get(watched).ok_or_else(|| {
+                        WhileError::UnknownRelation {
+                            name: watched.clone(),
+                        }
+                    })?;
+                    if watched_rel.is_empty() {
+                        return Ok(());
+                    }
+                    for s in body {
+                        self.run_statement(s, env)?;
+                    }
+                    iterations += 1;
+                    if iterations >= self.max_iterations {
+                        return Err(WhileError::IterationBudget {
+                            limit: self.max_iterations,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The canonical while-program for transitive closure: `T := E; ΔT := E;`
+/// `while T changes { T := T ∪ (ΔT ∘ E); ΔT := T ∘ E − T }` — written in the
+/// simple "recompute and absorb" style the language affords.
+pub fn transitive_closure_program() -> WhileProgram {
+    WhileProgram::new(vec![
+        Statement::Assign("T".to_string(), RaExpr::rel("E")),
+        Statement::WhileChanges {
+            watched: "T".to_string(),
+            body: vec![Statement::Assign(
+                "T".to_string(),
+                RaExpr::Union(
+                    Box::new(RaExpr::rel("T")),
+                    Box::new(RaExpr::Compose(
+                        Box::new(RaExpr::rel("T")),
+                        Box::new(RaExpr::rel("E")),
+                    )),
+                ),
+            )],
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tc::transitive_closure_seminaive;
+
+    fn a(n: u32) -> Atom {
+        Atom(n)
+    }
+
+    #[test]
+    fn transitive_closure_while_program_matches_baseline() {
+        let edges = Relation::from_pairs(vec![(a(0), a(1)), (a(1), a(2)), (a(2), a(3))]);
+        let mut env = BTreeMap::new();
+        env.insert("E".to_string(), edges.clone());
+        transitive_closure_program().run(&mut env).unwrap();
+        assert_eq!(env["T"], transitive_closure_seminaive(&edges));
+    }
+
+    #[test]
+    fn ra_expressions_evaluate() {
+        let mut env = BTreeMap::new();
+        env.insert(
+            "R".to_string(),
+            Relation::from_pairs(vec![(a(0), a(1)), (a(1), a(1))]),
+        );
+        let expr = RaExpr::Project(
+            vec![1],
+            Box::new(RaExpr::SelectEq(1, 2, Box::new(RaExpr::rel("R")))),
+        );
+        assert_eq!(expr.eval(&env).unwrap(), Relation::from_atoms(vec![a(1)]));
+        let product = RaExpr::Product(Box::new(RaExpr::rel("R")), Box::new(RaExpr::rel("R")));
+        assert_eq!(product.eval(&env).unwrap().arity(), 4);
+        let with_const = RaExpr::Diff(
+            Box::new(RaExpr::rel("R")),
+            Box::new(RaExpr::Const(Relation::from_pairs(vec![(a(1), a(1))]))),
+        );
+        assert_eq!(with_const.eval(&env).unwrap().len(), 1);
+        let filtered = RaExpr::SelectConst(1, a(0), Box::new(RaExpr::rel("R")));
+        assert_eq!(filtered.eval(&env).unwrap().len(), 1);
+        let meet = RaExpr::Intersect(Box::new(RaExpr::rel("R")), Box::new(RaExpr::rel("R")));
+        assert_eq!(meet.eval(&env).unwrap().len(), 2);
+        assert!(RaExpr::rel("missing").eval(&env).is_err());
+    }
+
+    #[test]
+    fn while_nonempty_drains_a_worklist() {
+        // Repeatedly remove tuples reachable in one step from the worklist.
+        let program = WhileProgram::new(vec![Statement::WhileNonempty {
+            watched: "W".to_string(),
+            body: vec![
+                Statement::Assign(
+                    "Seen".to_string(),
+                    RaExpr::Union(Box::new(RaExpr::rel("Seen")), Box::new(RaExpr::rel("W"))),
+                ),
+                Statement::Assign(
+                    "W".to_string(),
+                    RaExpr::Diff(
+                        Box::new(RaExpr::Compose(
+                            Box::new(RaExpr::rel("W")),
+                            Box::new(RaExpr::rel("E")),
+                        )),
+                        Box::new(RaExpr::rel("Seen")),
+                    ),
+                ),
+            ],
+        }]);
+        let mut env = BTreeMap::new();
+        env.insert(
+            "E".to_string(),
+            Relation::from_pairs(vec![(a(0), a(1)), (a(1), a(2))]),
+        );
+        env.insert("W".to_string(), Relation::from_pairs(vec![(a(0), a(0))]));
+        env.insert("Seen".to_string(), Relation::empty(2));
+        program.run(&mut env).unwrap();
+        assert!(env["W"].is_empty());
+        assert_eq!(env["Seen"].len(), 3);
+    }
+
+    #[test]
+    fn iteration_budget_stops_divergent_loops() {
+        let mut program = WhileProgram::new(vec![Statement::WhileNonempty {
+            watched: "R".to_string(),
+            body: vec![Statement::Assign("R".to_string(), RaExpr::rel("R"))],
+        }]);
+        program.max_iterations = 10;
+        let mut env = BTreeMap::new();
+        env.insert("R".to_string(), Relation::from_atoms(vec![a(0)]));
+        assert!(matches!(
+            program.run(&mut env),
+            Err(WhileError::IterationBudget { limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn unknown_relations_are_reported() {
+        let program = WhileProgram::new(vec![Statement::Assign(
+            "X".to_string(),
+            RaExpr::rel("missing"),
+        )]);
+        let mut env = BTreeMap::new();
+        assert!(matches!(
+            program.run(&mut env),
+            Err(WhileError::UnknownRelation { .. })
+        ));
+        let err = WhileError::UnknownRelation {
+            name: "missing".to_string(),
+        };
+        assert!(err.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # itq-turing — the Turing machine substrate
+//!
+//! Several of the paper's central constructions hinge on simulating Turing
+//! machines inside calculus queries: Example 3.5 encodes a computation as a set of
+//! `(step, cell, symbol, state)` tuples indexed by an intermediate type, the proof
+//! of Theorem 4.4 uses that encoding to show `QTIME(H_{i-1}) ⊆ CALC_{0,i}`, and
+//! Section 6 replays the same trick with invented values (Example 6.14,
+//! Theorem 6.19).  This crate provides the machine model those constructions need:
+//!
+//! * [`TuringMachine`]: deterministic single-tape machines over a small alphabet;
+//! * [`run`](run::run): bounded execution producing a full configuration trace;
+//! * [`encode`]: the paper's Figure 2 encoding of a trace into a flat
+//!   four-column relation over fresh atoms, plus a verifier
+//!   ([`encode::verify_encoding`]) that mirrors the `COMP_{M,T}` constraints a
+//!   calculus formula would enforce;
+//! * [`machines`]: a small library of sample machines (parity, palindrome,
+//!   unary doubling) used by the experiments.
+
+pub mod encode;
+pub mod machine;
+pub mod machines;
+pub mod run;
+
+pub use encode::{comp_tuple_type, encode_run, verify_encoding, EncodedComputation};
+pub use machine::{Move, State, Symbol, Transition, TuringMachine, BLANK};
+pub use run::{run, Configuration, Run, RunOutcome};

@@ -1,0 +1,182 @@
+//! Deterministic single-tape Turing machines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A machine state, identified by a small integer.
+pub type State = u16;
+
+/// A tape symbol, identified by a small integer; [`BLANK`] is the blank symbol.
+pub type Symbol = u8;
+
+/// The blank tape symbol.
+pub const BLANK: Symbol = 0;
+
+/// Head movement of a transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Move the head one cell to the left (clamped at the left end of the tape).
+    Left,
+    /// Move the head one cell to the right.
+    Right,
+    /// Keep the head where it is.
+    Stay,
+}
+
+/// The effect of a transition: next state, symbol written, head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// State to enter.
+    pub next_state: State,
+    /// Symbol written to the current cell.
+    pub write: Symbol,
+    /// Head movement.
+    pub movement: Move,
+}
+
+/// A deterministic single-tape Turing machine with a semi-infinite tape.
+///
+/// Missing transitions mean the machine halts (in whatever state it is in); the
+/// designated `accept_state` marks successful halting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuringMachine {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Number of states (states are `0 .. num_states`).
+    pub num_states: State,
+    /// Number of tape symbols including the blank (symbols are `0 .. alphabet_size`).
+    pub alphabet_size: Symbol,
+    /// Initial state.
+    pub start_state: State,
+    /// Accepting halt state.
+    pub accept_state: State,
+    transitions: BTreeMap<(State, Symbol), Transition>,
+}
+
+impl TuringMachine {
+    /// Create a machine with no transitions yet.
+    pub fn new(
+        name: &str,
+        num_states: State,
+        alphabet_size: Symbol,
+        start_state: State,
+        accept_state: State,
+    ) -> TuringMachine {
+        assert!(start_state < num_states, "start state out of range");
+        assert!(accept_state < num_states, "accept state out of range");
+        assert!(alphabet_size >= 1, "alphabet must contain the blank");
+        TuringMachine {
+            name: name.to_string(),
+            num_states,
+            alphabet_size,
+            start_state,
+            accept_state,
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// Add a transition `(state, read) → (next, write, move)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state or symbol is out of range, or if the pair already has
+    /// a transition (the machine is deterministic).
+    pub fn add_transition(
+        &mut self,
+        state: State,
+        read: Symbol,
+        next_state: State,
+        write: Symbol,
+        movement: Move,
+    ) -> &mut Self {
+        assert!(state < self.num_states && next_state < self.num_states);
+        assert!(read < self.alphabet_size && write < self.alphabet_size);
+        let prior = self.transitions.insert(
+            (state, read),
+            Transition {
+                next_state,
+                write,
+                movement,
+            },
+        );
+        assert!(
+            prior.is_none(),
+            "duplicate transition for state {state}, symbol {read}"
+        );
+        self
+    }
+
+    /// Look up the transition for a state/symbol pair, if any.
+    pub fn transition(&self, state: State, read: Symbol) -> Option<Transition> {
+        self.transitions.get(&(state, read)).copied()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True if the state is a halting configuration for the given symbol (no
+    /// transition is defined).
+    pub fn halts_on(&self, state: State, read: Symbol) -> bool {
+        !self.transitions.contains_key(&(state, read))
+    }
+
+    /// Iterate all transitions.
+    pub fn transitions(&self) -> impl Iterator<Item = (&(State, Symbol), &Transition)> {
+        self.transitions.iter()
+    }
+}
+
+impl fmt::Display for TuringMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TM {} ({} states, {} symbols, {} transitions)",
+            self.name,
+            self.num_states,
+            self.alphabet_size,
+            self.transitions.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let mut m = TuringMachine::new("toy", 3, 2, 0, 2);
+        m.add_transition(0, BLANK, 1, 1, Move::Right)
+            .add_transition(1, BLANK, 2, BLANK, Move::Stay);
+        assert_eq!(m.transition_count(), 2);
+        assert_eq!(
+            m.transition(0, BLANK),
+            Some(Transition {
+                next_state: 1,
+                write: 1,
+                movement: Move::Right
+            })
+        );
+        assert!(m.transition(2, BLANK).is_none());
+        assert!(m.halts_on(2, BLANK));
+        assert!(!m.halts_on(0, BLANK));
+        assert!(m.to_string().contains("toy"));
+        assert_eq!(m.transitions().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate transition")]
+    fn duplicate_transitions_panic() {
+        let mut m = TuringMachine::new("dup", 2, 2, 0, 1);
+        m.add_transition(0, 0, 1, 0, Move::Stay);
+        m.add_transition(0, 0, 1, 1, Move::Stay);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_states_panic() {
+        TuringMachine::new("bad", 2, 2, 0, 5);
+    }
+}

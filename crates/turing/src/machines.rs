@@ -1,0 +1,134 @@
+//! A small library of sample machines used by the experiments.
+
+use crate::machine::{Move, State, Symbol, TuringMachine, BLANK};
+
+/// Symbol used for the unary input alphabet (`a` in the paper's Example 6.14).
+pub const ONE: Symbol = 1;
+/// Second non-blank symbol used by the palindrome machine.
+pub const TWO: Symbol = 2;
+
+/// A machine accepting unary inputs `1^n` with `n` even — the machine-level
+/// counterpart of the even-cardinality query of Example 3.2.
+///
+/// It runs in exactly `n + 1` steps: it walks right over the input flipping
+/// between an "even so far" and an "odd so far" state and accepts from the even
+/// state on the first blank.
+pub fn parity_machine() -> TuringMachine {
+    let mut m = TuringMachine::new("unary-parity", 3, 2, 0, 2);
+    m.add_transition(0, ONE, 1, ONE, Move::Right)
+        .add_transition(1, ONE, 0, ONE, Move::Right)
+        .add_transition(0, BLANK, 2, BLANK, Move::Stay);
+    // State 1 on blank has no transition: the machine halts rejecting.
+    m
+}
+
+/// A machine accepting palindromes over `{1, 2}` by repeatedly erasing the first
+/// symbol and checking it against the last — a quadratic-time workload used to
+/// exercise the computation-encoding experiments with non-trivial step counts.
+pub fn palindrome_machine() -> TuringMachine {
+    const READ_FIRST: State = 0;
+    const SEEK_END_1: State = 1;
+    const SEEK_END_2: State = 2;
+    const CHECK_1: State = 3;
+    const CHECK_2: State = 4;
+    const REWIND: State = 5;
+    const ACCEPT: State = 6;
+    let mut m = TuringMachine::new("palindrome", 7, 3, READ_FIRST, ACCEPT);
+    // Read and erase the first remaining symbol, remembering it in the state.
+    m.add_transition(READ_FIRST, ONE, SEEK_END_1, BLANK, Move::Right)
+        .add_transition(READ_FIRST, TWO, SEEK_END_2, BLANK, Move::Right)
+        .add_transition(READ_FIRST, BLANK, ACCEPT, BLANK, Move::Stay);
+    // Walk right to the end of the remaining string.
+    m.add_transition(SEEK_END_1, ONE, SEEK_END_1, ONE, Move::Right)
+        .add_transition(SEEK_END_1, TWO, SEEK_END_1, TWO, Move::Right)
+        .add_transition(SEEK_END_1, BLANK, CHECK_1, BLANK, Move::Left);
+    m.add_transition(SEEK_END_2, ONE, SEEK_END_2, ONE, Move::Right)
+        .add_transition(SEEK_END_2, TWO, SEEK_END_2, TWO, Move::Right)
+        .add_transition(SEEK_END_2, BLANK, CHECK_2, BLANK, Move::Left);
+    // Check that the last symbol matches the remembered one; erase it.
+    m.add_transition(CHECK_1, ONE, REWIND, BLANK, Move::Left)
+        .add_transition(CHECK_1, BLANK, ACCEPT, BLANK, Move::Stay);
+    m.add_transition(CHECK_2, TWO, REWIND, BLANK, Move::Left)
+        .add_transition(CHECK_2, BLANK, ACCEPT, BLANK, Move::Stay);
+    // Mismatches (CHECK_1 on TWO, CHECK_2 on ONE) have no transition: reject.
+    // Rewind to the left end and start over.
+    m.add_transition(REWIND, ONE, REWIND, ONE, Move::Left)
+        .add_transition(REWIND, TWO, REWIND, TWO, Move::Left)
+        .add_transition(REWIND, BLANK, READ_FIRST, BLANK, Move::Right);
+    m
+}
+
+/// A machine that runs for exactly `k` steps (writing a `1` and moving right each
+/// step) and then accepts.  Used by the complexity experiments to produce runs of
+/// a prescribed length, so that the number of index atoms needed by the encoding
+/// can be compared against the `hyp(w, a, i)` bounds of Theorem 4.4.
+pub fn stepper_machine(k: u16) -> TuringMachine {
+    let states = k + 2;
+    let accept = k + 1;
+    let mut m = TuringMachine::new(&format!("stepper-{k}"), states, 2, 0, accept);
+    for i in 0..k {
+        m.add_transition(i, BLANK, i + 1, ONE, Move::Right)
+            .add_transition(i, ONE, i + 1, ONE, Move::Right);
+    }
+    m.add_transition(k, BLANK, accept, BLANK, Move::Stay)
+        .add_transition(k, ONE, accept, ONE, Move::Stay);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::run;
+
+    #[test]
+    fn parity_machine_accepts_even_unary_strings() {
+        let m = parity_machine();
+        for n in 0..8usize {
+            let input = vec![ONE; n];
+            let r = run(&m, &input, 1000);
+            assert_eq!(r.accepted(), n % 2 == 0, "n = {n}");
+            if n % 2 == 0 {
+                assert_eq!(r.steps(), n + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn palindrome_machine_recognises_palindromes() {
+        let m = palindrome_machine();
+        let cases: Vec<(Vec<Symbol>, bool)> = vec![
+            (vec![], true),
+            (vec![ONE], true),
+            (vec![ONE, ONE], true),
+            (vec![ONE, TWO], false),
+            (vec![ONE, TWO, ONE], true),
+            (vec![TWO, ONE, ONE, TWO], true),
+            (vec![TWO, ONE, TWO, TWO], false),
+            (vec![ONE, TWO, TWO, ONE, ONE], false),
+            (vec![ONE, TWO, ONE, TWO, ONE], true),
+        ];
+        for (input, expected) in cases {
+            let r = run(&m, &input, 10_000);
+            assert_eq!(r.accepted(), expected, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn palindrome_machine_is_quadratic_ish() {
+        let m = palindrome_machine();
+        let short = run(&m, &vec![ONE; 4], 10_000).steps();
+        let long = run(&m, &vec![ONE; 8], 10_000).steps();
+        // Doubling the input should more than double the number of steps.
+        assert!(long > 2 * short, "short={short} long={long}");
+    }
+
+    #[test]
+    fn stepper_machine_runs_for_exactly_k_steps() {
+        for k in [0u16, 1, 5, 20] {
+            let m = stepper_machine(k);
+            let r = run(&m, &[], 10_000);
+            assert!(r.accepted());
+            assert_eq!(r.steps(), k as usize + 1);
+        }
+    }
+}

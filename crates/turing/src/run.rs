@@ -1,0 +1,191 @@
+//! Bounded execution of Turing machines, producing full configuration traces.
+//!
+//! The paper's encodings need the *entire* computation (every tape cell at every
+//! step), so [`run`] records each configuration rather than just the outcome.
+
+use crate::machine::{Move, State, Symbol, TuringMachine, BLANK};
+
+/// One configuration of a machine: state, tape contents, head position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Configuration {
+    /// Current state.
+    pub state: State,
+    /// Tape contents from cell 0 up to the highest cell ever touched.
+    pub tape: Vec<Symbol>,
+    /// Head position (an index into `tape`).
+    pub head: usize,
+}
+
+impl Configuration {
+    /// The initial configuration on the given input.
+    pub fn initial(machine: &TuringMachine, input: &[Symbol]) -> Configuration {
+        let tape = if input.is_empty() {
+            vec![BLANK]
+        } else {
+            input.to_vec()
+        };
+        Configuration {
+            state: machine.start_state,
+            tape,
+            head: 0,
+        }
+    }
+
+    /// The symbol currently under the head.
+    pub fn scanned(&self) -> Symbol {
+        self.tape.get(self.head).copied().unwrap_or(BLANK)
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The machine halted in its accept state.
+    Accepted,
+    /// The machine halted in a non-accepting state.
+    Rejected,
+    /// The step budget was exhausted before the machine halted.
+    OutOfFuel,
+}
+
+/// A completed (or truncated) run: the sequence of configurations, one per step,
+/// starting with the initial configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Run {
+    /// Configuration trace; `trace[t]` is the configuration before step `t`.
+    pub trace: Vec<Configuration>,
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+}
+
+impl Run {
+    /// Number of steps actually executed.
+    pub fn steps(&self) -> usize {
+        self.trace.len() - 1
+    }
+
+    /// True if the machine accepted.
+    pub fn accepted(&self) -> bool {
+        self.outcome == RunOutcome::Accepted
+    }
+
+    /// The final configuration.
+    pub fn final_configuration(&self) -> &Configuration {
+        self.trace.last().expect("trace is never empty")
+    }
+
+    /// The largest tape index ever used, plus one (the "space" of the run).
+    pub fn tape_cells(&self) -> usize {
+        self.trace.iter().map(|c| c.tape.len()).max().unwrap_or(1)
+    }
+}
+
+/// Run a machine on an input for at most `max_steps` steps.
+pub fn run(machine: &TuringMachine, input: &[Symbol], max_steps: usize) -> Run {
+    let mut current = Configuration::initial(machine, input);
+    let mut trace = vec![current.clone()];
+    for _ in 0..max_steps {
+        let scanned = current.scanned();
+        let Some(transition) = machine.transition(current.state, scanned) else {
+            let outcome = if current.state == machine.accept_state {
+                RunOutcome::Accepted
+            } else {
+                RunOutcome::Rejected
+            };
+            return Run { trace, outcome };
+        };
+        current.tape[current.head] = transition.write;
+        current.state = transition.next_state;
+        match transition.movement {
+            Move::Left => {
+                current.head = current.head.saturating_sub(1);
+            }
+            Move::Right => {
+                current.head += 1;
+                if current.head == current.tape.len() {
+                    current.tape.push(BLANK);
+                }
+            }
+            Move::Stay => {}
+        }
+        trace.push(current.clone());
+    }
+    // Budget exhausted: check whether we happen to be in a halting configuration.
+    let scanned = current.scanned();
+    let outcome = if machine.halts_on(current.state, scanned) {
+        if current.state == machine.accept_state {
+            RunOutcome::Accepted
+        } else {
+            RunOutcome::Rejected
+        }
+    } else {
+        RunOutcome::OutOfFuel
+    };
+    Run { trace, outcome }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Move;
+
+    /// A machine that walks right over 1s and accepts at the first blank.
+    fn walker() -> TuringMachine {
+        let mut m = TuringMachine::new("walker", 2, 2, 0, 1);
+        m.add_transition(0, 1, 0, 1, Move::Right)
+            .add_transition(0, BLANK, 1, BLANK, Move::Stay);
+        m
+    }
+
+    #[test]
+    fn walker_accepts_and_traces_every_step() {
+        let m = walker();
+        let input = vec![1, 1, 1];
+        let r = run(&m, &input, 100);
+        assert!(r.accepted());
+        assert_eq!(r.steps(), 4); // three moves over the 1s plus the accepting stay
+        assert_eq!(r.trace.len(), 5);
+        assert_eq!(r.final_configuration().state, 1);
+        assert!(r.tape_cells() >= 4);
+        // The first configuration is the initial one.
+        assert_eq!(r.trace[0], Configuration::initial(&m, &input));
+    }
+
+    #[test]
+    fn empty_input_starts_on_a_blank() {
+        let m = walker();
+        let r = run(&m, &[], 10);
+        assert!(r.accepted());
+        assert_eq!(r.steps(), 1);
+    }
+
+    #[test]
+    fn missing_transition_in_non_accept_state_rejects() {
+        let mut m = TuringMachine::new("stuck", 2, 2, 0, 1);
+        // No transition at all from the start state: immediate reject.
+        m.add_transition(1, BLANK, 1, BLANK, Move::Stay);
+        let r = run(&m, &[1], 10);
+        assert_eq!(r.outcome, RunOutcome::Rejected);
+        assert_eq!(r.steps(), 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        // A machine that loops forever writing 1s to the right.
+        let mut m = TuringMachine::new("loop", 1, 2, 0, 0);
+        m.add_transition(0, BLANK, 0, 1, Move::Right)
+            .add_transition(0, 1, 0, 1, Move::Right);
+        let r = run(&m, &[], 25);
+        assert_eq!(r.outcome, RunOutcome::OutOfFuel);
+        assert_eq!(r.steps(), 25);
+    }
+
+    #[test]
+    fn left_moves_clamp_at_the_tape_start() {
+        let mut m = TuringMachine::new("left", 2, 2, 0, 1);
+        m.add_transition(0, BLANK, 1, BLANK, Move::Left);
+        let r = run(&m, &[], 10);
+        assert_eq!(r.final_configuration().head, 0);
+        assert!(r.accepted());
+    }
+}

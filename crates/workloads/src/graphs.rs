@@ -1,0 +1,94 @@
+//! Graph-shaped workloads for the transitive-closure and fixpoint experiments.
+//!
+//! All generators are deterministic: the random digraph takes an explicit seed so
+//! that benchmark runs are reproducible.
+
+use itq_object::{Atom, Database, Instance};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Edges of a directed chain `0 → 1 → … → n-1`.
+pub fn chain_edges(n: u32) -> Vec<(Atom, Atom)> {
+    (0..n.saturating_sub(1)).map(|i| (Atom(i), Atom(i + 1))).collect()
+}
+
+/// Edges of a directed cycle on `n` nodes.
+pub fn cycle_edges(n: u32) -> Vec<(Atom, Atom)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n).map(|i| (Atom(i), Atom((i + 1) % n))).collect()
+}
+
+/// Edges of a complete binary tree with `n` nodes, oriented from parent to child.
+pub fn tree_edges(n: u32) -> Vec<(Atom, Atom)> {
+    (1..n).map(|i| (Atom((i - 1) / 2), Atom(i))).collect()
+}
+
+/// Edges of the complete directed graph (without self-loops) on `n` nodes.
+pub fn complete_edges(n: u32) -> Vec<(Atom, Atom)> {
+    (0..n)
+        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (Atom(i), Atom(j))))
+        .collect()
+}
+
+/// A random digraph on `n` nodes where each ordered pair (without self-loops) is
+/// an edge with probability `density`, generated deterministically from `seed`.
+pub fn random_digraph(n: u32, density: f64, seed: u64) -> Vec<(Atom, Atom)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(density.clamp(0.0, 1.0)) {
+                edges.push((Atom(i), Atom(j)));
+            }
+        }
+    }
+    edges
+}
+
+/// Wrap a set of edges as the single-relation database `(PAR : [U, U])` of the
+/// paper's genealogy examples.
+pub fn parent_database(edges: &[(Atom, Atom)]) -> Database {
+    Database::single("PAR", Instance::from_pairs(edges.iter().copied()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_cycle_tree_shapes() {
+        assert_eq!(chain_edges(1).len(), 0);
+        assert_eq!(chain_edges(5).len(), 4);
+        assert_eq!(cycle_edges(0).len(), 0);
+        assert_eq!(cycle_edges(5).len(), 5);
+        assert_eq!(tree_edges(7).len(), 6);
+        assert_eq!(complete_edges(4).len(), 12);
+        // Tree parents are always smaller than children.
+        for (p, c) in tree_edges(15) {
+            assert!(p.id() < c.id());
+        }
+    }
+
+    #[test]
+    fn random_digraph_is_deterministic_and_density_sensitive() {
+        let a = random_digraph(10, 0.3, 42);
+        let b = random_digraph(10, 0.3, 42);
+        assert_eq!(a, b);
+        let c = random_digraph(10, 0.3, 43);
+        assert_ne!(a, c);
+        assert!(random_digraph(10, 0.0, 1).is_empty());
+        assert_eq!(random_digraph(10, 1.0, 1).len(), 90);
+        for (x, y) in a {
+            assert_ne!(x, y, "no self loops");
+        }
+    }
+
+    #[test]
+    fn parent_database_wraps_edges() {
+        let db = parent_database(&chain_edges(4));
+        assert_eq!(db.relation("PAR").unwrap().len(), 3);
+        assert_eq!(db.active_domain().len(), 4);
+    }
+}

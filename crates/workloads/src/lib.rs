@@ -1,0 +1,13 @@
+//! # itq-workloads — deterministic workload generators
+//!
+//! Generators for the input databases used by the examples, integration tests and
+//! the benchmark harness: parent/child graphs for the transitive-closure
+//! experiments (E2), person sets for the parity experiments (E3), total-order
+//! instances `O_n`, and random digraphs with a fixed seed so every run of the
+//! harness sees identical inputs.
+
+pub mod graphs;
+pub mod people;
+
+pub use graphs::{chain_edges, complete_edges, cycle_edges, random_digraph, tree_edges};
+pub use people::{numbered_people, order_instance, person_database};

@@ -1,0 +1,56 @@
+//! Person-set and total-order workloads.
+//!
+//! The even-cardinality experiments (E3) need unary `PERSON` relations of varying
+//! size; the hierarchy and terminal-invention experiments need the total-order
+//! instances `O_n` used in the proof of Proposition 6.9.
+
+use itq_object::{Atom, Database, Instance};
+
+/// `n` distinct person atoms `0 .. n`.
+pub fn numbered_people(n: u32) -> Vec<Atom> {
+    (0..n).map(Atom).collect()
+}
+
+/// The single-relation database `(PERSON : U)` of Example 3.2 with `n` persons.
+pub fn person_database(n: u32) -> Database {
+    Database::single("PERSON", Instance::from_atoms(numbered_people(n)))
+}
+
+/// The total-order instance `O_n`: the binary relation `{(i, j) | i ≤ j < n}`
+/// over `n` atoms — a total order on its active domain, as used in the proof of
+/// Proposition 6.9 to index query expressions.
+pub fn order_instance(n: u32) -> Instance {
+    Instance::from_pairs((0..n).flat_map(|i| (i..n).map(move |j| (Atom(i), Atom(j)))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itq_object::Value;
+
+    #[test]
+    fn people_and_databases() {
+        assert_eq!(numbered_people(4).len(), 4);
+        let db = person_database(3);
+        assert_eq!(db.relation("PERSON").unwrap().len(), 3);
+        assert_eq!(db.active_domain().len(), 3);
+        assert!(person_database(0).relation("PERSON").unwrap().is_empty());
+    }
+
+    #[test]
+    fn order_instance_is_a_reflexive_total_order() {
+        let o = order_instance(4);
+        assert_eq!(o.len(), 10); // n(n+1)/2 pairs
+        for i in 0..4u32 {
+            assert!(o.contains(&Value::pair(Atom(i), Atom(i))), "reflexive");
+            for j in 0..4u32 {
+                let forward = o.contains(&Value::pair(Atom(i), Atom(j)));
+                let backward = o.contains(&Value::pair(Atom(j), Atom(i)));
+                assert!(forward || backward, "total");
+                if forward && backward {
+                    assert_eq!(i, j, "antisymmetric");
+                }
+            }
+        }
+    }
+}

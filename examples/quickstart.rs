@@ -1,0 +1,74 @@
+//! Quickstart: build a complex-object database, run calculus and algebra queries,
+//! classify them by intermediate type, and peek at the invented-value semantics.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use itq_core::prelude::*;
+use itq_core::queries;
+
+fn main() {
+    // ---------------------------------------------------------------- data ----
+    // The parent relation of Example 2.4: PAR(parent, child).
+    let mut universe = Universe::new();
+    let tom = universe.atom("Tom");
+    let mary = universe.atom("Mary");
+    let sue = universe.atom("Sue");
+    let db = Database::single(
+        "PAR",
+        Instance::from_pairs(vec![(tom, mary), (mary, sue)]),
+    );
+    println!("database PAR has {} tuples over {} atoms", db.relation("PAR").unwrap().len(), db.active_domain().len());
+
+    // --------------------------------------------------- calculus evaluation ----
+    let engine = Engine::new();
+
+    let grandparent = queries::grandparent_query();
+    let answer = engine.eval_calculus(&grandparent, &db).unwrap();
+    println!("\ngrandparent query ({}):", grandparent.classification().minimal_class);
+    for value in answer.result.iter() {
+        println!("  {}", value.display_with(&universe));
+    }
+
+    // The transitive-closure query of Example 3.1 needs an intermediate type of
+    // set-height 1 — it is *not* a relational-calculus query.
+    let tc = queries::transitive_closure_query();
+    let classification = tc.classification();
+    println!(
+        "\ntransitive closure is in {} with intermediate types {:?}",
+        classification.minimal_class, classification.intermediate_types
+    );
+    let ancestors = engine.eval_calculus(&tc, &db).unwrap();
+    println!("ancestor pairs ({} total):", ancestors.result.len());
+    for value in ancestors.result.iter() {
+        println!("  {}", value.display_with(&universe));
+    }
+    println!(
+        "evaluation statistics: {} formula steps, {} quantifier values, largest domain {}",
+        ancestors.stats.steps, ancestors.stats.quantifier_values, ancestors.stats.max_domain_seen
+    );
+
+    // ----------------------------------------------------- algebra evaluation ----
+    let schema = queries::parent_schema();
+    let grandparent_algebra = AlgExpr::pred("PAR")
+        .product(AlgExpr::pred("PAR"))
+        .select(SelFormula::coords_eq(2, 3))
+        .project(vec![1, 4]);
+    let algebra_answer = engine.eval_algebra(&grandparent_algebra, &schema, &db).unwrap();
+    assert_eq!(algebra_answer, answer.result);
+    println!("\nthe algebra expression {grandparent_algebra} agrees with the calculus query");
+
+    // ------------------------------------------------------ invented values ----
+    // Under finite invention a query may use scratch atoms that never appear in
+    // the output (Section 6).  For relational-calculus queries like grandparent
+    // this changes nothing (Theorem 6.11).
+    let mut engine = Engine::new();
+    let outcome = engine
+        .eval_with_semantics(&grandparent, &db, Semantics::FiniteInvention)
+        .unwrap();
+    assert_eq!(outcome.result, answer.result);
+    println!(
+        "\nunder finite invention the grandparent answer is unchanged ({} pairs) — \
+         relational queries gain nothing from invention (Theorem 6.11)",
+        outcome.result.len()
+    );
+}

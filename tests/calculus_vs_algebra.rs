@@ -1,0 +1,110 @@
+//! Cross-crate integration tests for the calculus ↔ algebra correspondence
+//! (Theorem 3.8): algebra expressions and their calculus translations agree on
+//! randomly generated databases, and the intermediate-type classification is
+//! preserved by the translation.
+
+use itq_algebra::{classify_expr, to_calculus_query, AlgExpr, EvalConfig as AlgConfig, SelFormula};
+use itq_calculus::eval::EvalConfig;
+use itq_object::{Atom, Database, Instance, Schema, Type};
+use itq_workloads::graphs::random_digraph;
+
+fn schema() -> Schema {
+    Schema::single("PAR", Type::flat_tuple(2)).with("PERSON", Type::Atomic)
+}
+
+fn database(seed: u64, nodes: u32, density: f64) -> Database {
+    let edges = random_digraph(nodes, density, seed);
+    let people: Vec<Atom> = (0..nodes).map(Atom).collect();
+    Database::single("PAR", Instance::from_pairs(edges))
+        .with("PERSON", Instance::from_atoms(people))
+}
+
+/// A collection of algebra expressions covering every operator.
+fn expression_zoo() -> Vec<AlgExpr> {
+    vec![
+        AlgExpr::pred("PAR"),
+        AlgExpr::pred("PERSON"),
+        AlgExpr::singleton(Atom(0)),
+        AlgExpr::pred("PAR").union(AlgExpr::pred("PAR").project(vec![2, 1])),
+        AlgExpr::pred("PAR").intersect(AlgExpr::pred("PAR").project(vec![2, 1])),
+        AlgExpr::pred("PAR").diff(AlgExpr::pred("PAR").project(vec![2, 1])),
+        AlgExpr::pred("PAR")
+            .product(AlgExpr::pred("PAR"))
+            .select(SelFormula::coords_eq(2, 3))
+            .project(vec![1, 4]),
+        AlgExpr::pred("PAR").select(SelFormula::coords_eq(1, 2)),
+        AlgExpr::pred("PAR").select(SelFormula::coord_is(1, Atom(0))),
+        AlgExpr::pred("PAR").project(vec![1]).untuple(),
+        AlgExpr::pred("PERSON").product(AlgExpr::pred("PERSON")),
+        AlgExpr::pred("PAR")
+            .select(SelFormula::coord_is(1, Atom(0)))
+            .powerset(),
+        AlgExpr::pred("PAR")
+            .select(SelFormula::coord_is(1, Atom(0)))
+            .powerset()
+            .collapse(),
+        AlgExpr::pred("PERSON").diff(AlgExpr::pred("PAR").project(vec![1]).untuple()),
+    ]
+}
+
+#[test]
+fn algebra_and_translated_calculus_agree_on_random_databases() {
+    let alg_config = AlgConfig::default();
+    let calc_config = EvalConfig::default();
+    for seed in 0..3u64 {
+        // Three-atom databases keep the translated powerset queries (whose
+        // quantifier domains are 2^(n²)) fast enough for an exhaustive check.
+        let db = database(seed, 3, 0.4);
+        for expr in expression_zoo() {
+            let algebra_answer = expr.eval(&db, &schema(), &alg_config).unwrap();
+            let query = to_calculus_query(&expr, &schema()).unwrap();
+            let calculus_answer = query.eval(&db, &calc_config).unwrap();
+            assert_eq!(
+                algebra_answer, calculus_answer,
+                "seed {seed}, expression {expr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn translation_preserves_minimal_class_for_the_zoo() {
+    for expr in expression_zoo() {
+        let alg_class = classify_expr(&expr, &schema()).unwrap();
+        let query = to_calculus_query(&expr, &schema()).unwrap();
+        let calc_class = query.classification();
+        // The translation introduces one variable per subexpression, so the
+        // calculus intermediate heights match the algebra's exactly.
+        assert_eq!(
+            alg_class.minimal_class, calc_class.minimal_class,
+            "expression {expr}"
+        );
+    }
+}
+
+#[test]
+fn empty_databases_are_handled_uniformly() {
+    let db = Database::single("PAR", Instance::empty()).with("PERSON", Instance::empty());
+    for expr in expression_zoo() {
+        let algebra_answer = expr.eval(&db, &schema(), &AlgConfig::default()).unwrap();
+        let query = to_calculus_query(&expr, &schema()).unwrap();
+        let calculus_answer = query.eval(&db, &EvalConfig::default()).unwrap();
+        assert_eq!(algebra_answer, calculus_answer, "expression {expr}");
+    }
+}
+
+#[test]
+fn powerset_blowup_is_reported_consistently() {
+    // On a larger database the powerset expression exceeds the algebra budget and
+    // the corresponding calculus query exceeds the candidate budget.
+    let db = database(7, 6, 0.8);
+    let expr = AlgExpr::pred("PAR").powerset();
+    let tiny_alg = AlgConfig { max_instance: 64 };
+    assert!(expr.eval(&db, &schema(), &tiny_alg).is_err());
+    let query = to_calculus_query(&expr, &schema()).unwrap();
+    let tiny_calc = EvalConfig {
+        max_candidates: 64,
+        ..EvalConfig::default()
+    };
+    assert!(query.eval(&db, &tiny_calc).is_err());
+}

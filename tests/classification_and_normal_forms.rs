@@ -1,0 +1,137 @@
+//! Integration tests for Section 3/4 machinery across the query library:
+//! intermediate-type classification, the `CALC_{k,i}` lattice, prenex normal
+//! forms, and the existential fragment of Theorem 4.3.
+
+use itq_calculus::classify::CalcClass;
+use itq_calculus::eval::EvalConfig;
+use itq_calculus::normal::{sf_classification, to_prenex};
+use itq_calculus::{Formula, Query, Term};
+use itq_core::hierarchy::{hierarchy_table, level_zero_one_witnesses};
+use itq_core::complexity::{theorem_4_4_bounds, variable_space_bound};
+use itq_core::queries;
+use itq_object::{Atom, Schema, Type};
+
+#[test]
+fn query_library_classifications_match_the_paper() {
+    let expectations = vec![
+        ("grandparent", queries::grandparent_query(), CalcClass::new(0, 0)),
+        ("sibling", queries::sibling_query(), CalcClass::new(0, 0)),
+        (
+            "transitive closure",
+            queries::transitive_closure_query(),
+            CalcClass::new(0, 1),
+        ),
+        (
+            "even cardinality",
+            queries::even_cardinality_query(),
+            CalcClass::new(0, 1),
+        ),
+        (
+            "perfect square",
+            queries::perfect_square_query(),
+            CalcClass::new(0, 1),
+        ),
+        ("total orders", queries::total_orders_query(), CalcClass::new(1, 0)),
+    ];
+    for (name, query, expected) in expectations {
+        assert_eq!(query.classification().minimal_class, expected, "{name}");
+    }
+}
+
+#[test]
+fn prenexing_preserves_answers_for_the_flat_queries() {
+    // Prenexing quantifiers over flat types preserves the limited-interpretation
+    // semantics on non-empty databases; check it end-to-end on the grandparent
+    // and sibling queries.
+    let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2)), (Atom(0), Atom(3))]);
+    let config = EvalConfig::default();
+    for query in [queries::grandparent_query(), queries::sibling_query()] {
+        let direct = query.eval(&db, &config).unwrap();
+        let prenexed_body = to_prenex(query.body()).to_formula();
+        let prenexed_query = query.with_body(prenexed_body).unwrap();
+        let via_prenex = prenexed_query.eval(&db, &config).unwrap();
+        assert_eq!(direct, via_prenex);
+    }
+}
+
+#[test]
+fn sf_fragment_membership_of_the_library() {
+    // The even-cardinality query is an ∃-prefix query over a height-1 variable,
+    // so it lies in the SF fragment of Theorem 4.3; the transitive-closure query
+    // universally quantifies its height-1 variable and does not.
+    let parity = sf_classification(&queries::even_cardinality_query());
+    assert!(parity.is_in_sf());
+    assert_eq!(parity.higher_order_vars, 1);
+
+    let tc = sf_classification(&queries::transitive_closure_query());
+    assert!(!tc.is_in_sf());
+
+    // First-order queries are trivially in SF.
+    assert!(sf_classification(&queries::grandparent_query()).is_in_sf());
+}
+
+#[test]
+fn hierarchy_witnesses_and_counting_power() {
+    for witness in level_zero_one_witnesses() {
+        assert_eq!(witness.query.classification().minimal_class, witness.in_class);
+    }
+    // Counting power strictly increases level over level for every small domain.
+    for atoms in 1..5u64 {
+        for row in hierarchy_table(2, atoms, 3).iter().skip(1) {
+            assert!(row.strictly_gains(), "atoms {atoms}, level {}", row.level);
+        }
+    }
+}
+
+#[test]
+fn theorem_bounds_scale_with_the_level() {
+    let tc = queries::transitive_closure_query();
+    let bounds = theorem_4_4_bounds(tc.classification().minimal_class.i);
+    assert!(bounds.time_lower.contains("H_0"));
+
+    // Variable-space estimates grow with the domain size and with set-height.
+    let small = variable_space_bound(&tc, 3);
+    let large = variable_space_bound(&tc, 6);
+    assert!(small.log2() < large.log2());
+    let fo_small = variable_space_bound(&queries::grandparent_query(), 6);
+    assert!(fo_small.log2() < large.log2());
+}
+
+#[test]
+fn shadowed_variables_classify_by_every_quantified_type() {
+    // A query quantifying the same variable name at two types registers both.
+    let q = Query::new(
+        "t",
+        Type::Atomic,
+        Formula::and(vec![
+            Formula::pred("R", Term::var("t")),
+            Formula::exists(
+                "x",
+                Type::flat_tuple(2),
+                Formula::exists(
+                    "x",
+                    Type::set(Type::Atomic),
+                    Formula::member(Term::var("t"), Term::var("x")),
+                ),
+            ),
+        ]),
+        Schema::single("R", Type::Atomic),
+    )
+    .unwrap();
+    let classification = q.classification();
+    assert_eq!(classification.intermediate_types.len(), 2);
+    assert_eq!(classification.minimal_class, CalcClass::new(0, 1));
+}
+
+#[test]
+fn containments_of_the_calc_lattice() {
+    // CALC_{0,0} ⊆ CALC_{0,1} ⊆ CALC_{0,2} … and CALC_{k,i} ⊆ CALC_{k+1,i}.
+    for k in 0..3 {
+        for i in 0..3 {
+            let here = CalcClass::new(k, i);
+            assert!(here.contained_in(&CalcClass::new(k, i + 1)));
+            assert!(here.contained_in(&CalcClass::new(k + 1, i)));
+            assert!(!CalcClass::new(k + 1, i).contained_in(&here));
+        }
+    }
+}

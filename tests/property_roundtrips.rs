@@ -1,0 +1,131 @@
+//! Property-based integration tests over the whole stack: constructive-domain
+//! ranking, nest/unnest, genericity of query answers under atom permutations, and
+//! stability of the baselines on random graphs.
+
+use itq_algebra::nest::{nest, unnest};
+use itq_calculus::eval::EvalConfig;
+use itq_core::queries;
+use itq_object::cons::{cons_cardinality, rank_of_value, value_at_rank};
+use itq_object::{Atom, Database, Instance, Type, Value};
+use itq_relational::{transitive_closure_seminaive, transitive_closure_warshall, Relation};
+use proptest::prelude::*;
+
+/// Strategy: a small set of atoms with ids in a fixed window.
+fn small_atoms() -> impl Strategy<Value = Vec<Atom>> {
+    (1usize..5).prop_map(|n| (0..n as u32).map(Atom).collect())
+}
+
+/// Strategy: an arbitrary type of set-height at most 2 and width at most 2.
+fn small_type() -> impl Strategy<Value = Type> {
+    let leaf = Just(Type::Atomic);
+    leaf.prop_recursive(3, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Type::set),
+            proptest::collection::vec(inner, 1..3).prop_map(|components| {
+                // Respect the "no nested tuple" invariant via the constructor.
+                Type::tuple(components)
+            }),
+        ]
+    })
+    .prop_filter("keep the domain enumerable", |t| t.set_height() <= 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every rank below the cardinality decodes to a value that re-ranks to the
+    /// same rank and lies in the constructive domain.
+    #[test]
+    fn cons_domain_ranking_round_trips(ty in small_type(), atoms in small_atoms()) {
+        let card = cons_cardinality(&ty, atoms.len());
+        if let Some(total) = card.as_exact() {
+            let total = total.min(64);
+            for rank in 0..total {
+                let value = value_at_rank(&ty, &atoms, rank).unwrap();
+                prop_assert!(value.has_type(&ty));
+                prop_assert!(value.active_domain().iter().all(|a| atoms.contains(a)));
+                prop_assert_eq!(rank_of_value(&ty, &atoms, &value), Some(rank));
+            }
+        }
+    }
+
+    /// unnest(nest(R, coords), position) restores the original flat relation.
+    #[test]
+    fn nest_unnest_round_trip(
+        pairs in proptest::collection::btree_set((0u32..5, 0u32..5), 1..12)
+    ) {
+        let instance = Instance::from_pairs(pairs.iter().map(|&(a, b)| (Atom(a), Atom(b))));
+        let nested = nest(&instance, &[2]).unwrap();
+        let flattened = unnest(&nested, 2).unwrap();
+        prop_assert_eq!(flattened, instance);
+    }
+
+    /// The grandparent query is generic: permuting the atoms of the database
+    /// permutes the answer (Section 2's C-genericity with C = ∅).
+    #[test]
+    fn grandparent_query_is_generic(
+        pairs in proptest::collection::btree_set((0u32..5, 0u32..5), 0..8),
+        shift in 1u32..50
+    ) {
+        let db = Database::single(
+            "PAR",
+            Instance::from_pairs(pairs.iter().map(|&(a, b)| (Atom(a), Atom(b)))),
+        );
+        let permute = move |a: Atom| Atom(a.id() + shift);
+        let permuted_db = Database::single(
+            "PAR",
+            Instance::from_values(
+                db.relation("PAR").unwrap().iter().map(|v| v.permute(&permute)),
+            ),
+        );
+        let config = EvalConfig::default();
+        let query = queries::grandparent_query();
+        let direct = query.eval(&db, &config).unwrap();
+        let of_permuted = query.eval(&permuted_db, &config).unwrap();
+        let permuted_answer =
+            Instance::from_values(direct.iter().map(|v| v.permute(&permute)));
+        prop_assert_eq!(of_permuted, permuted_answer);
+    }
+
+    /// The two closure baselines agree on arbitrary random graphs.
+    #[test]
+    fn closure_baselines_agree(
+        pairs in proptest::collection::btree_set((0u32..8, 0u32..8), 0..30)
+    ) {
+        let relation = Relation::from_pairs(pairs.iter().map(|&(a, b)| (Atom(a), Atom(b))));
+        prop_assert_eq!(
+            transitive_closure_seminaive(&relation),
+            transitive_closure_warshall(&relation)
+        );
+    }
+
+    /// Converting a flat relation to a complex-object instance and back is the
+    /// identity, and the instance conforms to the declared flat type.
+    #[test]
+    fn relation_instance_round_trip(
+        // At least one tuple: the arity of an empty instance cannot be recovered.
+        tuples in proptest::collection::btree_set(
+            proptest::collection::vec(0u32..6, 3), 1..10
+        )
+    ) {
+        let relation = Relation::from_tuples(
+            3,
+            tuples.iter().map(|t| t.iter().map(|&x| Atom(x)).collect::<Vec<_>>()),
+        );
+        let instance = relation.to_instance();
+        prop_assert!(instance.conforms_to(&relation.flat_type()));
+        prop_assert_eq!(Relation::from_instance(&instance).unwrap(), relation);
+    }
+
+    /// Values keep their set-height and active domain under permutation.
+    #[test]
+    fn permutation_preserves_structure(atoms in small_atoms(), shift in 1u32..40) {
+        let value = Value::set(
+            atoms.iter().map(|&a| Value::pair(a, a)).collect::<Vec<_>>(),
+        );
+        let permuted = value.permute(&move |a: Atom| Atom(a.id() + shift));
+        prop_assert_eq!(value.set_height(), permuted.set_height());
+        prop_assert_eq!(value.size(), permuted.size());
+        prop_assert_eq!(value.active_domain().len(), permuted.active_domain().len());
+    }
+}
