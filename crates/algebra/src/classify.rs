@@ -113,7 +113,11 @@ mod tests {
 
     #[test]
     fn double_powerset_reaches_height_two() {
-        let e = AlgExpr::pred("PAR").powerset().powerset().collapse().collapse();
+        let e = AlgExpr::pred("PAR")
+            .powerset()
+            .powerset()
+            .collapse()
+            .collapse();
         let c = classify_expr(&e, &schema()).unwrap();
         assert_eq!(c.minimal_class, CalcClass::new(0, 2));
     }

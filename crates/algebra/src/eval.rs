@@ -259,7 +259,10 @@ mod tests {
             "PAR",
             Instance::from_pairs(vec![(Atom(0), Atom(1)), (Atom(1), Atom(2))]),
         )
-        .with("PERSON", Instance::from_atoms(vec![Atom(0), Atom(1), Atom(2)]))
+        .with(
+            "PERSON",
+            Instance::from_atoms(vec![Atom(0), Atom(1), Atom(2)]),
+        )
     }
 
     #[test]
@@ -267,7 +270,9 @@ mod tests {
         let cfg = EvalConfig::default();
         let par = AlgExpr::pred("PAR").eval(&db(), &schema(), &cfg).unwrap();
         assert_eq!(par.len(), 2);
-        let single = AlgExpr::singleton(Atom(7)).eval(&db(), &schema(), &cfg).unwrap();
+        let single = AlgExpr::singleton(Atom(7))
+            .eval(&db(), &schema(), &cfg)
+            .unwrap();
         assert_eq!(single, Instance::from_atoms(vec![Atom(7)]));
         let both = AlgExpr::pred("PAR")
             .union(AlgExpr::pred("PAR"))
@@ -332,14 +337,19 @@ mod tests {
         let out = pow.clone().eval(&db(), &schema(), &cfg).unwrap();
         assert_eq!(out.len(), 4); // 2^2 subsets of a 2-element relation
         let back = pow.collapse().eval(&db(), &schema(), &cfg).unwrap();
-        assert_eq!(back, AlgExpr::pred("PAR").eval(&db(), &schema(), &cfg).unwrap());
+        assert_eq!(
+            back,
+            AlgExpr::pred("PAR").eval(&db(), &schema(), &cfg).unwrap()
+        );
     }
 
     #[test]
     fn powerset_budget_is_enforced() {
         let cfg = EvalConfig::tiny();
         // PERSON × PERSON has 9 tuples; its powerset has 512 > 32 subsets.
-        let e = AlgExpr::pred("PERSON").product(AlgExpr::pred("PERSON")).powerset();
+        let e = AlgExpr::pred("PERSON")
+            .product(AlgExpr::pred("PERSON"))
+            .powerset();
         assert!(matches!(
             e.eval(&db(), &schema(), &cfg),
             Err(AlgError::Budget { .. })
@@ -379,11 +389,16 @@ mod tests {
                 Value::Atom(Atom(0)),
                 Value::set(vec![Value::Atom(Atom(0)), Value::Atom(Atom(1))]),
             ]),
-            Value::tuple(vec![Value::Atom(Atom(2)), Value::set(vec![Value::Atom(Atom(1))])]),
+            Value::tuple(vec![
+                Value::Atom(Atom(2)),
+                Value::set(vec![Value::Atom(Atom(1))]),
+            ]),
         ]);
         let ndb = Database::single("N", contents);
         let e = AlgExpr::pred("N").select(SelFormula::coord_in(1, 2));
-        let out = e.eval(&ndb, &nested_schema, &EvalConfig::default()).unwrap();
+        let out = e
+            .eval(&ndb, &nested_schema, &EvalConfig::default())
+            .unwrap();
         assert_eq!(out.len(), 1);
     }
 }

@@ -397,7 +397,9 @@ mod tests {
         assert!(s.contains("𝒫"));
         assert!(s.contains("𝒞"));
         assert!(s.contains("μ"));
-        let d = AlgExpr::pred("R").diff(AlgExpr::pred("S")).intersect(AlgExpr::pred("T"));
+        let d = AlgExpr::pred("R")
+            .diff(AlgExpr::pred("S"))
+            .intersect(AlgExpr::pred("T"));
         assert!(d.to_string().contains("−"));
         assert!(d.to_string().contains("∩"));
     }

@@ -106,11 +106,7 @@ fn translate(
                 components_match(target, 0, &u, &ta),
                 components_match(target, wa, &v, &tb),
             ]);
-            Ok(Formula::exists(
-                &u,
-                ta,
-                Formula::exists(&v, tb, body),
-            ))
+            Ok(Formula::exists(&u, ta, Formula::exists(&v, tb, body)))
         }
         AlgExpr::Untuple(a) => {
             let source_ty = infer_type(a, schema)?;
@@ -186,8 +182,8 @@ fn translate_selection(sel: &SelFormula, target: &str) -> Formula {
 mod tests {
     use super::*;
     use crate::eval::EvalConfig as AlgConfig;
-    use itq_calculus::eval::EvalConfig as CalcConfig;
     use itq_calculus::classify::classify;
+    use itq_calculus::eval::EvalConfig as CalcConfig;
     use itq_object::{Atom, Database, Instance};
 
     fn schema() -> Schema {
@@ -199,7 +195,10 @@ mod tests {
             "PAR",
             Instance::from_pairs(vec![(Atom(0), Atom(1)), (Atom(1), Atom(2))]),
         )
-        .with("PERSON", Instance::from_atoms(vec![Atom(0), Atom(1), Atom(2)]))
+        .with(
+            "PERSON",
+            Instance::from_atoms(vec![Atom(0), Atom(1), Atom(2)]),
+        )
     }
 
     /// Check that the algebra expression and its calculus translation agree on a
@@ -224,15 +223,15 @@ mod tests {
     #[test]
     fn set_operators_agree() {
         assert_agree(&AlgExpr::pred("PAR").union(AlgExpr::pred("PAR")));
-        assert_agree(&AlgExpr::pred("PAR").intersect(
-            AlgExpr::pred("PAR").select(SelFormula::coord_is(1, Atom(0))),
-        ));
-        assert_agree(&AlgExpr::pred("PAR").diff(
-            AlgExpr::pred("PAR").select(SelFormula::coord_is(1, Atom(0))),
-        ));
         assert_agree(
-            &AlgExpr::pred("PERSON").diff(AlgExpr::singleton(Atom(2))),
+            &AlgExpr::pred("PAR")
+                .intersect(AlgExpr::pred("PAR").select(SelFormula::coord_is(1, Atom(0)))),
         );
+        assert_agree(
+            &AlgExpr::pred("PAR")
+                .diff(AlgExpr::pred("PAR").select(SelFormula::coord_is(1, Atom(0)))),
+        );
+        assert_agree(&AlgExpr::pred("PERSON").diff(AlgExpr::singleton(Atom(2))));
     }
 
     #[test]

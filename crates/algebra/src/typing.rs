@@ -174,7 +174,10 @@ mod tests {
     fn schema() -> Schema {
         Schema::single("PAR", Type::flat_tuple(2))
             .with("PERSON", Type::Atomic)
-            .with("NESTED", Type::tuple(vec![Type::Atomic, Type::set(Type::Atomic)]))
+            .with(
+                "NESTED",
+                Type::tuple(vec![Type::Atomic, Type::set(Type::Atomic)]),
+            )
     }
 
     #[test]
@@ -272,7 +275,10 @@ mod tests {
     #[test]
     fn untuple_collapse_powerset() {
         let single = AlgExpr::pred("PAR").project(vec![1]);
-        assert_eq!(infer_type(&single.clone().untuple(), &schema()).unwrap(), Type::Atomic);
+        assert_eq!(
+            infer_type(&single.clone().untuple(), &schema()).unwrap(),
+            Type::Atomic
+        );
         assert!(infer_type(&AlgExpr::pred("PAR").untuple(), &schema()).is_err());
         assert!(infer_type(&AlgExpr::pred("PERSON").untuple(), &schema()).is_err());
 

@@ -56,14 +56,14 @@ fn bench_rank_iteration_vs_materialisation(c: &mut Criterion) {
         })
     });
     group.bench_function("canonical-set", |b| {
-        b.iter(|| {
-            ConsIter::new(&ty, &domain)
-                .collect::<BTreeSet<_>>()
-                .len()
-        })
+        b.iter(|| ConsIter::new(&ty, &domain).collect::<BTreeSet<_>>().len())
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_enumeration, bench_rank_iteration_vs_materialisation);
+criterion_group!(
+    benches,
+    bench_enumeration,
+    bench_rank_iteration_vs_materialisation
+);
 criterion_main!(benches);

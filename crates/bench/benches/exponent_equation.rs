@@ -32,5 +32,9 @@ fn bench_perfect_square_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reference_arithmetic, bench_perfect_square_query);
+criterion_group!(
+    benches,
+    bench_reference_arithmetic,
+    bench_perfect_square_query
+);
 criterion_main!(benches);

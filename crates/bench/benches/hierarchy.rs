@@ -21,9 +21,11 @@ fn bench_counting_power(c: &mut Criterion) {
 fn bench_hierarchy_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("E8/hierarchy-table");
     for levels in [2u32, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &levels| {
-            b.iter(|| hierarchy_table(2, 10, levels).len())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(levels),
+            &levels,
+            |b, &levels| b.iter(|| hierarchy_table(2, 10, levels).len()),
+        );
     }
     group.finish();
 }
@@ -41,5 +43,10 @@ fn bench_witness_classification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_counting_power, bench_hierarchy_table, bench_witness_classification);
+criterion_group!(
+    benches,
+    bench_counting_power,
+    bench_hierarchy_table,
+    bench_witness_classification
+);
 criterion_main!(benches);

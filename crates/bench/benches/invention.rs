@@ -12,7 +12,11 @@ use itq_object::{Atom, Database, Instance, Schema, Type, Universe, Value};
 fn nested_value(n: u32) -> Value {
     Value::set((0..n).map(|i| {
         Value::tuple(vec![
-            Value::set((0..n).map(|j| Value::Atom(Atom(100 + i * n + j))).collect::<Vec<_>>()),
+            Value::set(
+                (0..n)
+                    .map(|j| Value::Atom(Atom(100 + i * n + j)))
+                    .collect::<Vec<_>>(),
+            ),
             Value::Atom(Atom(i)),
         ])
     }))

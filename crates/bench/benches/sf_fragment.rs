@@ -16,12 +16,18 @@ fn bench_prenex_and_classification(c: &mut Criterion) {
     let mut group = c.benchmark_group("E6/prenex-and-sf-classification");
     let parity = even_cardinality_query();
     let tc = transitive_closure_query();
-    group.bench_function("prenex-parity", |b| b.iter(|| to_prenex(parity.body()).prefix.len()));
-    group.bench_function("prenex-tc", |b| b.iter(|| to_prenex(tc.body()).prefix.len()));
+    group.bench_function("prenex-parity", |b| {
+        b.iter(|| to_prenex(parity.body()).prefix.len())
+    });
+    group.bench_function("prenex-tc", |b| {
+        b.iter(|| to_prenex(tc.body()).prefix.len())
+    });
     group.bench_function("sf-classify-parity", |b| {
         b.iter(|| sf_classification(&parity).is_in_sf())
     });
-    group.bench_function("sf-classify-tc", |b| b.iter(|| sf_classification(&tc).is_in_sf()));
+    group.bench_function("sf-classify-tc", |b| {
+        b.iter(|| sf_classification(&tc).is_in_sf())
+    });
     group.finish();
 }
 
@@ -46,5 +52,9 @@ fn bench_existential_vs_universal_evaluation(c: &mut Criterion) {
     let _ = person_schema();
 }
 
-criterion_group!(benches, bench_prenex_and_classification, bench_existential_vs_universal_evaluation);
+criterion_group!(
+    benches,
+    bench_prenex_and_classification,
+    bench_existential_vs_universal_evaluation
+);
 criterion_main!(benches);

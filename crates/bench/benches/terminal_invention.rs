@@ -75,5 +75,9 @@ fn bench_bounded_halting_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_terminal_search, bench_bounded_halting_simulation);
+criterion_group!(
+    benches,
+    bench_terminal_search,
+    bench_bounded_halting_simulation
+);
 criterion_main!(benches);

@@ -78,5 +78,10 @@ fn bench_baselines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_calculus_query, bench_strategy_ablation, bench_baselines);
+criterion_group!(
+    benches,
+    bench_calculus_query,
+    bench_strategy_ablation,
+    bench_baselines
+);
 criterion_main!(benches);

@@ -38,39 +38,41 @@ fn fmt_log2(x: f64) -> String {
     }
 }
 
+/// An experiment selector paired with the function that renders its table.
+type Experiment = (&'static str, fn() -> String);
+
+/// Single source of truth for both selector validation and dispatch.
+const EXPERIMENTS: [Experiment; 10] = [
+    ("E1", experiment_e1),
+    ("E2", experiment_e2),
+    ("E3", experiment_e3),
+    ("E4", experiment_e4),
+    ("E5", experiment_e5),
+    ("E6", experiment_e6),
+    ("E7", experiment_e7),
+    ("E8", experiment_e8),
+    ("E9", experiment_e9),
+    ("E10", experiment_e10),
+];
+
 fn main() {
     let requested: Vec<String> = std::env::args().skip(1).map(|s| s.to_uppercase()).collect();
-    let want = |id: &str| requested.is_empty() || requested.iter().any(|r| r == id);
-
-    if want("E1") {
-        print!("{}", experiment_e1());
+    let unknown: Vec<&String> = requested
+        .iter()
+        .filter(|r| EXPERIMENTS.iter().all(|(id, _)| id != r))
+        .collect();
+    if !unknown.is_empty() {
+        let available: Vec<&str> = EXPERIMENTS.iter().map(|(id, _)| *id).collect();
+        eprintln!(
+            "error: unknown experiment selector(s) {unknown:?}; available: {}",
+            available.join(", ")
+        );
+        std::process::exit(2);
     }
-    if want("E2") {
-        print!("{}", experiment_e2());
-    }
-    if want("E3") {
-        print!("{}", experiment_e3());
-    }
-    if want("E4") {
-        print!("{}", experiment_e4());
-    }
-    if want("E5") {
-        print!("{}", experiment_e5());
-    }
-    if want("E6") {
-        print!("{}", experiment_e6());
-    }
-    if want("E7") {
-        print!("{}", experiment_e7());
-    }
-    if want("E8") {
-        print!("{}", experiment_e8());
-    }
-    if want("E9") {
-        print!("{}", experiment_e9());
-    }
-    if want("E10") {
-        print!("{}", experiment_e10());
+    for (id, experiment) in EXPERIMENTS {
+        if requested.is_empty() || requested.iter().any(|r| r == id) {
+            print!("{}", experiment());
+        }
     }
 }
 
@@ -100,7 +102,14 @@ fn experiment_e1() -> String {
 fn experiment_e2() -> String {
     let mut table = Table::new(
         "E2 (Ex. 3.1): transitive closure — CALC_{0,1} query vs semi-naive baseline (chains)",
-        &["n", "closure pairs", "calc steps", "calc domain", "calc ms", "baseline µs"],
+        &[
+            "n",
+            "closure pairs",
+            "calc steps",
+            "calc domain",
+            "calc ms",
+            "baseline µs",
+        ],
     );
     let query = queries::transitive_closure_query();
     for n in 2..=4u32 {
@@ -133,7 +142,14 @@ fn experiment_e2() -> String {
 fn experiment_e3() -> String {
     let mut table = Table::new(
         "E3 (Ex. 3.2): even cardinality — CALC_{0,1} matching query",
-        &["members", "parity", "answer size", "steps", "matching domain", "ms"],
+        &[
+            "members",
+            "parity",
+            "answer size",
+            "steps",
+            "matching domain",
+            "ms",
+        ],
     );
     let query = queries::even_cardinality_query();
     for n in 0..=4u32 {
@@ -157,7 +173,15 @@ fn experiment_e3() -> String {
 fn experiment_e4() -> String {
     let mut table = Table::new(
         "E4 (Ex. 3.5 / Fig. 2): encoded computations (parity and palindrome machines)",
-        &["machine", "input", "steps", "cells", "rows", "index atoms", "verified"],
+        &[
+            "machine",
+            "input",
+            "steps",
+            "cells",
+            "rows",
+            "index atoms",
+            "verified",
+        ],
     );
     let mut universe = Universe::new();
     let cases: Vec<(itq_turing::TuringMachine, Vec<u8>, String)> = vec![
@@ -230,7 +254,13 @@ fn experiment_e5() -> String {
 fn experiment_e6() -> String {
     let mut table = Table::new(
         "E6 (Thm 4.3): membership of the query library in CALC_{0,1,∃} (= SF = QNPTIME)",
-        &["query", "class", "higher-order vars", "all existential", "in SF"],
+        &[
+            "query",
+            "class",
+            "higher-order vars",
+            "all existential",
+            "in SF",
+        ],
     );
     let library = vec![
         ("grandparent", queries::grandparent_query()),
@@ -276,7 +306,13 @@ fn experiment_e7() -> String {
     }
     let mut bounds = Table::new(
         "E7b: Theorem 4.4 bounds and variable-space estimates (m = 8)",
-        &["query", "level i", "time lower", "space upper", "log2 var-space"],
+        &[
+            "query",
+            "level i",
+            "time lower",
+            "space upper",
+            "log2 var-space",
+        ],
     );
     for (name, query) in [
         ("grandparent", queries::grandparent_query()),
@@ -300,7 +336,12 @@ fn experiment_e7() -> String {
 fn experiment_e8() -> String {
     let mut table = Table::new(
         "E8 (Thm 5.1): counting power per intermediate-type level (width 2)",
-        &["level", "|A|=3 (log2)", "|A|=5 (log2)", "gains over previous"],
+        &[
+            "level",
+            "|A|=3 (log2)",
+            "|A|=5 (log2)",
+            "gains over previous",
+        ],
     );
     for level in 0..=3u32 {
         let three = hierarchy_table(2, 3, level).pop().unwrap();
@@ -331,14 +372,24 @@ fn experiment_e8() -> String {
 fn experiment_e9() -> String {
     let mut table = Table::new(
         "E9 (Ex. 6.6 / Fig. 3): universal-type encodings of nested objects",
-        &["object shape", "set-height", "object size", "encoded rows", "round-trip"],
+        &[
+            "object shape",
+            "set-height",
+            "object size",
+            "encoded rows",
+            "round-trip",
+        ],
     );
     let mut universe = Universe::new();
     let shapes: Vec<(&str, Type, Value)> = vec![
         (
             "{[U,U]} with 3 pairs",
             Type::set(Type::flat_tuple(2)),
-            Value::set((0..3u32).map(|i| Value::pair(Atom(i), Atom(i + 1))).collect::<Vec<_>>()),
+            Value::set(
+                (0..3u32)
+                    .map(|i| Value::pair(Atom(i), Atom(i + 1)))
+                    .collect::<Vec<_>>(),
+            ),
         ),
         (
             "{[{U},U]} with 2 groups",
@@ -348,13 +399,18 @@ fn experiment_e9() -> String {
                     Value::set(vec![Value::Atom(Atom(10)), Value::Atom(Atom(11))]),
                     Value::Atom(Atom(1)),
                 ]),
-                Value::tuple(vec![Value::set(vec![Value::Atom(Atom(12))]), Value::Atom(Atom(2))]),
+                Value::tuple(vec![
+                    Value::set(vec![Value::Atom(Atom(12))]),
+                    Value::Atom(Atom(2)),
+                ]),
             ]),
         ),
         (
             "{{{U}}} nested three deep",
             Type::nested_set(3),
-            Value::set(vec![Value::set(vec![Value::set(vec![Value::Atom(Atom(30))])])]),
+            Value::set(vec![Value::set(vec![Value::set(vec![Value::Atom(Atom(
+                30,
+            ))])])]),
         ),
     ];
     for (name, ty, object) in shapes {
@@ -376,7 +432,12 @@ fn experiment_e9() -> String {
 fn experiment_e10() -> String {
     let mut table = Table::new(
         "E10 (Thm 6.19): answers per invention level (guarded vs unguarded query)",
-        &["query", "invented values n", "|Q|_n[d]|", "invented value surfaced"],
+        &[
+            "query",
+            "invented values n",
+            "|Q|_n[d]|",
+            "invented value surfaced",
+        ],
     );
     let unguarded = itq_calculus::Query::new(
         "t",

@@ -268,7 +268,9 @@ mod tests {
         assert!(satisfies_sentence(&empty, &db, &[], &cfg).unwrap());
         assert!(satisfies_sentence(&nonempty, &db, &[], &cfg).unwrap());
         assert!(!satisfies_sentence(&all_empty, &db, &[], &cfg).unwrap());
-        assert!(satisfies_sentence(&in_pred("R", Term::constant(Atom(0))), &db, &[], &cfg).unwrap());
+        assert!(
+            satisfies_sentence(&in_pred("R", Term::constant(Atom(0))), &db, &[], &cfg).unwrap()
+        );
     }
 
     #[test]

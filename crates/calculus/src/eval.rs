@@ -159,9 +159,10 @@ impl<'a> Evaluator<'a> {
             }
             Formula::Pred(name, t) => {
                 let val = self.eval_term(t, rho)?;
-                let relation = self.db.relation(name).ok_or_else(|| {
-                    CalcError::UnknownPredicate { name: name.clone() }
-                })?;
+                let relation = self
+                    .db
+                    .relation(name)
+                    .ok_or_else(|| CalcError::UnknownPredicate { name: name.clone() })?;
                 Ok(relation.contains(&val))
             }
             Formula::Not(f) => Ok(!self.satisfies(f, rho)?),
@@ -256,7 +257,11 @@ fn restore(rho: &mut Assignment, var: &str, shadowed: Option<Value>) {
 }
 
 /// Evaluate a query under the limited interpretation (`Y = ∅`).
-pub fn evaluate(query: &Query, db: &Database, config: &EvalConfig) -> Result<Evaluation, CalcError> {
+pub fn evaluate(
+    query: &Query,
+    db: &Database,
+    config: &EvalConfig,
+) -> Result<Evaluation, CalcError> {
     evaluate_with_extra(query, db, &[], config)
 }
 
@@ -362,7 +367,13 @@ mod tests {
                 ]),
             ),
         );
-        Query::new("t", t_pair, body, Schema::single("PAR", Type::flat_tuple(2))).unwrap()
+        Query::new(
+            "t",
+            t_pair,
+            body,
+            Schema::single("PAR", Type::flat_tuple(2)),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -413,7 +424,13 @@ mod tests {
             Type::set(t_pair.clone()),
             Formula::member(Term::var("t"), Term::var("x")),
         );
-        let q = Query::new("t", t_pair, body, Schema::single("PAR", Type::flat_tuple(2))).unwrap();
+        let q = Query::new(
+            "t",
+            t_pair,
+            body,
+            Schema::single("PAR", Type::flat_tuple(2)),
+        )
+        .unwrap();
         let err = q.eval(&db, &EvalConfig::tiny()).unwrap_err();
         assert!(matches!(err, CalcError::Budget { .. }));
         // With a generous budget it succeeds and returns every pair over adom.
@@ -447,7 +464,10 @@ mod tests {
             max_steps: 5,
             ..EvalConfig::default()
         };
-        assert!(matches!(q.eval(&db, &config), Err(CalcError::Budget { .. })));
+        assert!(matches!(
+            q.eval(&db, &config),
+            Err(CalcError::Budget { .. })
+        ));
     }
 
     #[test]
@@ -553,8 +573,13 @@ mod tests {
                 Formula::and(vec![phi1, pairwise]),
             ),
         ]);
-        let q = Query::new("t", Type::Atomic, body, Schema::single("PERSON", Type::Atomic))
-            .unwrap();
+        let q = Query::new(
+            "t",
+            Type::Atomic,
+            body,
+            Schema::single("PERSON", Type::Atomic),
+        )
+        .unwrap();
 
         let mut u = Universe::new();
         let names = ["p1", "p2", "p3", "p4"];

@@ -285,17 +285,11 @@ impl Formula {
     pub fn rename_free(&self, from: &str, to: &str) -> Formula {
         match self {
             Formula::Eq(t1, t2) => Formula::Eq(t1.rename(from, to), t2.rename(from, to)),
-            Formula::Member(t1, t2) => {
-                Formula::Member(t1.rename(from, to), t2.rename(from, to))
-            }
+            Formula::Member(t1, t2) => Formula::Member(t1.rename(from, to), t2.rename(from, to)),
             Formula::Pred(name, t) => Formula::Pred(name.clone(), t.rename(from, to)),
             Formula::Not(f) => Formula::not(f.rename_free(from, to)),
-            Formula::And(fs) => {
-                Formula::And(fs.iter().map(|f| f.rename_free(from, to)).collect())
-            }
-            Formula::Or(fs) => {
-                Formula::Or(fs.iter().map(|f| f.rename_free(from, to)).collect())
-            }
+            Formula::And(fs) => Formula::And(fs.iter().map(|f| f.rename_free(from, to)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|f| f.rename_free(from, to)).collect()),
             Formula::Implies(f1, f2) => {
                 Formula::implies(f1.rename_free(from, to), f2.rename_free(from, to))
             }

@@ -98,12 +98,16 @@ pub fn eliminate_implications(f: &Formula) -> Formula {
                 Formula::or(vec![Formula::not(b), a]),
             ])
         }
-        Formula::Exists(v, ty, inner) => {
-            Formula::Exists(v.clone(), ty.clone(), Box::new(eliminate_implications(inner)))
-        }
-        Formula::Forall(v, ty, inner) => {
-            Formula::Forall(v.clone(), ty.clone(), Box::new(eliminate_implications(inner)))
-        }
+        Formula::Exists(v, ty, inner) => Formula::Exists(
+            v.clone(),
+            ty.clone(),
+            Box::new(eliminate_implications(inner)),
+        ),
+        Formula::Forall(v, ty, inner) => Formula::Forall(
+            v.clone(),
+            ty.clone(),
+            Box::new(eliminate_implications(inner)),
+        ),
     }
 }
 
@@ -205,9 +209,7 @@ fn prenex_rec(f: &Formula, counter: &mut usize) -> PrenexForm {
                 },
             }
         }
-        Formula::Implies(..) | Formula::Iff(..) => {
-            prenex_rec(&eliminate_implications(f), counter)
-        }
+        Formula::Implies(..) | Formula::Iff(..) => prenex_rec(&eliminate_implications(f), counter),
         Formula::Exists(v, ty, inner) | Formula::Forall(v, ty, inner) => {
             let quant = if matches!(f, Formula::Exists(..)) {
                 Quantifier::Exists
@@ -329,7 +331,11 @@ mod tests {
     #[test]
     fn prenex_prefix_collects_all_quantifiers() {
         let f = Formula::and(vec![
-            Formula::exists("x", Type::flat_tuple(2), Formula::pred("PAR", Term::var("x"))),
+            Formula::exists(
+                "x",
+                Type::flat_tuple(2),
+                Formula::pred("PAR", Term::var("x")),
+            ),
             Formula::forall(
                 "x",
                 Type::Atomic,
@@ -357,7 +363,11 @@ mod tests {
         let sentences = vec![
             // ∃x PAR(x) ∧ ¬∀y/U ∃z/[U,U] (PAR(z) ∧ z.1 ≈ y)
             Formula::and(vec![
-                Formula::exists("x", Type::flat_tuple(2), Formula::pred("PAR", Term::var("x"))),
+                Formula::exists(
+                    "x",
+                    Type::flat_tuple(2),
+                    Formula::pred("PAR", Term::var("x")),
+                ),
                 Formula::not(Formula::forall(
                     "y",
                     Type::Atomic,
@@ -382,8 +392,16 @@ mod tests {
             ),
             // An iff between two closed subformulas.
             Formula::iff(
-                Formula::exists("x", Type::Atomic, Formula::eq(Term::var("x"), Term::var("x"))),
-                Formula::exists("y", Type::flat_tuple(2), Formula::pred("PAR", Term::var("y"))),
+                Formula::exists(
+                    "x",
+                    Type::Atomic,
+                    Formula::eq(Term::var("x"), Term::var("x")),
+                ),
+                Formula::exists(
+                    "y",
+                    Type::flat_tuple(2),
+                    Formula::pred("PAR", Term::var("y")),
+                ),
             ),
         ];
         for sentence in sentences {
@@ -464,7 +482,11 @@ mod tests {
             "a",
             Type::Atomic,
             Formula::or(vec![
-                Formula::exists("b", Type::Atomic, Formula::eq(Term::var("a"), Term::var("b"))),
+                Formula::exists(
+                    "b",
+                    Type::Atomic,
+                    Formula::eq(Term::var("a"), Term::var("b")),
+                ),
                 Formula::not(Formula::exists(
                     "c",
                     Type::Atomic,

@@ -36,7 +36,11 @@ impl Query {
     ) -> Result<Self, CalcError> {
         target_type.validate()?;
         let free = body.free_vars();
-        let extra: Vec<String> = free.iter().filter(|v| v.as_str() != target).cloned().collect();
+        let extra: Vec<String> = free
+            .iter()
+            .filter(|v| v.as_str() != target)
+            .cloned()
+            .collect();
         if !extra.is_empty() {
             return Err(CalcError::ExtraFreeVariables { vars: extra });
         }
@@ -78,7 +82,12 @@ impl Query {
     /// Replace the body with an equivalent formula (used by normal-form
     /// transformations); the result is re-validated.
     pub fn with_body(&self, body: Formula) -> Result<Query, CalcError> {
-        Query::new(&self.target, self.target_type.clone(), body, self.schema.clone())
+        Query::new(
+            &self.target,
+            self.target_type.clone(),
+            body,
+            self.schema.clone(),
+        )
     }
 
     /// The constants occurring in the query (`adom(Q)`).
@@ -130,7 +139,11 @@ impl Query {
 
 impl fmt::Debug for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{{}/{} | {:?}}}", self.target, self.target_type, self.body)
+        write!(
+            f,
+            "{{{}/{} | {:?}}}",
+            self.target, self.target_type, self.body
+        )
     }
 }
 

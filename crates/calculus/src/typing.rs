@@ -196,7 +196,10 @@ mod tests {
     fn term_types_follow_the_extended_assignment() {
         let env = TypeEnv::single("x", Type::flat_tuple(2)).with("s", Type::set(Type::Atomic));
         assert_eq!(term_type(&Term::constant(Atom(1)), &env), Ok(Type::Atomic));
-        assert_eq!(term_type(&Term::var("s"), &env), Ok(Type::set(Type::Atomic)));
+        assert_eq!(
+            term_type(&Term::var("s"), &env),
+            Ok(Type::set(Type::Atomic))
+        );
         assert_eq!(term_type(&Term::proj("x", 2), &env), Ok(Type::Atomic));
         assert!(matches!(
             term_type(&Term::var("missing"), &env),

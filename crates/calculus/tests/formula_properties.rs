@@ -16,14 +16,10 @@ const PAIR_VARS: [&str; 2] = ["p", "q"];
 fn atomic_formula() -> impl Strategy<Value = Formula> {
     prop_oneof![
         // Equalities between atomic variables or constants.
-        (0usize..2, 0usize..2).prop_map(|(i, j)| Formula::eq(
-            Term::var(ATOM_VARS[i]),
-            Term::var(ATOM_VARS[j])
-        )),
-        (0usize..2, 0u32..2).prop_map(|(i, c)| Formula::eq(
-            Term::var(ATOM_VARS[i]),
-            Term::constant(Atom(c))
-        )),
+        (0usize..2, 0usize..2)
+            .prop_map(|(i, j)| Formula::eq(Term::var(ATOM_VARS[i]), Term::var(ATOM_VARS[j]))),
+        (0usize..2, 0u32..2)
+            .prop_map(|(i, c)| Formula::eq(Term::var(ATOM_VARS[i]), Term::constant(Atom(c)))),
         // Predicate atoms.
         (0usize..2).prop_map(|i| Formula::pred("R", Term::var(ATOM_VARS[i]))),
         (0usize..2).prop_map(|i| Formula::pred("PAR", Term::var(PAIR_VARS[i]))),

@@ -5,8 +5,8 @@ use itq_algebra::{AlgError, AlgExpr, EvalConfig as AlgConfig};
 use itq_calculus::eval::{EvalConfig, Evaluation};
 use itq_calculus::{CalcError, Query, QueryClassification};
 use itq_invention::{
-    finite_invention, terminal_invention, FiniteInventionReport, InventionConfig,
-    InventionError, TerminalOutcome,
+    finite_invention, terminal_invention, FiniteInventionReport, InventionConfig, InventionError,
+    TerminalOutcome,
 };
 use itq_object::{Database, Instance, Schema, Universe};
 use std::fmt;
@@ -300,8 +300,10 @@ mod tests {
         assert!(calc_err.to_string().contains("unbound"));
         let alg_err: EngineError = AlgError::UnknownPredicate { name: "R".into() }.into();
         assert!(alg_err.to_string().contains("unknown predicate"));
-        let inv_err: EngineError =
-            InventionError::Codec { detail: "bad".into() }.into();
+        let inv_err: EngineError = InventionError::Codec {
+            detail: "bad".into(),
+        }
+        .into();
         assert!(inv_err.to_string().contains("bad"));
         // The universe accessor works.
         let mut engine = Engine::new();

@@ -112,7 +112,12 @@ mod tests {
             let table = hierarchy_table(1, atoms, 4);
             assert_eq!(table.len(), 5);
             for row in &table[1..] {
-                assert!(row.strictly_gains(), "level {} over {} atoms", row.level, atoms);
+                assert!(
+                    row.strictly_gains(),
+                    "level {} over {} atoms",
+                    row.level,
+                    atoms
+                );
                 // The gain is (at least) exponential: log2 at level i ≥ value at
                 // level i-1 (since hyp(c,n,i+1) = 2^(c·hyp(c,n,i))).
                 if row.level >= 2 {

@@ -177,11 +177,10 @@ mod tests {
     #[test]
     fn grandparent_matches_example_2_4() {
         let db = parent_database(&[(a(0), a(1)), (a(1), a(2)), (a(2), a(3))]);
-        let out = grandparent_query().eval(&db, &EvalConfig::default()).unwrap();
-        assert_eq!(
-            out,
-            Instance::from_pairs(vec![(a(0), a(2)), (a(1), a(3))])
-        );
+        let out = grandparent_query()
+            .eval(&db, &EvalConfig::default())
+            .unwrap();
+        assert_eq!(out, Instance::from_pairs(vec![(a(0), a(2)), (a(1), a(3))]));
         assert_eq!(
             grandparent_query().classification().minimal_class,
             CalcClass::relational()

@@ -55,10 +55,7 @@ mod tests {
         // The ORD shorthand introduces auxiliary pair variables, but they are all
         // flat (set-height 0), so the query sits in CALC_{1,0}.
         assert_eq!(c.minimal_class, CalcClass::new(1, 0));
-        assert!(c
-            .intermediate_types
-            .iter()
-            .all(|t| t.set_height() == 0));
+        assert!(c.intermediate_types.iter().all(|t| t.set_height() == 0));
     }
 
     #[test]

@@ -96,7 +96,9 @@ pub fn even_cardinality_query() -> Query {
 /// The trivially computable reference implementation of the same mapping:
 /// `PERSON` when `|PERSON|` is even, `∅` otherwise.
 pub fn parity_reference(db: &Database) -> bool {
-    db.relation("PERSON").map(|p| p.len() % 2 == 0).unwrap_or(true)
+    db.relation("PERSON")
+        .map(|p| p.len() % 2 == 0)
+        .unwrap_or(true)
 }
 
 #[cfg(test)]

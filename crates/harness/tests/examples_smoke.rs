@@ -1,0 +1,55 @@
+//! Smoke tests: every example in `examples/` must run to completion.
+//!
+//! `cargo test` already compiles the examples; these tests execute the built
+//! binaries through `cargo run --example` (a cache hit, since the test run
+//! built them moments earlier) and assert a zero exit status, so a panicking
+//! walkthrough fails the suite rather than rotting silently.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let workspace_root = Path::new(manifest_dir)
+        .ancestors()
+        .nth(2)
+        .expect("crates/harness has a workspace root two levels up");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .current_dir(workspace_root)
+        .args(["run", "-q", "-p", "itq", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    run_example("quickstart");
+}
+
+#[test]
+fn genealogy_runs_to_completion() {
+    run_example("genealogy");
+}
+
+#[test]
+fn parity_committee_runs_to_completion() {
+    run_example("parity_committee");
+}
+
+#[test]
+fn turing_encoding_runs_to_completion() {
+    run_example("turing_encoding");
+}
+
+#[test]
+fn invention_universal_type_runs_to_completion() {
+    run_example("invention_universal_type");
+}

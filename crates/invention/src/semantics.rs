@@ -72,7 +72,11 @@ pub fn eval_with_invented(
         evaluation
             .result
             .iter()
-            .filter(|v| v.active_domain().iter().all(|a| original_domain.contains(a)))
+            .filter(|v| {
+                v.active_domain()
+                    .iter()
+                    .all(|a| original_domain.contains(a))
+            })
             .cloned()
             .collect::<Vec<Value>>(),
     );
@@ -180,12 +184,12 @@ pub fn terminal_invention(
 ) -> Result<TerminalOutcome, InventionError> {
     let original_domain: BTreeSet<Atom> = query.evaluation_domain(db);
     for n in 0..=config.max_invented {
-        let (restricted, unrestricted) =
-            eval_with_invented(query, db, universe, n, &config.eval)?;
-        let contains_invented = unrestricted
-            .result
-            .iter()
-            .any(|v| v.active_domain().iter().any(|a| !original_domain.contains(a)));
+        let (restricted, unrestricted) = eval_with_invented(query, db, universe, n, &config.eval)?;
+        let contains_invented = unrestricted.result.iter().any(|v| {
+            v.active_domain()
+                .iter()
+                .any(|a| !original_domain.contains(a))
+        });
         if contains_invented {
             return Ok(TerminalOutcome::Defined {
                 n,

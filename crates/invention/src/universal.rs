@@ -171,9 +171,12 @@ impl UniversalCodec {
 
     /// Decode an encoded object back into an object of the codec's type.
     pub fn decode(&self, encoded: &EncodedObject) -> Result<Value, InventionError> {
-        let rows = encoded.value.as_set().ok_or_else(|| InventionError::Codec {
-            detail: "encoding is not a set of rows".to_string(),
-        })?;
+        let rows = encoded
+            .value
+            .as_set()
+            .ok_or_else(|| InventionError::Codec {
+                detail: "encoding is not a set of rows".to_string(),
+            })?;
         // Group rows by object identifier.
         let mut by_id: BTreeMap<Atom, Vec<(Atom, Atom, Atom)>> = BTreeMap::new();
         for row in rows {
@@ -230,12 +233,12 @@ impl UniversalCodec {
                 let mut parts = Vec::with_capacity(components.len());
                 for j in 0..components.len() {
                     let coord_atom = self.coord_atoms[j + 1];
-                    let child_row = rows
-                        .iter()
-                        .find(|(_, c, _)| *c == coord_atom)
-                        .ok_or_else(|| InventionError::Codec {
-                            detail: format!("object {id} is missing coordinate {}", j + 1),
-                        })?;
+                    let child_row =
+                        rows.iter()
+                            .find(|(_, c, _)| *c == coord_atom)
+                            .ok_or_else(|| InventionError::Codec {
+                                detail: format!("object {id} is missing coordinate {}", j + 1),
+                            })?;
                     let child =
                         self.decode_node(self.children[node][j], child_row.2, by_id, depth + 1)?;
                     parts.push(child);
@@ -336,7 +339,10 @@ mod tests {
         // Different invented identifiers → different encodings …
         assert_ne!(first, second);
         // … but the same decoded object.
-        assert_eq!(codec.decode(&first).unwrap(), codec.decode(&second).unwrap());
+        assert_eq!(
+            codec.decode(&first).unwrap(),
+            codec.decode(&second).unwrap()
+        );
     }
 
     #[test]
@@ -381,7 +387,10 @@ mod tests {
         let codec = UniversalCodec::new(&Type::set(Type::Atomic), &mut universe);
         assert!(codec.encode(&Value::Atom(Atom(0)), &mut universe).is_err());
         assert!(codec
-            .encode(&Value::set(vec![Value::pair(Atom(0), Atom(1))]), &mut universe)
+            .encode(
+                &Value::set(vec![Value::pair(Atom(0), Atom(1))]),
+                &mut universe
+            )
             .is_err());
     }
 
@@ -419,10 +428,14 @@ mod tests {
     fn arbitrary_value() -> impl Strategy<Value = Value> {
         // Type: {[U, {U}]}
         let atom = (0u32..5).prop_map(|i| Value::Atom(Atom(1000 + i)));
-        let inner_set = proptest::collection::btree_set((0u32..5).prop_map(|i| Value::Atom(Atom(2000 + i))), 0..4)
-            .prop_map(|s| Value::Set(s.into_iter().collect()));
+        let inner_set = proptest::collection::btree_set(
+            (0u32..5).prop_map(|i| Value::Atom(Atom(2000 + i))),
+            0..4,
+        )
+        .prop_map(|s| Value::Set(s.into_iter().collect()));
         let pair = (atom, inner_set).prop_map(|(a, s)| Value::Tuple(vec![a, s]));
-        proptest::collection::btree_set(pair, 0..4).prop_map(|s| Value::Set(s.into_iter().collect()))
+        proptest::collection::btree_set(pair, 0..4)
+            .prop_map(|s| Value::Set(s.into_iter().collect()))
     }
 
     proptest! {

@@ -278,15 +278,14 @@ mod tests {
         assert!(!Cardinality::exact(101).fits_within(100));
         assert!(!Cardinality::Huge { log2: 500.0 }.fits_within(u64::MAX));
         assert_eq!(Cardinality::exact(7).saturating_u64(), 7);
-        assert_eq!(
-            Cardinality::Huge { log2: 500.0 }.saturating_u64(),
-            u64::MAX
-        );
+        assert_eq!(Cardinality::Huge { log2: 500.0 }.saturating_u64(), u64::MAX);
     }
 
     #[test]
     fn display_formats() {
         assert_eq!(Cardinality::exact(42).to_string(), "42");
-        assert!(Cardinality::Huge { log2: 512.0 }.to_string().contains("2^512"));
+        assert!(Cardinality::Huge { log2: 512.0 }
+            .to_string()
+            .contains("2^512"));
     }
 }

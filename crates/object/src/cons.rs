@@ -103,9 +103,7 @@ pub fn rank_of_value(ty: &Type, atoms: &[Atom], value: &Value) -> Option<u128> {
 
 fn rank_of_value_inner(ty: &Type, atoms: &[Atom], value: &Value) -> Option<u128> {
     match (ty, value) {
-        (Type::Atomic, Value::Atom(a)) => {
-            atoms.iter().position(|x| x == a).map(|i| i as u128)
-        }
+        (Type::Atomic, Value::Atom(a)) => atoms.iter().position(|x| x == a).map(|i| i as u128),
         (Type::Tuple(components), Value::Tuple(vs)) => {
             if components.len() != vs.len() {
                 return None;
@@ -214,7 +212,10 @@ pub fn enumerate_cons(ty: &Type, atoms: &[Atom], limit: u64) -> Result<Vec<Value
     let card = cons_cardinality(ty, atoms.len());
     if !card.fits_within(limit) {
         return Err(ObjectError::BudgetExceeded {
-            what: format!("cons domain of {ty} over {} atoms (size {card})", atoms.len()),
+            what: format!(
+                "cons domain of {ty} over {} atoms (size {card})",
+                atoms.len()
+            ),
             limit,
         });
     }

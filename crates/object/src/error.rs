@@ -49,7 +49,10 @@ impl fmt::Display for ObjectError {
                 write!(f, "tuple types and values must have at least one component")
             }
             ObjectError::NestedTuple { ty } => {
-                write!(f, "tuple type {ty} has a direct tuple child; apply collapse()")
+                write!(
+                    f,
+                    "tuple type {ty} has a direct tuple child; apply collapse()"
+                )
             }
             ObjectError::TypeMismatch { expected, value } => {
                 write!(f, "value {value} does not conform to type {expected}")
@@ -78,7 +81,9 @@ mod tests {
         let cases: Vec<(ObjectError, &str)> = vec![
             (ObjectError::EmptyTuple, "at least one component"),
             (
-                ObjectError::NestedTuple { ty: "[U, [U]]".into() },
+                ObjectError::NestedTuple {
+                    ty: "[U, [U]]".into(),
+                },
                 "collapse",
             ),
             (

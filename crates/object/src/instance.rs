@@ -98,9 +98,7 @@ impl Instance {
 
     /// Build an instance from a set value.
     pub fn from_set_value(v: &Value) -> Option<Instance> {
-        v.as_set().map(|s| Instance {
-            values: s.clone(),
-        })
+        v.as_set().map(|s| Instance { values: s.clone() })
     }
 }
 
@@ -140,9 +138,7 @@ impl Schema {
     /// Build a schema from `(name, type)` pairs.
     ///
     /// Returns an error if a predicate name repeats.
-    pub fn new<I: IntoIterator<Item = (PredName, Type)>>(
-        entries: I,
-    ) -> Result<Self, ObjectError> {
+    pub fn new<I: IntoIterator<Item = (PredName, Type)>>(entries: I) -> Result<Self, ObjectError> {
         let mut seen = BTreeSet::new();
         let mut out = Vec::new();
         for (name, ty) in entries {
@@ -172,10 +168,7 @@ impl Schema {
 
     /// Look up the type of a predicate.
     pub fn type_of(&self, name: &str) -> Option<&Type> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| t)
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, t)| t)
     }
 
     /// True if the schema contains the predicate.
@@ -259,9 +252,10 @@ impl Database {
 
     /// Look up a relation, treating missing predicates as an error.
     pub fn relation_or_err(&self, name: &str) -> Result<&Instance, ObjectError> {
-        self.relation(name).ok_or_else(|| ObjectError::UnknownPredicate {
-            name: name.to_string(),
-        })
+        self.relation(name)
+            .ok_or_else(|| ObjectError::UnknownPredicate {
+                name: name.to_string(),
+            })
     }
 
     /// Mutable access to a relation, creating it if absent.
@@ -409,8 +403,11 @@ mod tests {
     #[test]
     fn database_active_domain_and_size() {
         let a = atoms(4);
-        let d = Database::single("PAR", Instance::from_pairs(vec![(a[0], a[1]), (a[2], a[3])]))
-            .with("PERSON", Instance::from_atoms(vec![a[0]]));
+        let d = Database::single(
+            "PAR",
+            Instance::from_pairs(vec![(a[0], a[1]), (a[2], a[3])]),
+        )
+        .with("PERSON", Instance::from_atoms(vec![a[0]]));
         assert_eq!(d.active_domain().len(), 4);
         assert_eq!(d.len(), 2);
         assert!(d.total_size() > 0);

@@ -75,11 +75,7 @@ impl Type {
         match self {
             Type::Atomic => 0,
             Type::Set(inner) => 1 + inner.set_height(),
-            Type::Tuple(components) => components
-                .iter()
-                .map(Type::set_height)
-                .max()
-                .unwrap_or(0),
+            Type::Tuple(components) => components.iter().map(Type::set_height).max().unwrap_or(0),
         }
     }
 
@@ -111,9 +107,7 @@ impl Type {
         match self {
             Type::Atomic => 1,
             Type::Set(inner) => 1 + inner.node_count(),
-            Type::Tuple(components) => {
-                1 + components.iter().map(Type::node_count).sum::<usize>()
-            }
+            Type::Tuple(components) => 1 + components.iter().map(Type::node_count).sum::<usize>(),
         }
     }
 
@@ -122,9 +116,7 @@ impl Type {
         match self {
             Type::Atomic => 1,
             Type::Set(inner) => 1 + inner.depth(),
-            Type::Tuple(components) => {
-                1 + components.iter().map(Type::depth).max().unwrap_or(0)
-            }
+            Type::Tuple(components) => 1 + components.iter().map(Type::depth).max().unwrap_or(0),
         }
     }
 

@@ -101,9 +101,7 @@ impl Value {
         match self {
             Value::Atom(_) => 0,
             Value::Tuple(vs) => vs.iter().map(Value::set_height).max().unwrap_or(0),
-            Value::Set(items) => {
-                1 + items.iter().map(Value::set_height).max().unwrap_or(0)
-            }
+            Value::Set(items) => 1 + items.iter().map(Value::set_height).max().unwrap_or(0),
         }
     }
 
@@ -184,8 +182,7 @@ impl Value {
                 format!("[{}]", inner.join(", "))
             }
             Value::Set(items) => {
-                let inner: Vec<String> =
-                    items.iter().map(|v| v.display_with(universe)).collect();
+                let inner: Vec<String> = items.iter().map(|v| v.display_with(universe)).collect();
                 format!("{{{}}}", inner.join(", "))
             }
         }
@@ -305,7 +302,11 @@ mod tests {
     #[test]
     fn set_values_are_canonical() {
         let a = atoms(2);
-        let s1 = Value::set(vec![Value::Atom(a[0]), Value::Atom(a[1]), Value::Atom(a[0])]);
+        let s1 = Value::set(vec![
+            Value::Atom(a[0]),
+            Value::Atom(a[1]),
+            Value::Atom(a[0]),
+        ]);
         let s2 = Value::set(vec![Value::Atom(a[1]), Value::Atom(a[0])]);
         assert_eq!(s1, s2);
         assert_eq!(s1.cardinality(), Some(2));
@@ -376,7 +377,10 @@ mod tests {
         let mary = u.atom("Mary");
         let v = Value::set(vec![Value::pair(tom, mary)]);
         assert_eq!(v.display_with(&u), "{[Tom, Mary]}");
-        assert_eq!(format!("{v}"), format!("{{[a{}, a{}]}}", tom.id(), mary.id()));
+        assert_eq!(
+            format!("{v}"),
+            format!("{{[a{}, a{}]}}", tom.id(), mary.id())
+        );
     }
 
     #[test]

@@ -213,7 +213,11 @@ fn fire_rec(
         return;
     }
     let literal = &rule.body[body_index];
-    let store = if body_index == delta_position { delta } else { total };
+    let store = if body_index == delta_position {
+        delta
+    } else {
+        total
+    };
     let Some(relation) = store.get(&literal.pred) else {
         return;
     };
@@ -275,7 +279,10 @@ mod tests {
     fn tc_program() -> Program {
         // T(x,y) :- E(x,y).   T(x,z) :- T(x,y), E(y,z).
         Program::new(vec![
-            Rule::new(Atom::vars("T", &["x", "y"]), vec![Atom::vars("E", &["x", "y"])]),
+            Rule::new(
+                Atom::vars("T", &["x", "y"]),
+                vec![Atom::vars("E", &["x", "y"])],
+            ),
             Rule::new(
                 Atom::vars("T", &["x", "z"]),
                 vec![Atom::vars("T", &["x", "y"]), Atom::vars("E", &["y", "z"])],
@@ -285,12 +292,8 @@ mod tests {
 
     #[test]
     fn transitive_closure_program_matches_direct_algorithm() {
-        let edges = Relation::from_pairs(vec![
-            (a(0), a(1)),
-            (a(1), a(2)),
-            (a(2), a(3)),
-            (a(3), a(1)),
-        ]);
+        let edges =
+            Relation::from_pairs(vec![(a(0), a(1)), (a(1), a(2)), (a(2), a(3)), (a(3), a(1))]);
         let mut edb = BTreeMap::new();
         edb.insert("E".to_string(), edges.clone());
         let result = tc_program().evaluate(&edb);
@@ -324,7 +327,10 @@ mod tests {
     fn same_generation_program() {
         // sg(x,y) :- flat(x,y).  sg(x,y) :- up(x,u), sg(u,v), down(v,y).
         let program = Program::new(vec![
-            Rule::new(Atom::vars("sg", &["x", "y"]), vec![Atom::vars("flat", &["x", "y"])]),
+            Rule::new(
+                Atom::vars("sg", &["x", "y"]),
+                vec![Atom::vars("flat", &["x", "y"])],
+            ),
             Rule::new(
                 Atom::vars("sg", &["x", "y"]),
                 vec![
@@ -336,9 +342,15 @@ mod tests {
         ]);
         assert!(program.is_safe());
         let mut edb = BTreeMap::new();
-        edb.insert("up".to_string(), Relation::from_pairs(vec![(a(1), a(3)), (a(2), a(4))]));
+        edb.insert(
+            "up".to_string(),
+            Relation::from_pairs(vec![(a(1), a(3)), (a(2), a(4))]),
+        );
         edb.insert("flat".to_string(), Relation::from_pairs(vec![(a(3), a(4))]));
-        edb.insert("down".to_string(), Relation::from_pairs(vec![(a(4), a(2)), (a(3), a(1))]));
+        edb.insert(
+            "down".to_string(),
+            Relation::from_pairs(vec![(a(4), a(2)), (a(3), a(1))]),
+        );
         let result = program.evaluate(&edb);
         let sg = &result["sg"];
         assert!(sg.contains(&[a(3), a(4)]));

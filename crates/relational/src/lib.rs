@@ -26,6 +26,6 @@ pub mod tc;
 pub mod while_loop;
 
 pub use datalog::{Atom as DatalogAtom, Program, Rule, TermPattern};
-pub use tc::{transitive_closure_naive, transitive_closure_seminaive, transitive_closure_warshall};
 pub use relation::Relation;
+pub use tc::{transitive_closure_naive, transitive_closure_seminaive, transitive_closure_warshall};
 pub use while_loop::{RaExpr, Statement, WhileProgram};

@@ -130,7 +130,11 @@ impl Relation {
         if self.arity == 1 {
             Instance::from_atoms(self.tuples.iter().map(|t| t[0]))
         } else {
-            Instance::from_values(self.tuples.iter().map(|t| Value::atom_tuple(t.iter().copied())))
+            Instance::from_values(
+                self.tuples
+                    .iter()
+                    .map(|t| Value::atom_tuple(t.iter().copied())),
+            )
         }
     }
 

@@ -151,12 +151,8 @@ mod tests {
 
     #[test]
     fn closure_agrees_with_bfs_reachability() {
-        let edges = Relation::from_pairs(vec![
-            (a(0), a(1)),
-            (a(1), a(2)),
-            (a(2), a(1)),
-            (a(3), a(0)),
-        ]);
+        let edges =
+            Relation::from_pairs(vec![(a(0), a(1)), (a(1), a(2)), (a(2), a(1)), (a(3), a(0))]);
         let closure = transitive_closure_seminaive(&edges);
         for &source in &[a(0), a(1), a(2), a(3)] {
             let reach = reachable_from(&edges, source);

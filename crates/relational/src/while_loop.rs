@@ -177,11 +177,11 @@ impl WhileProgram {
             Statement::WhileNonempty { watched, body } => {
                 let mut iterations = 0u64;
                 loop {
-                    let watched_rel = env.get(watched).ok_or_else(|| {
-                        WhileError::UnknownRelation {
-                            name: watched.clone(),
-                        }
-                    })?;
+                    let watched_rel =
+                        env.get(watched)
+                            .ok_or_else(|| WhileError::UnknownRelation {
+                                name: watched.clone(),
+                            })?;
                     if watched_rel.is_empty() {
                         return Ok(());
                     }

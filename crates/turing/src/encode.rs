@@ -67,7 +67,11 @@ impl EncodedComputation {
 
 /// Encode a run of `machine` into a flat relation, inventing the necessary index
 /// atoms from `universe`.
-pub fn encode_run(run: &Run, machine: &TuringMachine, universe: &mut Universe) -> EncodedComputation {
+pub fn encode_run(
+    run: &Run,
+    machine: &TuringMachine,
+    universe: &mut Universe,
+) -> EncodedComputation {
     let steps = run.trace.len();
     let cells = run.tape_cells();
     let step_atoms = universe.invent_many(steps);
@@ -239,7 +243,10 @@ pub fn verify_encoding(
                 current.tape[p]
             };
             if next.tape[p] != expected {
-                return Err(format!("cell {p} changed illegally between steps {t} and {}", t + 1));
+                return Err(format!(
+                    "cell {p} changed illegally between steps {t} and {}",
+                    t + 1
+                ));
             }
         }
         let expected_head = match transition.movement {
@@ -248,10 +255,16 @@ pub fn verify_encoding(
             Move::Stay => head,
         };
         if next.head != Some(expected_head) {
-            return Err(format!("head moved illegally between steps {t} and {}", t + 1));
+            return Err(format!(
+                "head moved illegally between steps {t} and {}",
+                t + 1
+            ));
         }
         if next.state != Some(transition.next_state) {
-            return Err(format!("state changed illegally between steps {t} and {}", t + 1));
+            return Err(format!(
+                "state changed illegally between steps {t} and {}",
+                t + 1
+            ));
         }
     }
 

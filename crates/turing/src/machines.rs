@@ -116,8 +116,8 @@ mod tests {
     #[test]
     fn palindrome_machine_is_quadratic_ish() {
         let m = palindrome_machine();
-        let short = run(&m, &vec![ONE; 4], 10_000).steps();
-        let long = run(&m, &vec![ONE; 8], 10_000).steps();
+        let short = run(&m, &[ONE; 4], 10_000).steps();
+        let long = run(&m, &[ONE; 8], 10_000).steps();
         // Doubling the input should more than double the number of steps.
         assert!(long > 2 * short, "short={short} long={long}");
     }

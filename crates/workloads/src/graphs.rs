@@ -9,7 +9,9 @@ use rand::{Rng, SeedableRng};
 
 /// Edges of a directed chain `0 → 1 → … → n-1`.
 pub fn chain_edges(n: u32) -> Vec<(Atom, Atom)> {
-    (0..n.saturating_sub(1)).map(|i| (Atom(i), Atom(i + 1))).collect()
+    (0..n.saturating_sub(1))
+        .map(|i| (Atom(i), Atom(i + 1)))
+        .collect()
 }
 
 /// Edges of a directed cycle on `n` nodes.
@@ -28,7 +30,11 @@ pub fn tree_edges(n: u32) -> Vec<(Atom, Atom)> {
 /// Edges of the complete directed graph (without self-loops) on `n` nodes.
 pub fn complete_edges(n: u32) -> Vec<(Atom, Atom)> {
     (0..n)
-        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (Atom(i), Atom(j))))
+        .flat_map(|i| {
+            (0..n)
+                .filter(move |&j| j != i)
+                .map(move |j| (Atom(i), Atom(j)))
+        })
         .collect()
 }
 

@@ -13,18 +13,22 @@ fn main() {
     let tom = universe.atom("Tom");
     let mary = universe.atom("Mary");
     let sue = universe.atom("Sue");
-    let db = Database::single(
-        "PAR",
-        Instance::from_pairs(vec![(tom, mary), (mary, sue)]),
+    let db = Database::single("PAR", Instance::from_pairs(vec![(tom, mary), (mary, sue)]));
+    println!(
+        "database PAR has {} tuples over {} atoms",
+        db.relation("PAR").unwrap().len(),
+        db.active_domain().len()
     );
-    println!("database PAR has {} tuples over {} atoms", db.relation("PAR").unwrap().len(), db.active_domain().len());
 
     // --------------------------------------------------- calculus evaluation ----
     let engine = Engine::new();
 
     let grandparent = queries::grandparent_query();
     let answer = engine.eval_calculus(&grandparent, &db).unwrap();
-    println!("\ngrandparent query ({}):", grandparent.classification().minimal_class);
+    println!(
+        "\ngrandparent query ({}):",
+        grandparent.classification().minimal_class
+    );
     for value in answer.result.iter() {
         println!("  {}", value.display_with(&universe));
     }
@@ -53,7 +57,9 @@ fn main() {
         .product(AlgExpr::pred("PAR"))
         .select(SelFormula::coords_eq(2, 3))
         .project(vec![1, 4]);
-    let algebra_answer = engine.eval_algebra(&grandparent_algebra, &schema, &db).unwrap();
+    let algebra_answer = engine
+        .eval_algebra(&grandparent_algebra, &schema, &db)
+        .unwrap();
     assert_eq!(algebra_answer, answer.result);
     println!("\nthe algebra expression {grandparent_algebra} agrees with the calculus query");
 

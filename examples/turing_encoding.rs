@@ -58,9 +58,15 @@ fn main() {
     // A variable of type {[T, T, U, U]} can index hyp(w, a, i) steps when T has
     // set-height i (Example 3.5).  Tabulate that bound for small parameters.
     println!("\nindex space provided by an intermediate type of set-height i (w = 2, a = 4):");
-    println!("{:>6} {:>22} {:>22}", "i", "log2 |cons_A(T_big)|", "log2 hyp(2, 4, i)");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "i", "log2 |cons_A(T_big)|", "log2 hyp(2, 4, i)"
+    );
     for row in growth_table(3, 4, 2) {
-        println!("{:>6} {:>22.1} {:>22.1}", row.level, row.cons_log2, row.hyp_log2);
+        println!(
+            "{:>6} {:>22.1} {:>22.1}",
+            row.level, row.cons_log2, row.hyp_log2
+        );
     }
     println!(
         "\nEach extra set level multiplies the number of encodable computation steps by an\n\

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this shim reimplements
+//! the part of the `proptest 1.x` API that the workspace's property suites use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_filter`, `prop_recursive`,
+//!   and `boxed`;
+//! * primitive strategies: [`Just`](strategy::Just), integer ranges, tuples,
+//!   [`any::<T>()`](arbitrary::any);
+//! * [`collection::vec`] and [`collection::btree_set`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`], and
+//!   [`prop_assert_eq!`] macros;
+//! * [`ProptestConfig`](test_runner::ProptestConfig) and
+//!   [`TestCaseError`](test_runner::TestCaseError).
+//!
+//! # Determinism instead of regression files
+//!
+//! The real proptest records failing cases in `proptest-regressions/` and
+//! replays them; it also seeds its RNG from the OS, so two runs explore
+//! different cases.  This shim takes the reproducible-CI route instead: every
+//! test derives its base seed **deterministically from the test's module path
+//! and name**, so a given workspace revision always explores exactly the same
+//! cases, locally and in CI.  Two environment variables tune a run:
+//!
+//! * `PROPTEST_SEED` — XOR-ed into the per-test base seed to explore a fresh
+//!   slice of the input space (e.g. a nightly job can set it to the run id);
+//! * `PROPTEST_CASES` — overrides the per-test case count.
+//!
+//! On failure the harness panics with the test's seed and case index; re-running
+//! with the printed `PROPTEST_SEED` reproduces the exact failing case, which is
+//! what the regression files would have bought us.  There is no shrinking: the
+//! strategies here generate small inputs by construction.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Combine several strategies for the same value type, choosing uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (not the
+/// whole process) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declare deterministic property tests.
+///
+/// Supports the standard form used throughout this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, v in collection::vec(any::<bool>(), 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for_case(case);
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
+                )*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(error) = outcome {
+                    runner.report_failure(case, &error);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_maps_sample_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        let strategy = (0u32..5, 10usize..12).prop_map(|(a, b)| (a, b));
+        for _ in 0..200 {
+            let (a, b) = strategy.sample(&mut rng);
+            assert!(a < 5);
+            assert!((10..12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn filter_retries_until_predicate_holds() {
+        let mut rng = crate::test_runner::TestRng::new(2);
+        let even = (0u64..100).prop_filter("even", |x| x % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(even.sample(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strategy = Just(Tree::Leaf).prop_recursive(3, 12, 3, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::test_runner::TestRng::new(3);
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            let tree = strategy.sample(&mut rng);
+            max_depth = max_depth.max(depth(&tree));
+        }
+        assert!(max_depth >= 1, "recursion never fired");
+        assert!(max_depth <= 3, "depth bound violated: {max_depth}");
+    }
+
+    #[test]
+    fn collections_honour_size_specs() {
+        let mut rng = crate::test_runner::TestRng::new(4);
+        let exact = crate::collection::vec(any::<bool>(), 4);
+        let ranged = crate::collection::btree_set(0u32..50, 1..6);
+        for _ in 0..100 {
+            assert_eq!(exact.sample(&mut rng).len(), 4);
+            let set = ranged.sample(&mut rng);
+            assert!((1..6).contains(&set.len()), "len {}", set.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro wires strategies, assertions, and the runner together.
+        #[test]
+        fn macro_end_to_end(x in 0u32..10, flags in crate::collection::vec(any::<bool>(), 2)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(flags.len(), 2);
+        }
+    }
+}

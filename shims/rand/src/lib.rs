@@ -1,0 +1,242 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this shim provides the
+//! (small) part of the `rand 0.8` API that the workspace actually uses:
+//!
+//! * [`rngs::SmallRng`] — a small, fast, seedable PRNG;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng::gen_bool`], [`Rng::gen_range`], [`Rng::gen`].
+//!
+//! The generator is SplitMix64 feeding xoshiro256++, which matches the quality
+//! class of the real `SmallRng` (also a xoshiro variant).  Streams are fully
+//! deterministic per seed, which is what the workload generators rely on.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 random mantissa bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniform sample from a (half-open or inclusive) integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+    {
+        T::sample(range.into(), self)
+    }
+
+    /// A uniform sample of a primitive type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy {
+    fn sample<R: RngCore + ?Sized>(range: UniformRange<Self>, rng: &mut R) -> Self;
+}
+
+/// A resolved range handed to [`SampleUniform::sample`]: the lower bound plus
+/// the number of admissible values.  `span == 0` encodes "the whole type
+/// domain", which is only reachable for 64-bit types (smaller domains fit in
+/// the `u64` span exactly).
+pub struct UniformRange<T> {
+    pub low: T,
+    pub span: u64,
+}
+
+macro_rules! impl_sample_uniform {
+    ($(($t:ty, $unsigned:ty)),*) => {$(
+        impl From<std::ops::Range<$t>> for UniformRange<$t> {
+            fn from(r: std::ops::Range<$t>) -> Self {
+                assert!(r.start < r.end, "gen_range called with an empty range");
+                // Route the width through the unsigned twin so signed ranges
+                // (e.g. -100i8..100) do not sign-extend or overflow.
+                let span = r.end.wrapping_sub(r.start) as $unsigned as u64;
+                UniformRange { low: r.start, span }
+            }
+        }
+        impl From<std::ops::RangeInclusive<$t>> for UniformRange<$t> {
+            fn from(r: std::ops::RangeInclusive<$t>) -> Self {
+                assert!(r.start() <= r.end(), "gen_range called with an empty range");
+                let width = r.end().wrapping_sub(*r.start()) as $unsigned as u64;
+                // Wraps to 0 exactly when the range covers a full 64-bit
+                // domain, which sample() treats as "whole type".
+                UniformRange { low: *r.start(), span: width.wrapping_add(1) }
+            }
+        }
+        impl SampleUniform for $t {
+            fn sample<R: RngCore + ?Sized>(range: UniformRange<Self>, rng: &mut R) -> Self {
+                if range.span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                range.low.wrapping_add((rng.next_u64() % range.span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(
+    (u8, u8),
+    (u16, u16),
+    (u32, u32),
+    (u64, u64),
+    (usize, usize),
+    (i8, u8),
+    (i16, u16),
+    (i32, u32),
+    (i64, u64),
+    (isize, usize)
+);
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic PRNG (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_extremes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        // Out-of-range probabilities are clamped rather than panicking.
+        assert!(rng.gen_bool(2.0));
+        assert!(!rng.gen_bool(-1.0));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(5u32..10);
+            assert!((5..10).contains(&x));
+            let y: i64 = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_bounds_at_type_extremes() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            // Inclusive upper bound at T::MAX must not wrap out of range.
+            let x: u8 = rng.gen_range(1u8..=255);
+            assert!(x >= 1);
+            saw_max |= x == 255;
+            // Signed range wider than the signed type's positive half.
+            let y: i8 = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&y));
+            // Full 64-bit domain (span wraps to the "whole type" marker).
+            let _: u64 = rng.gen_range(0u64..=u64::MAX);
+        }
+        assert!(saw_max, "inclusive upper bound was never sampled");
+    }
+}

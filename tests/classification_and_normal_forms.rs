@@ -6,15 +6,19 @@ use itq_calculus::classify::CalcClass;
 use itq_calculus::eval::EvalConfig;
 use itq_calculus::normal::{sf_classification, to_prenex};
 use itq_calculus::{Formula, Query, Term};
-use itq_core::hierarchy::{hierarchy_table, level_zero_one_witnesses};
 use itq_core::complexity::{theorem_4_4_bounds, variable_space_bound};
+use itq_core::hierarchy::{hierarchy_table, level_zero_one_witnesses};
 use itq_core::queries;
 use itq_object::{Atom, Schema, Type};
 
 #[test]
 fn query_library_classifications_match_the_paper() {
     let expectations = vec![
-        ("grandparent", queries::grandparent_query(), CalcClass::new(0, 0)),
+        (
+            "grandparent",
+            queries::grandparent_query(),
+            CalcClass::new(0, 0),
+        ),
         ("sibling", queries::sibling_query(), CalcClass::new(0, 0)),
         (
             "transitive closure",
@@ -31,7 +35,11 @@ fn query_library_classifications_match_the_paper() {
             queries::perfect_square_query(),
             CalcClass::new(0, 1),
         ),
-        ("total orders", queries::total_orders_query(), CalcClass::new(1, 0)),
+        (
+            "total orders",
+            queries::total_orders_query(),
+            CalcClass::new(1, 0),
+        ),
     ];
     for (name, query, expected) in expectations {
         assert_eq!(query.classification().minimal_class, expected, "{name}");
@@ -43,7 +51,8 @@ fn prenexing_preserves_answers_for_the_flat_queries() {
     // Prenexing quantifiers over flat types preserves the limited-interpretation
     // semantics on non-empty databases; check it end-to-end on the grandparent
     // and sibling queries.
-    let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2)), (Atom(0), Atom(3))]);
+    let db =
+        queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2)), (Atom(0), Atom(3))]);
     let config = EvalConfig::default();
     for query in [queries::grandparent_query(), queries::sibling_query()] {
         let direct = query.eval(&db, &config).unwrap();
@@ -73,7 +82,10 @@ fn sf_fragment_membership_of_the_library() {
 #[test]
 fn hierarchy_witnesses_and_counting_power() {
     for witness in level_zero_one_witnesses() {
-        assert_eq!(witness.query.classification().minimal_class, witness.in_class);
+        assert_eq!(
+            witness.query.classification().minimal_class,
+            witness.in_class
+        );
     }
     // Counting power strictly increases level over level for every small domain.
     for atoms in 1..5u64 {

@@ -6,8 +6,8 @@ use itq_calculus::{Formula, Query, Term};
 use itq_core::prelude::*;
 use itq_core::queries;
 use itq_invention::{
-    bounded_invention, eval_with_invented, finite_invention, terminal_invention,
-    InventionConfig, TerminalOutcome, UniversalCodec,
+    bounded_invention, eval_with_invented, finite_invention, terminal_invention, InventionConfig,
+    TerminalOutcome, UniversalCodec,
 };
 use itq_workloads::people::person_database;
 
@@ -82,7 +82,8 @@ fn finite_invention_strictly_extends_the_limited_interpretation() {
     assert_eq!(report.answers[1].len(), 3);
     assert_eq!(report.union.len(), 3);
     // Bounded invention with bound 0 coincides with the limited interpretation.
-    let zero = bounded_invention(&query, &db, &mut universe, |_| 0, &EvalConfig::default()).unwrap();
+    let zero =
+        bounded_invention(&query, &db, &mut universe, |_| 0, &EvalConfig::default()).unwrap();
     assert!(zero.is_empty());
 }
 

@@ -5,12 +5,12 @@
 
 use itq_calculus::eval::EvalConfig;
 use itq_core::queries::{parent_database, transitive_closure_query};
+use itq_object::Atom;
 use itq_relational::datalog::{Atom as DatalogAtom, Program, Rule};
 use itq_relational::while_loop::transitive_closure_program;
 use itq_relational::{
     transitive_closure_naive, transitive_closure_seminaive, transitive_closure_warshall, Relation,
 };
-use itq_object::Atom;
 use itq_workloads::graphs::{chain_edges, cycle_edges, random_digraph, tree_edges};
 use std::collections::BTreeMap;
 

@@ -34,9 +34,8 @@ fn encodings_of_varied_machines_all_verify() {
         let execution = run(&machine, &input, 100_000);
         assert_eq!(execution.accepted(), accepts, "{machine}");
         let encoding = encode_run(&execution, &machine, &mut universe);
-        verify_encoding(&encoding, &machine, accepts).unwrap_or_else(|e| {
-            panic!("encoding of {machine} on {input:?} failed to verify: {e}")
-        });
+        verify_encoding(&encoding, &machine, accepts)
+            .unwrap_or_else(|e| panic!("encoding of {machine} on {input:?} failed to verify: {e}"));
         // The encoding is rectangular: steps × cells rows of the 4-column type.
         assert_eq!(
             encoding.len(),
