@@ -42,6 +42,7 @@ pub use error::AlgError;
 pub use eval::EvalConfig;
 pub use expr::{AlgExpr, SelFormula, SelTerm};
 pub use to_calculus::to_calculus_query;
+pub use typing::infer_type;
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, AlgError>;

@@ -1,0 +1,85 @@
+//! E11 — the surface-language parser: lex+parse throughput on the printed
+//! forms of the repo's canonical queries and on synthetically deep formulas
+//! and algebra expressions, plus the full parse→validate path for queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use itq_calculus::{Formula, Term};
+use itq_core::queries;
+use itq_object::Type;
+use itq_surface::{parse_alg_expr, parse_formula, parse_query};
+
+/// A right-nested chain `∃x/[U,U] (PAR(x) ∧ … )` of the given depth.
+fn deep_formula(depth: usize) -> Formula {
+    let mut f = Formula::eq(Term::proj("t", 1), Term::proj("t", 2));
+    for i in 0..depth {
+        let var = format!("x{i}");
+        f = Formula::exists(
+            &var,
+            Type::flat_tuple(2),
+            Formula::and(vec![
+                Formula::pred("PAR", Term::var(&var)),
+                Formula::or(vec![f, Formula::falsity()]),
+            ]),
+        );
+    }
+    f
+}
+
+fn bench_formula_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/parse-formula");
+    // Each chain level spends ~3 nesting units; 32 stays well inside the
+    // parser's MAX_DEPTH bound of 200.
+    for depth in [4usize, 16, 32] {
+        let text = deep_formula(depth).to_string();
+        group.throughput(criterion::Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &text, |b, text| {
+            b.iter(|| parse_formula(text).unwrap().size())
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/parse-and-validate-query");
+    let named = [
+        ("grandparent", queries::grandparent_query()),
+        ("transitive-closure", queries::transitive_closure_query()),
+        ("even-cardinality", queries::even_cardinality_query()),
+    ];
+    for (name, query) in named {
+        let text = query.to_string();
+        let schema = query.schema().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &text, |b, text| {
+            b.iter(|| parse_query(text, &schema).unwrap().body().size())
+        });
+    }
+    group.finish();
+}
+
+fn bench_alg_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E11/parse-algebra");
+    // A wide expression: repeated joins with selections and projections.
+    for width in [2usize, 8, 32] {
+        let mut expr = itq_algebra::AlgExpr::pred("PAR");
+        for _ in 0..width {
+            expr = expr
+                .product(itq_algebra::AlgExpr::pred("PAR"))
+                .select(itq_algebra::SelFormula::coords_eq(2, 3))
+                .project(vec![1, 4]);
+        }
+        let text = expr.to_string();
+        group.throughput(criterion::Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &text, |b, text| {
+            b.iter(|| parse_alg_expr(text).unwrap().size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_formula_parse,
+    bench_query_parse,
+    bench_alg_parse
+);
+criterion_main!(benches);

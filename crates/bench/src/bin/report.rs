@@ -6,9 +6,13 @@
 //! ```text
 //! cargo run --release -p itq-bench --bin report            # all experiments
 //! cargo run --release -p itq-bench --bin report -- E2 E3   # a subset
+//! cargo run --release -p itq-bench --bin report -- --script exp.itq
 //! ```
 //!
 //! The tables are the source of the numbers recorded in `EXPERIMENTS.md`.
+//! With `--script`, the named `.itq` surface-language script is executed
+//! through an [`itq_surface::Session`] instead, so ad-hoc experiments can be
+//! written as text without recompiling (the same scripts the `itq` REPL runs).
 
 use itq_calculus::eval::EvalConfig;
 use itq_calculus::normal::sf_classification;
@@ -56,7 +60,18 @@ const EXPERIMENTS: [Experiment; 10] = [
 ];
 
 fn main() {
-    let requested: Vec<String> = std::env::args().skip(1).map(|s| s.to_uppercase()).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--script") {
+        match raw.get(1) {
+            Some(path) => run_script(path),
+            None => {
+                eprintln!("error: --script needs a file argument");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let requested: Vec<String> = raw.iter().map(|s| s.to_uppercase()).collect();
     let unknown: Vec<&String> = requested
         .iter()
         .filter(|r| EXPERIMENTS.iter().all(|(id, _)| id != r))
@@ -72,6 +87,35 @@ fn main() {
     for (id, experiment) in EXPERIMENTS {
         if requested.is_empty() || requested.iter().any(|r| r == id) {
             print!("{}", experiment());
+        }
+    }
+}
+
+/// `--script FILE.itq`: run a surface-language experiment script through a
+/// fresh engine session, timing the whole run.
+fn run_script(path: &str) {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut session = itq_surface::Session::new();
+    let start = Instant::now();
+    match session.run_source(&source) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+            println!(
+                "script {path}: ok ({:.1} ms)",
+                start.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
         }
     }
 }

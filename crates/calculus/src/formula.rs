@@ -333,9 +333,16 @@ impl fmt::Debug for Formula {
             Formula::Member(t1, t2) => write!(f, "{t1} ∈ {t2}"),
             Formula::Pred(name, t) => write!(f, "{name}({t})"),
             Formula::Not(inner) => write!(f, "¬({inner:?})"),
+            // A singleton conjunction/disjunction must not print as a bare
+            // parenthesized formula: `(φ)` would reparse as φ itself, losing the
+            // n-ary node.  The n-ary prefix forms `⋀(φ)` / `⋁(φ)` are unambiguous
+            // and are exactly what `itq-surface` parses them back into.
             Formula::And(fs) => {
                 if fs.is_empty() {
                     return write!(f, "⊤");
+                }
+                if let [only] = fs.as_slice() {
+                    return write!(f, "⋀({only:?})");
                 }
                 write!(f, "(")?;
                 for (i, sub) in fs.iter().enumerate() {
@@ -349,6 +356,9 @@ impl fmt::Debug for Formula {
             Formula::Or(fs) => {
                 if fs.is_empty() {
                     return write!(f, "⊥");
+                }
+                if let [only] = fs.as_slice() {
+                    return write!(f, "⋁({only:?})");
                 }
                 write!(f, "(")?;
                 for (i, sub) in fs.iter().enumerate() {
@@ -491,6 +501,23 @@ mod tests {
         assert!(iff.to_string().contains("↔"));
         let neg = Formula::not(Formula::truth());
         assert!(neg.to_string().starts_with("¬"));
+    }
+
+    #[test]
+    fn singleton_connectives_display_unambiguously() {
+        // `(φ)` would be indistinguishable from a parenthesized φ, so the
+        // one-element conjunction/disjunction use the n-ary prefix forms.
+        let p = Formula::pred("P", Term::var("x"));
+        assert_eq!(Formula::and(vec![p.clone()]).to_string(), "⋀(P(x))");
+        assert_eq!(Formula::or(vec![p.clone()]).to_string(), "⋁(P(x))");
+        // Two elements and up keep the familiar infix rendering.
+        assert_eq!(
+            Formula::and(vec![p.clone(), p.clone()]).to_string(),
+            "(P(x) ∧ P(x))"
+        );
+        // Nested singletons stay distinguishable at every level.
+        let nested = Formula::and(vec![Formula::or(vec![p])]);
+        assert_eq!(nested.to_string(), "⋀(⋁(P(x)))");
     }
 
     #[test]

@@ -24,6 +24,48 @@ pub enum Semantics {
     TerminalInvention,
 }
 
+impl Semantics {
+    /// All semantics, in paper order — handy for sweeps and help texts.
+    pub const ALL: [Semantics; 3] = [
+        Semantics::Limited,
+        Semantics::FiniteInvention,
+        Semantics::TerminalInvention,
+    ];
+
+    /// The surface-language keyword for this semantics.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Semantics::Limited => "limited",
+            Semantics::FiniteInvention => "finite-invention",
+            Semantics::TerminalInvention => "terminal-invention",
+        }
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+impl std::str::FromStr for Semantics {
+    type Err = String;
+
+    /// Parse a semantics keyword as used by the `itq` surface language
+    /// (`limited`, `finite-invention`, `terminal-invention`; underscores are
+    /// accepted in place of hyphens).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.replace('_', "-").as_str() {
+            "limited" => Ok(Semantics::Limited),
+            "finite-invention" => Ok(Semantics::FiniteInvention),
+            "terminal-invention" => Ok(Semantics::TerminalInvention),
+            other => Err(format!(
+                "unknown semantics `{other}`; expected one of limited, finite-invention, terminal-invention"
+            )),
+        }
+    }
+}
+
 /// Errors surfaced by the engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
@@ -113,6 +155,18 @@ impl Engine {
     /// Access the engine's universe (used to intern workload atoms by name).
     pub fn universe_mut(&mut self) -> &mut Universe {
         &mut self.universe
+    }
+
+    /// Read-only view of the engine's universe (used to resolve atom names when
+    /// rendering answers, e.g. by the `itq` REPL session).
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Compile an algebra expression into an equivalent calculus query — the
+    /// executable direction of Theorem 3.8 (`ALG_{k,i} ⊆ CALC_{k,i}`).
+    pub fn compile_algebra(&self, expr: &AlgExpr, schema: &Schema) -> Result<Query, EngineError> {
+        Ok(itq_algebra::to_calculus_query(expr, schema)?)
     }
 
     /// Classify a query into its minimal `CALC_{k,i}` family.
@@ -292,6 +346,35 @@ mod tests {
             TerminalOutcome::UndefinedWithinBound { tried } => assert!(tried > 0),
             other => panic!("unexpected outcome {other:?}"),
         }
+    }
+
+    #[test]
+    fn semantics_keywords_round_trip() {
+        for s in Semantics::ALL {
+            assert_eq!(s.to_string().parse::<Semantics>().unwrap(), s);
+        }
+        assert_eq!(
+            "finite_invention".parse::<Semantics>().unwrap(),
+            Semantics::FiniteInvention
+        );
+        assert!("naive".parse::<Semantics>().is_err());
+    }
+
+    #[test]
+    fn compile_algebra_matches_direct_translation() {
+        let engine = Engine::new();
+        let expr = AlgExpr::pred("PAR")
+            .product(AlgExpr::pred("PAR"))
+            .select(SelFormula::coords_eq(2, 3))
+            .project(vec![1, 4]);
+        let compiled = engine.compile_algebra(&expr, &parent_schema()).unwrap();
+        let direct = engine.eval_calculus(&compiled, &db()).unwrap();
+        let alg = engine.eval_algebra(&expr, &parent_schema(), &db()).unwrap();
+        assert_eq!(direct.result, alg);
+        // The read-only universe accessor observes interned atoms.
+        let mut engine = Engine::new();
+        engine.universe_mut().atom("Tom");
+        assert_eq!(engine.universe().len(), 1);
     }
 
     #[test]

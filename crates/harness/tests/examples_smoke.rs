@@ -53,3 +53,8 @@ fn turing_encoding_runs_to_completion() {
 fn invention_universal_type_runs_to_completion() {
     run_example("invention_universal_type");
 }
+
+#[test]
+fn surface_repl_runs_to_completion() {
+    run_example("surface_repl");
+}

@@ -44,6 +44,27 @@ impl From<u32> for Atom {
     }
 }
 
+impl std::str::FromStr for Atom {
+    type Err = String;
+
+    /// Parse the `Display` form `a<id>` of an atom, e.g. `a7`.
+    ///
+    /// Named atoms have no universal spelling — names live in a [`Universe`] —
+    /// so only the raw-id form is accepted here; `itq-surface` resolves names.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix('a')
+            .ok_or_else(|| format!("expected an atom of the form `a<id>`, found `{s}`"))?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(format!("expected an atom of the form `a<id>`, found `{s}`"));
+        }
+        let id: u32 = digits
+            .parse()
+            .map_err(|_| format!("atom id out of range in `{s}`"))?;
+        Ok(Atom(id))
+    }
+}
+
 /// A lazily materialised view of the countably infinite universe `U`.
 ///
 /// The universe interns named atoms (so workloads and examples can talk about
@@ -170,6 +191,17 @@ mod tests {
         assert_eq!(u.display(anon), format!("a{}", anon.id()));
         assert_eq!(u.lookup("Tom"), Some(tom));
         assert_eq!(u.lookup("Nobody"), None);
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        for id in [0u32, 7, u32::MAX] {
+            let a = Atom(id);
+            assert_eq!(a.to_string().parse::<Atom>().unwrap(), a);
+        }
+        for bad in ["", "a", "7", "a7x", "b7", "a-1", "a99999999999"] {
+            assert!(bad.parse::<Atom>().is_err(), "`{bad}` should not parse");
+        }
     }
 
     #[test]

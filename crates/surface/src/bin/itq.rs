@@ -1,0 +1,151 @@
+//! `itq` — the interactive shell and script runner for the whole engine.
+//!
+//! ```text
+//! itq                      # REPL on stdin (statements end with `;`)
+//! itq --script FILE.itq    # batch mode: run a script, stop at the first error
+//! itq -e 'STATEMENTS'      # one-shot: run statements from the command line
+//! ```
+//!
+//! The REPL keeps going after an error; batch and one-shot modes exit with
+//! status 1 on the first error so CI pipelines fail loudly.
+
+use itq_surface::script::split_statements;
+use itq_surface::session::{Control, Session};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => repl(),
+        [flag, file] if flag == "--script" => batch(&file_contents(file), Some(file)),
+        [flag, stmts] if flag == "-e" || flag == "--eval" => batch(stmts, None),
+        [flag] if flag == "--help" || flag == "-h" => {
+            print_usage();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("error: unrecognised arguments {args:?}");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!("usage: itq [--script FILE.itq | -e 'STATEMENTS' | --help]");
+    println!("With no arguments, reads `;`-terminated statements from stdin.");
+    println!("Type `help;` inside the session for the statement reference.");
+}
+
+fn file_contents(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Batch mode: run every statement, stop (exit 1) at the first error.
+fn batch(src: &str, origin: Option<&str>) -> ExitCode {
+    let mut session = Session::new();
+    for (chunk, base) in split_statements(src) {
+        match session.run_statement(&chunk, base) {
+            Ok(output) => {
+                for line in &output.lines {
+                    println!("{line}");
+                }
+                if output.control == Control::Quit {
+                    break;
+                }
+            }
+            Err(e) => {
+                match origin {
+                    Some(path) => eprintln!("{path}: {e}"),
+                    None => eprintln!("{e}"),
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Interactive mode: prompt, accumulate input until a `;` completes at least
+/// one statement, execute, report errors, continue.
+fn repl() -> ExitCode {
+    println!("itq — intermediate-type queries (type `help;`, quit with `quit;`)");
+    let stdin = std::io::stdin();
+    let mut session = Session::new();
+    let mut pending = String::new();
+    let mut prompt;
+    print!("itq> ");
+    let _ = std::io::stdout().flush();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error reading input: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        pending.push_str(&line);
+        pending.push('\n');
+        // Execute only once the buffered text ends in a complete statement;
+        // `split_statements` is quote- and comment-aware, so a `;` inside a
+        // string does not trigger execution.
+        if statement_complete(&pending) {
+            let src = std::mem::take(&mut pending);
+            if run_and_report(&mut session, &src) == Control::Quit {
+                return ExitCode::SUCCESS;
+            }
+            prompt = "itq> ";
+        } else {
+            prompt = "...> ";
+        }
+        print!("{prompt}");
+        let _ = std::io::stdout().flush();
+    }
+    println!();
+    ExitCode::SUCCESS
+}
+
+/// True if the buffered text ends with a statement terminator (outside quotes
+/// and comments) or contains nothing but whitespace/comments.
+fn statement_complete(buffered: &str) -> bool {
+    let chunks = split_statements(buffered);
+    if chunks.is_empty() {
+        return true;
+    }
+    // The splitter drops the terminator itself; re-scan for a trailing `;`
+    // after the start of the last chunk by checking whether appending a
+    // harmless statement would merge with it.
+    let mut probe = buffered.to_string();
+    probe.push_str("\nlist");
+    let probed = split_statements(&probe);
+    probed.len() > chunks.len()
+}
+
+/// Run buffered statements against the REPL session, reporting (but not
+/// aborting on) errors.
+fn run_and_report(session: &mut Session, src: &str) -> Control {
+    for (chunk, base) in split_statements(src) {
+        match session.run_statement(&chunk, base) {
+            Ok(output) => {
+                for line in &output.lines {
+                    println!("{line}");
+                }
+                if output.control == Control::Quit {
+                    return Control::Quit;
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                // Interactive sessions keep going after an error.
+            }
+        }
+    }
+    Control::Continue
+}

@@ -1,0 +1,90 @@
+//! Source-located errors for the surface language.
+//!
+//! Every error produced while lexing, parsing, or lowering a surface-language
+//! text carries the 1-based line and column of the offending character or
+//! token, so scripts and REPL input fail with a pointable location.
+
+use std::fmt;
+
+/// A position in the source text (1-based line and column, counted in
+/// characters, not bytes, so Unicode operators advance by one column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters).
+    pub column: usize,
+}
+
+impl Pos {
+    /// The start of the text.
+    pub fn start() -> Pos {
+        Pos { line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// A lexing, parsing, or lowering error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong, in terms of the expected grammar.
+    pub message: String,
+    /// Where it went wrong.
+    pub pos: Pos,
+}
+
+impl ParseError {
+    /// Build an error at a position.
+    pub fn new(message: impl Into<String>, pos: Pos) -> ParseError {
+        ParseError {
+            message: message.into(),
+            pos,
+        }
+    }
+
+    /// The 1-based line of the error.
+    pub fn line(&self) -> usize {
+        self.pos.line
+    }
+
+    /// The 1-based column of the error.
+    pub fn column(&self) -> usize {
+        self.pos.column
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_column() {
+        let e = ParseError::new(
+            "expected `)`",
+            Pos {
+                line: 3,
+                column: 14,
+            },
+        );
+        assert_eq!(e.to_string(), "parse error at 3:14: expected `)`");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 14);
+        assert_eq!(Pos::start().to_string(), "1:1");
+    }
+}

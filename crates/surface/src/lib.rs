@@ -1,0 +1,61 @@
+//! # itq-surface — a concrete syntax for intermediate-type queries
+//!
+//! Every other crate in the workspace builds queries as Rust ASTs.  This crate
+//! closes the loop with a *textual* surface:
+//!
+//! * a lexer ([`token`]) and recursive-descent parser ([`parser`]) for the
+//!   calculus (`{t/T | φ}` queries, formulas, terms), the algebra
+//!   (`π`/`σ`/`×`/`𝒫`/… expressions), and the object layer (types, values,
+//!   schema and database literals), with source-located errors ([`error`]);
+//! * a statement-oriented script language ([`script`]) — declare schemas,
+//!   databases, queries, and algebra expressions by name, then `classify`,
+//!   `typecheck`, `eval` (under all three semantics of the paper), and
+//!   `compile` them;
+//! * a [`Session`](session::Session) that executes scripts against
+//!   [`itq_core::Engine`], powering the `itq` REPL binary.
+//!
+//! The grammar is the exact inverse of the engine's `Display` impls:
+//! `parse(display(x)) == x` for [`Term`](itq_calculus::Term),
+//! [`Formula`](itq_calculus::Formula), [`Query`](itq_calculus::Query), and
+//! [`AlgExpr`](itq_algebra::AlgExpr) (property-tested in
+//! `tests/surface_roundtrip.rs`), so anything the engine prints can be piped
+//! straight back in.  ASCII aliases (`exists`, `and`, `->`, `pi`, …) make the
+//! notation typeable; see [`token`] for the full table.
+//!
+//! ## Example
+//!
+//! ```
+//! use itq_object::{Schema, Type};
+//! use itq_surface::{parse_formula, parse_query};
+//!
+//! let schema = Schema::single("PAR", Type::flat_tuple(2));
+//! let q = parse_query(
+//!     "{t/[U, U] | exists x/[U, U] exists y/[U, U] \
+//!      (PAR(x) and PAR(y) and x.2 == y.1 and t.1 == x.1 and t.2 == y.2)}",
+//!     &schema,
+//! )
+//! .unwrap();
+//! // What the engine prints, the parser accepts: an exact round-trip.
+//! assert_eq!(parse_query(&q.to_string(), &schema).unwrap(), q);
+//!
+//! let err = parse_formula("x ≈").unwrap_err();
+//! assert_eq!((err.line(), err.column()), (1, 4));
+//! ```
+
+pub mod error;
+pub mod parser;
+pub mod script;
+pub mod session;
+pub mod token;
+
+pub use error::{ParseError, Pos};
+pub use parser::{
+    parse_alg_expr, parse_alg_expr_with, parse_database_with, parse_formula, parse_formula_with,
+    parse_query, parse_query_with, parse_schema, parse_sel_formula, parse_term, parse_term_with,
+    parse_type, parse_value, parse_value_with, Parser,
+};
+pub use script::{parse_script, Stmt};
+pub use session::Session;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,573 @@
+//! The interactive session: named schemas, databases, queries, and algebra
+//! expressions, executed against an [`itq_core::Engine`].
+//!
+//! A [`Session`] is the semantic half of the `itq` REPL: feed it statement
+//! text ([`Session::run_source`] or [`Session::run_statement`]) and it parses
+//! against its own universe and schema table, executes, and returns the
+//! output lines.  Atom names interned while loading databases are used when
+//! rendering answers, so `eval gp on d` prints `[Tom, Sue]`, not `[a0, a2]`.
+
+use crate::error::{ParseError, Pos};
+use crate::script::{offset_error, parse_stmt, split_statements, Stmt};
+use itq_algebra::{classify_expr, infer_type, AlgExpr};
+use itq_calculus::Query;
+use itq_core::engine::{Engine, Semantics};
+use itq_core::prelude::TerminalOutcome;
+use itq_object::{Database, Instance, Schema};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An error from running a statement: a parse error (with script-absolute
+/// position) or an execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The statement did not parse.
+    Parse(ParseError),
+    /// The statement parsed but could not be executed.
+    Exec(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Exec(msg) => write!(f, "error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+
+/// What the REPL should do after a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep reading statements.
+    Continue,
+    /// A `quit`/`exit` statement was executed.
+    Quit,
+}
+
+/// The outcome of one statement: printable output lines plus a control flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StmtOutput {
+    /// Human-readable output lines.
+    pub lines: Vec<String>,
+    /// Whether the session should keep going.
+    pub control: Control,
+}
+
+/// A named-object session over an [`Engine`].
+pub struct Session {
+    engine: Engine,
+    schemas: BTreeMap<String, Schema>,
+    databases: BTreeMap<String, (String, Database)>,
+    queries: BTreeMap<String, (String, Query)>,
+    algebras: BTreeMap<String, (String, AlgExpr)>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A fresh session with default engine budgets.
+    pub fn new() -> Session {
+        Session {
+            engine: Engine::new(),
+            schemas: BTreeMap::new(),
+            databases: BTreeMap::new(),
+            queries: BTreeMap::new(),
+            algebras: BTreeMap::new(),
+        }
+    }
+
+    /// A session over a pre-configured engine (custom budgets).
+    pub fn with_engine(engine: Engine) -> Session {
+        Session {
+            engine,
+            ..Session::new()
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the underlying engine (budget tuning).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Look up a declared schema.
+    pub fn schema(&self, name: &str) -> Option<&Schema> {
+        self.schemas.get(name)
+    }
+
+    /// Look up a declared query.
+    pub fn query(&self, name: &str) -> Option<&Query> {
+        self.queries.get(name).map(|(_, q)| q)
+    }
+
+    /// Run a whole script, stopping at the first error (batch mode).  Returns
+    /// all output lines produced up to (and including) a `quit`.
+    pub fn run_source(&mut self, src: &str) -> Result<Vec<String>, SessionError> {
+        let mut out = Vec::new();
+        for (chunk, base) in split_statements(src) {
+            let result = self.run_statement(&chunk, base)?;
+            out.extend(result.lines);
+            if result.control == Control::Quit {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse and execute a single statement chunk whose first character sits
+    /// at `base` in the enclosing script (use [`Pos::start`] for standalone
+    /// text).  Error positions are reported script-absolute.
+    pub fn run_statement(&mut self, src: &str, base: Pos) -> Result<StmtOutput, SessionError> {
+        let stmt = parse_stmt(src, &self.schemas, self.engine.universe_mut())
+            .map_err(|e| offset_error(e, base))?;
+        self.execute(stmt)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute(&mut self, stmt: Stmt) -> Result<StmtOutput, SessionError> {
+        let mut lines = Vec::new();
+        let mut control = Control::Continue;
+        match stmt {
+            Stmt::DefSchema { name, schema } => {
+                lines.push(format!("schema {name} = {}", render_schema(&schema)));
+                self.schemas.insert(name, schema);
+            }
+            Stmt::DefDatabase {
+                name,
+                schema,
+                database,
+            } => {
+                lines.push(format!(
+                    "database {name} : {schema} ({} relation{}, {} atoms in adom)",
+                    database.len(),
+                    plural(database.len()),
+                    database.active_domain().len(),
+                ));
+                self.databases.insert(name, (schema, database));
+            }
+            Stmt::DefQuery {
+                name,
+                schema,
+                query,
+            } => {
+                lines.push(format!(
+                    "query {name} : {schema} → {} ({} quantifiers)",
+                    query.target_type(),
+                    query.body().quantifier_count(),
+                ));
+                self.queries.insert(name, (schema, query));
+            }
+            Stmt::DefAlgebra { name, schema, expr } => {
+                let schema_decl = self.schema_or_err(&schema)?;
+                let ty = infer_type(&expr, schema_decl)
+                    .map_err(|e| SessionError::Exec(format!("algebra `{name}`: {e}")))?;
+                lines.push(format!("algebra {name} : {schema} → {ty}"));
+                self.algebras.insert(name, (schema, expr));
+            }
+            Stmt::Show { name } => lines.extend(self.show(&name)?),
+            Stmt::List => lines.extend(self.list()),
+            Stmt::Classify { name } => lines.extend(self.classify(&name)?),
+            Stmt::Typecheck { name } => lines.extend(self.typecheck(&name)?),
+            Stmt::Eval {
+                name,
+                database,
+                semantics,
+            } => lines.extend(self.eval(&name, &database, semantics)?),
+            Stmt::Compile { name, target } => lines.extend(self.compile(&name, target)?),
+            Stmt::Help => lines.extend(help_text()),
+            Stmt::Quit => {
+                lines.push("bye".to_string());
+                control = Control::Quit;
+            }
+        }
+        Ok(StmtOutput { lines, control })
+    }
+
+    // ----- statement implementations -------------------------------------------
+
+    fn schema_or_err(&self, name: &str) -> Result<&Schema, SessionError> {
+        self.schemas
+            .get(name)
+            .ok_or_else(|| SessionError::Exec(format!("unknown schema `{name}`")))
+    }
+
+    fn show(&self, name: &str) -> Result<Vec<String>, SessionError> {
+        if let Some(schema) = self.schemas.get(name) {
+            return Ok(vec![format!("schema {name} = {}", render_schema(schema))]);
+        }
+        if let Some((schema, db)) = self.databases.get(name) {
+            let mut lines = vec![format!("database {name} : {schema}")];
+            for (pred, instance) in db.iter() {
+                lines.push(format!("  {pred} = {}", self.render_instance(instance),));
+            }
+            return Ok(lines);
+        }
+        if let Some((schema, query)) = self.queries.get(name) {
+            return Ok(vec![
+                format!("query {name} : {schema}"),
+                format!("  {query}"),
+            ]);
+        }
+        if let Some((schema, expr)) = self.algebras.get(name) {
+            return Ok(vec![
+                format!("algebra {name} : {schema}"),
+                format!("  {expr}"),
+            ]);
+        }
+        Err(SessionError::Exec(format!("nothing named `{name}`")))
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        let sections: [(&str, Vec<&String>); 4] = [
+            ("schemas", self.schemas.keys().collect()),
+            ("databases", self.databases.keys().collect()),
+            ("queries", self.queries.keys().collect()),
+            ("algebras", self.algebras.keys().collect()),
+        ];
+        for (what, names) in sections {
+            if !names.is_empty() {
+                let names: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+                lines.push(format!("{what}: {}", names.join(", ")));
+            }
+        }
+        if lines.is_empty() {
+            lines.push("nothing declared yet".to_string());
+        }
+        lines
+    }
+
+    fn classify(&self, name: &str) -> Result<Vec<String>, SessionError> {
+        if let Some((_, query)) = self.queries.get(name) {
+            let c = self.engine.classify(query);
+            let mut lines = vec![format!("{name} ∈ {} (minimal)", c.minimal_class)];
+            if c.intermediate_types.is_empty() {
+                lines.push("  no intermediate types".to_string());
+            } else {
+                let tys: Vec<String> = c.intermediate_types.iter().map(|t| t.to_string()).collect();
+                lines.push(format!("  intermediate types: {}", tys.join(", ")));
+            }
+            return Ok(lines);
+        }
+        if let Some((schema, expr)) = self.algebras.get(name) {
+            let schema = self.schema_or_err(schema)?;
+            let c = classify_expr(expr, schema)
+                .map_err(|e| SessionError::Exec(format!("classify `{name}`: {e}")))?;
+            let mut lines = vec![format!(
+                "{name} ∈ ALG_{{{},{}}} (minimal), output type {}",
+                c.minimal_class.k, c.minimal_class.i, c.output_type
+            )];
+            if !c.intermediate_types.is_empty() {
+                let tys: Vec<String> = c.intermediate_types.iter().map(|t| t.to_string()).collect();
+                lines.push(format!("  intermediate types: {}", tys.join(", ")));
+            }
+            return Ok(lines);
+        }
+        Err(SessionError::Exec(format!(
+            "no query or algebra expression named `{name}`"
+        )))
+    }
+
+    fn typecheck(&self, name: &str) -> Result<Vec<String>, SessionError> {
+        if let Some((schema_name, query)) = self.queries.get(name) {
+            // Queries are validated at construction; re-validate to surface the
+            // full typing (also exercised after `compile`).
+            let revalidated = query.with_body(query.body().clone());
+            return match revalidated {
+                Ok(_) => Ok(vec![format!(
+                    "{name} : {schema_name} → {} ✓ (t-wff over {})",
+                    query.target_type(),
+                    render_schema(query.schema()),
+                )]),
+                Err(e) => Err(SessionError::Exec(format!("typecheck `{name}`: {e}"))),
+            };
+        }
+        if let Some((schema_name, expr)) = self.algebras.get(name) {
+            let schema = self.schema_or_err(schema_name)?;
+            let ty = infer_type(expr, schema)
+                .map_err(|e| SessionError::Exec(format!("typecheck `{name}`: {e}")))?;
+            return Ok(vec![format!("{name} : {schema_name} → {ty} ✓")]);
+        }
+        Err(SessionError::Exec(format!(
+            "no query or algebra expression named `{name}`"
+        )))
+    }
+
+    fn eval(
+        &mut self,
+        name: &str,
+        database: &str,
+        semantics: Semantics,
+    ) -> Result<Vec<String>, SessionError> {
+        let (_, db) = self
+            .databases
+            .get(database)
+            .ok_or_else(|| SessionError::Exec(format!("unknown database `{database}`")))?
+            .clone();
+        if let Some((_, query)) = self.queries.get(name).cloned() {
+            let header = format!("eval {name} on {database} with {semantics}");
+            // Terminal invention deserves its level report, not just the answer.
+            if semantics == Semantics::TerminalInvention {
+                let outcome = self
+                    .engine
+                    .eval_terminal_invention(&query, &db)
+                    .map_err(|e| SessionError::Exec(format!("{header}: {e}")))?;
+                return Ok(match outcome {
+                    TerminalOutcome::Defined { n, answer } => {
+                        let mut lines = vec![format!(
+                            "{header}: defined at n = {n}, {} object{}",
+                            answer.len(),
+                            plural(answer.len())
+                        )];
+                        lines.extend(self.render_values(&answer));
+                        lines
+                    }
+                    TerminalOutcome::UndefinedWithinBound { tried } => vec![format!(
+                        "{header}: undefined within bound (tried {tried} invention level{})",
+                        plural(tried)
+                    )],
+                });
+            }
+            let answer = self
+                .engine
+                .eval_with_semantics(&query, &db, semantics)
+                .map_err(|e| SessionError::Exec(format!("{header}: {e}")))?;
+            let qualifier = if answer.bounded_approximation {
+                " (bounded approximation)"
+            } else {
+                ""
+            };
+            let mut lines = vec![format!(
+                "{header}: {} object{}{qualifier}",
+                answer.result.len(),
+                plural(answer.result.len()),
+            )];
+            lines.extend(self.render_values(&answer.result));
+            return Ok(lines);
+        }
+        if let Some((schema_name, expr)) = self.algebras.get(name).cloned() {
+            if semantics != Semantics::Limited {
+                return Err(SessionError::Exec(format!(
+                    "algebra expressions evaluate under the limited interpretation only; \
+                     `compile {name}` first to use {semantics}"
+                )));
+            }
+            let schema = self.schema_or_err(&schema_name)?.clone();
+            let answer = self
+                .engine
+                .eval_algebra(&expr, &schema, &db)
+                .map_err(|e| SessionError::Exec(format!("eval {name} on {database}: {e}")))?;
+            let mut lines = vec![format!(
+                "eval {name} on {database}: {} object{}",
+                answer.len(),
+                plural(answer.len()),
+            )];
+            lines.extend(self.render_values(&answer));
+            return Ok(lines);
+        }
+        Err(SessionError::Exec(format!(
+            "no query or algebra expression named `{name}`"
+        )))
+    }
+
+    fn compile(&mut self, name: &str, target: Option<String>) -> Result<Vec<String>, SessionError> {
+        if let Some((schema_name, expr)) = self.algebras.get(name).cloned() {
+            let schema = self.schema_or_err(&schema_name)?.clone();
+            let query = self
+                .engine
+                .compile_algebra(&expr, &schema)
+                .map_err(|e| SessionError::Exec(format!("compile `{name}`: {e}")))?;
+            let target = target.unwrap_or_else(|| format!("{name}_calc"));
+            let lines = vec![
+                format!("compiled {name} (algebra) → {target} (calculus), Theorem 3.8:"),
+                format!("  {query}"),
+            ];
+            self.queries.insert(target, (schema_name, query));
+            return Ok(lines);
+        }
+        if self.queries.contains_key(name) {
+            return Err(SessionError::Exec(format!(
+                "`{name}` is a calculus query; the calculus → algebra direction of \
+                 Theorem 3.8 is not implemented yet (only algebra → calculus is)"
+            )));
+        }
+        Err(SessionError::Exec(format!(
+            "no query or algebra expression named `{name}`"
+        )))
+    }
+
+    // ----- rendering -----------------------------------------------------------
+
+    fn render_values(&self, instance: &Instance) -> Vec<String> {
+        instance
+            .iter()
+            .map(|v| format!("  {}", v.display_with(self.engine.universe())))
+            .collect()
+    }
+
+    fn render_instance(&self, instance: &Instance) -> String {
+        let items: Vec<String> = instance
+            .iter()
+            .map(|v| v.display_with(self.engine.universe()))
+            .collect();
+        format!("{{{}}}", items.join(", "))
+    }
+}
+
+fn render_schema(schema: &Schema) -> String {
+    let entries: Vec<String> = schema.iter().map(|(n, t)| format!("{n} : {t}")).collect();
+    format!("{{{}}}", entries.join(", "))
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+fn help_text() -> Vec<String> {
+    [
+        "statements (each ends with `;`):",
+        "  schema NAME {P : TYPE, ...}          declare a database schema",
+        "  database NAME : SCHEMA {P = {...}}   load a database instance",
+        "  query NAME : SCHEMA {t/T | FORMULA}  define a calculus query",
+        "  algebra NAME : SCHEMA EXPR           define an algebra expression",
+        "  typecheck NAME                       re-check and print the typing",
+        "  classify NAME                        minimal CALC_{k,i} / ALG_{k,i} class",
+        "  eval NAME on DB [with SEMANTICS]     semantics: limited (default),",
+        "                                       finite-invention, terminal-invention",
+        "  compile NAME [as NEW]                algebra → calculus (Theorem 3.8)",
+        "  show NAME | list | help | quit",
+        "syntax: Unicode (∃x/[U, U] (PAR(x) ∧ x.1 ≈ t.1)) or ASCII",
+        "        (exists x/[U, U] (PAR(x) and x.1 == t.1)); atoms: a7, 'Tom'",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(session: &mut Session, src: &str) -> Vec<String> {
+        session.run_source(src).expect(src)
+    }
+
+    fn genealogy(session: &mut Session) {
+        run(
+            session,
+            "schema Gen {PAR : [U, U]};\n\
+             database d : Gen {PAR = {[Tom, Mary], [Mary, Sue]}};\n\
+             query gp : Gen {t/[U, U] | ∃x/[U, U] ∃y/[U, U] \
+             (PAR(x) ∧ PAR(y) ∧ x.2 ≈ y.1 ∧ t.1 ≈ x.1 ∧ t.2 ≈ y.2)};",
+        );
+    }
+
+    #[test]
+    fn eval_renders_named_atoms() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        let out = run(&mut s, "eval gp on d;");
+        assert_eq!(out[0], "eval gp on d with limited: 1 object");
+        assert_eq!(out[1], "  [Tom, Sue]");
+    }
+
+    #[test]
+    fn all_three_semantics_execute() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        let out = run(
+            &mut s,
+            "eval gp on d with finite-invention;\neval gp on d with terminal-invention;",
+        );
+        assert!(out[0].starts_with("eval gp on d with finite-invention:"));
+        assert!(out.iter().any(|l| l.contains("terminal-invention")));
+    }
+
+    #[test]
+    fn algebra_compiles_to_equivalent_query() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        let out = run(
+            &mut s,
+            "algebra ga : Gen π_{1,4}(σ_{$2 = $3}(PAR × PAR));\n\
+             eval ga on d;\ncompile ga as gc;\neval gc on d;",
+        );
+        // Algebra answer and compiled-calculus answer agree.
+        assert!(out.iter().any(|l| l == "eval ga on d: 1 object"));
+        assert!(out
+            .iter()
+            .any(|l| l == "eval gc on d with limited: 1 object"));
+        assert_eq!(out.iter().filter(|l| l.ends_with("[Tom, Sue]")).count(), 2);
+    }
+
+    #[test]
+    fn classify_and_typecheck_report() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        let out = run(&mut s, "classify gp; typecheck gp;");
+        assert!(out[0].contains("CALC_{0,0}"));
+        assert!(out.iter().any(|l| l.contains("✓")));
+        let out = run(&mut s, "algebra pw : Gen 𝒫(PAR);\nclassify pw;");
+        assert!(out
+            .iter()
+            .any(|l| l.contains("ALG_{1,0}") || l.contains("ALG_")));
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        for bad in [
+            "eval nope on d;",
+            "eval gp on nope;",
+            "show nothing;",
+            "classify d;",
+            "compile gp;",
+            "eval gp on d with naive;",
+            "database b : Missing {X = {}};",
+        ] {
+            assert!(s.run_source(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn quit_stops_a_script() {
+        let mut s = Session::new();
+        let out = run(&mut s, "help; quit; list;");
+        assert!(out.iter().any(|l| l == "bye"));
+        // `list` after `quit` is not executed.
+        assert!(!out.iter().any(|l| l.contains("nothing declared")));
+    }
+
+    #[test]
+    fn show_and_list_cover_all_kinds() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        let out = run(&mut s, "show Gen; show d; show gp; list;");
+        assert!(out[0].starts_with("schema Gen"));
+        assert!(out.iter().any(|l| l.contains("[Tom, Mary]")));
+        assert!(out.iter().any(|l| l.starts_with("query gp")));
+        assert!(out.iter().any(|l| l.starts_with("schemas: Gen")));
+    }
+}

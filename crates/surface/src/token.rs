@@ -1,0 +1,567 @@
+//! The lexer: surface text → a token stream with source positions.
+//!
+//! Every mathematical operator of the paper's notation has an ASCII alias so
+//! scripts can be written on any keyboard; the `Display` impls of the engine
+//! ASTs emit the Unicode forms, and both spellings lex to the same token.
+//!
+//! | token | Unicode | ASCII |
+//! |---|---|---|
+//! | equality (calculus) | `≈` | `~` or `==` |
+//! | membership | `∈` | `in` |
+//! | negation | `¬` | `!` or `not` |
+//! | conjunction | `∧` | `&` or `and` |
+//! | disjunction | `∨` | `\|\|` or `or` |
+//! | n-ary conjunction | `⋀` | `all` |
+//! | n-ary disjunction | `⋁` | `any` |
+//! | implication | `→` | `->` |
+//! | equivalence | `↔` | `<->` |
+//! | existential | `∃` | `exists` |
+//! | universal | `∀` | `forall` |
+//! | truth / falsity | `⊤` / `⊥` | `true` / `false` |
+//! | union / intersection | `∪` / `∩` | `union` / `intersect` |
+//! | difference | `−` (U+2212) | `-` or `diff` |
+//! | product | `×` | `*` |
+//! | projection / selection | `π` / `σ` | `pi` / `sigma` |
+//! | untuple / collapse / powerset | `μ` / `𝒞` / `𝒫` | `untuple` / `collapse` / `powerset` |
+//!
+//! Comments run from `#` or `//` or `--` to the end of the line.  Identifiers
+//! are `[A-Za-z_][A-Za-z0-9_'#]*` — the trailing `'` and `#` cover primed
+//! variables and the `v#0` fresh names minted by the algebra→calculus
+//! translator (a `#` *starting* a token is always a comment).
+
+use crate::error::{ParseError, Pos, Result};
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword-free name (predicates, variables, atom names).
+    Ident(String),
+    /// A natural number literal (coordinates, atom ids inside `a<id>` are
+    /// lexed as part of the identifier, not as numbers).
+    Nat(u64),
+    /// A double-quoted chunk, e.g. the `"a7"` constants of selection formulas.
+    DQuoted(String),
+    /// A single-quoted chunk, e.g. the `'Tom'` named-atom constants of terms.
+    SQuoted(String),
+
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Slash,
+    Pipe,
+    Semi,
+    Colon,
+    Underscore,
+    Dollar,
+    /// `=` — selection-formula equality and script bindings.
+    Assign,
+
+    /// `≈`, `~`, `==`.
+    Approx,
+    /// `∈`, `in`.
+    In,
+    /// `¬`, `!`, `not`.
+    Not,
+    /// `∧`, `&`, `and`.
+    And,
+    /// `∨`, `||`, `or`.
+    Or,
+    /// `⋀`, `all` — the n-ary prefix conjunction.
+    BigAnd,
+    /// `⋁`, `any` — the n-ary prefix disjunction.
+    BigOr,
+    /// `→`, `->`.
+    Implies,
+    /// `↔`, `<->`.
+    Iff,
+    /// `∃`, `exists`.
+    Exists,
+    /// `∀`, `forall`.
+    Forall,
+    /// `⊤`, `true`.
+    Top,
+    /// `⊥`, `false`.
+    Bottom,
+
+    /// `∪`, `union`.
+    Union,
+    /// `∩`, `intersect`.
+    Intersect,
+    /// `−` (U+2212), `-`, `diff`.
+    Minus,
+    /// `×`, `*`.
+    Times,
+    /// `π`, `pi`.
+    Pi,
+    /// `σ`, `sigma`.
+    Sigma,
+    /// `μ`, `untuple`.
+    Mu,
+    /// `𝒞`, `collapse`.
+    ScriptC,
+    /// `𝒫`, `powerset`.
+    ScriptP,
+}
+
+impl Tok {
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Nat(n) => format!("number `{n}`"),
+            Tok::DQuoted(s) => format!("`\"{s}\"`"),
+            Tok::SQuoted(s) => format!("`'{s}'`"),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::LBracket => "`[`".into(),
+            Tok::RBracket => "`]`".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Dot => "`.`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Pipe => "`|`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Colon => "`:`".into(),
+            Tok::Underscore => "`_`".into(),
+            Tok::Dollar => "`$`".into(),
+            Tok::Assign => "`=`".into(),
+            Tok::Approx => "`≈`".into(),
+            Tok::In => "`∈`".into(),
+            Tok::Not => "`¬`".into(),
+            Tok::And => "`∧`".into(),
+            Tok::Or => "`∨`".into(),
+            Tok::BigAnd => "`⋀`".into(),
+            Tok::BigOr => "`⋁`".into(),
+            Tok::Implies => "`→`".into(),
+            Tok::Iff => "`↔`".into(),
+            Tok::Exists => "`∃`".into(),
+            Tok::Forall => "`∀`".into(),
+            Tok::Top => "`⊤`".into(),
+            Tok::Bottom => "`⊥`".into(),
+            Tok::Union => "`∪`".into(),
+            Tok::Intersect => "`∩`".into(),
+            Tok::Minus => "`−`".into(),
+            Tok::Times => "`×`".into(),
+            Tok::Pi => "`π`".into(),
+            Tok::Sigma => "`σ`".into(),
+            Tok::Mu => "`μ`".into(),
+            Tok::ScriptC => "`𝒞`".into(),
+            Tok::ScriptP => "`𝒫`".into(),
+        }
+    }
+}
+
+/// A token paired with the position of its first character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload, for identifiers/numbers/strings).
+    pub tok: Tok,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}
+
+/// Keywords that lex to operator tokens.  Everything else is an identifier;
+/// script-level words (`schema`, `eval`, …) stay contextual so they remain
+/// usable as predicate or database names.
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "in" => Tok::In,
+        "not" => Tok::Not,
+        "and" => Tok::And,
+        "or" => Tok::Or,
+        "all" => Tok::BigAnd,
+        "any" => Tok::BigOr,
+        "exists" => Tok::Exists,
+        "forall" => Tok::Forall,
+        "true" => Tok::Top,
+        "false" => Tok::Bottom,
+        "union" => Tok::Union,
+        "intersect" => Tok::Intersect,
+        "diff" => Tok::Minus,
+        "pi" => Tok::Pi,
+        "sigma" => Tok::Sigma,
+        "untuple" => Tok::Mu,
+        "collapse" => Tok::ScriptC,
+        "powerset" => Tok::ScriptP,
+        _ => return None,
+    })
+}
+
+/// The alphabetic characters that are operators, not identifier material.
+fn operator_letter(c: char) -> Option<Tok> {
+    Some(match c {
+        'π' => Tok::Pi,
+        'σ' => Tok::Sigma,
+        'μ' => Tok::Mu,
+        '𝒞' => Tok::ScriptC,
+        '𝒫' => Tok::ScriptP,
+        _ => return None,
+    })
+}
+
+/// Lex a complete source text into tokens.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut pos = Pos::start();
+
+    // Advance `pos` past `c` and return the next char.
+    fn bump(pos: &mut Pos, c: char) {
+        if c == '\n' {
+            pos.line += 1;
+            pos.column = 1;
+        } else {
+            pos.column += 1;
+        }
+    }
+
+    while let Some(&c) = chars.peek() {
+        let start = pos;
+        // Whitespace.
+        if c.is_whitespace() {
+            chars.next();
+            bump(&mut pos, c);
+            continue;
+        }
+        // Comments: `#`, `//`, `--` to end of line.  A lone `-` is Minus, a
+        // lone `/` is Slash; `->` is Implies.
+        if c == '#' {
+            while let Some(&c) = chars.peek() {
+                if c == '\n' {
+                    break;
+                }
+                chars.next();
+                bump(&mut pos, c);
+            }
+            continue;
+        }
+        if c == '/' || c == '-' {
+            chars.next();
+            bump(&mut pos, c);
+            match (c, chars.peek()) {
+                ('/', Some('/')) | ('-', Some('-')) => {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                        bump(&mut pos, c);
+                    }
+                }
+                ('-', Some('>')) => {
+                    chars.next();
+                    bump(&mut pos, '>');
+                    out.push(Token {
+                        tok: Tok::Implies,
+                        pos: start,
+                    });
+                }
+                ('-', _) => out.push(Token {
+                    tok: Tok::Minus,
+                    pos: start,
+                }),
+                ('/', _) => out.push(Token {
+                    tok: Tok::Slash,
+                    pos: start,
+                }),
+                _ => unreachable!(),
+            }
+            continue;
+        }
+        // Operator letters: `π`, `σ`, `μ`, `𝒞`, `𝒫` are alphabetic to Unicode
+        // but reserved operators here, so they must be peeled off before the
+        // identifier branch can swallow them.
+        if let Some(tok) = operator_letter(c) {
+            chars.next();
+            bump(&mut pos, c);
+            out.push(Token { tok, pos: start });
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            // A bare `_` is its own token (the `π_{…}` subscript marker) unless
+            // it starts a longer identifier.
+            let mut word = String::new();
+            while let Some(&c) = chars.peek() {
+                if (c.is_alphanumeric() && operator_letter(c).is_none())
+                    || c == '_'
+                    || c == '\''
+                    || c == '#'
+                {
+                    word.push(c);
+                    chars.next();
+                    bump(&mut pos, c);
+                } else {
+                    break;
+                }
+            }
+            // `pi_{…}` / `sigma_{…}` are the natural ASCII spellings of
+            // `π_{…}` / `σ_{…}`, but the `_` glues onto the identifier; split
+            // it back off for exactly these two subscripted operators.
+            if word == "pi_" || word == "sigma_" {
+                out.push(Token {
+                    tok: if word == "pi_" { Tok::Pi } else { Tok::Sigma },
+                    pos: start,
+                });
+                out.push(Token {
+                    tok: Tok::Underscore,
+                    pos: Pos {
+                        line: start.line,
+                        column: start.column + word.len() - 1,
+                    },
+                });
+                continue;
+            }
+            let tok = if word == "_" {
+                Tok::Underscore
+            } else if let Some(k) = keyword(&word) {
+                k
+            } else {
+                Tok::Ident(word)
+            };
+            out.push(Token { tok, pos: start });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut n: u64 = 0;
+            let mut overflow = false;
+            while let Some(&c) = chars.peek() {
+                if let Some(d) = c.to_digit(10) {
+                    n = match n.checked_mul(10).and_then(|n| n.checked_add(d as u64)) {
+                        Some(n) => n,
+                        None => {
+                            overflow = true;
+                            0
+                        }
+                    };
+                    chars.next();
+                    bump(&mut pos, c);
+                } else {
+                    break;
+                }
+            }
+            if overflow {
+                return Err(ParseError::new("number literal out of range", start));
+            }
+            out.push(Token {
+                tok: Tok::Nat(n),
+                pos: start,
+            });
+            continue;
+        }
+        // Quoted chunks.
+        if c == '"' || c == '\'' {
+            let quote = c;
+            chars.next();
+            bump(&mut pos, c);
+            let mut content = String::new();
+            loop {
+                match chars.next() {
+                    Some(c) if c == quote => {
+                        bump(&mut pos, c);
+                        break;
+                    }
+                    Some('\n') | None => {
+                        return Err(ParseError::new(
+                            format!("unterminated {quote}-quoted literal"),
+                            start,
+                        ));
+                    }
+                    Some(c) => {
+                        content.push(c);
+                        bump(&mut pos, c);
+                    }
+                }
+            }
+            let tok = if quote == '"' {
+                Tok::DQuoted(content)
+            } else {
+                Tok::SQuoted(content)
+            };
+            out.push(Token { tok, pos: start });
+            continue;
+        }
+        // Multi-character ASCII operators: `==`, `||`, `<->`.
+        if c == '=' {
+            chars.next();
+            bump(&mut pos, c);
+            if chars.peek() == Some(&'=') {
+                chars.next();
+                bump(&mut pos, '=');
+                out.push(Token {
+                    tok: Tok::Approx,
+                    pos: start,
+                });
+            } else {
+                out.push(Token {
+                    tok: Tok::Assign,
+                    pos: start,
+                });
+            }
+            continue;
+        }
+        if c == '|' {
+            chars.next();
+            bump(&mut pos, c);
+            if chars.peek() == Some(&'|') {
+                chars.next();
+                bump(&mut pos, '|');
+                out.push(Token {
+                    tok: Tok::Or,
+                    pos: start,
+                });
+            } else {
+                out.push(Token {
+                    tok: Tok::Pipe,
+                    pos: start,
+                });
+            }
+            continue;
+        }
+        if c == '<' {
+            chars.next();
+            bump(&mut pos, c);
+            let mut matched = false;
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                bump(&mut pos, '-');
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    bump(&mut pos, '>');
+                    matched = true;
+                }
+            }
+            if !matched {
+                return Err(ParseError::new("expected `<->`", start));
+            }
+            out.push(Token {
+                tok: Tok::Iff,
+                pos: start,
+            });
+            continue;
+        }
+        // Single-character tokens (ASCII and Unicode).
+        let tok = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            ',' => Tok::Comma,
+            '.' => Tok::Dot,
+            ';' => Tok::Semi,
+            ':' => Tok::Colon,
+            '$' => Tok::Dollar,
+            '~' => Tok::Approx,
+            '!' => Tok::Not,
+            '&' => Tok::And,
+            '*' => Tok::Times,
+            '≈' => Tok::Approx,
+            '∈' => Tok::In,
+            '¬' => Tok::Not,
+            '∧' => Tok::And,
+            '∨' => Tok::Or,
+            '⋀' => Tok::BigAnd,
+            '⋁' => Tok::BigOr,
+            '→' => Tok::Implies,
+            '↔' => Tok::Iff,
+            '∃' => Tok::Exists,
+            '∀' => Tok::Forall,
+            '⊤' => Tok::Top,
+            '⊥' => Tok::Bottom,
+            '∪' => Tok::Union,
+            '∩' => Tok::Intersect,
+            '−' => Tok::Minus,
+            '×' => Tok::Times,
+            'π' => Tok::Pi,
+            'σ' => Tok::Sigma,
+            'μ' => Tok::Mu,
+            '𝒞' => Tok::ScriptC,
+            '𝒫' => Tok::ScriptP,
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    start,
+                ));
+            }
+        };
+        chars.next();
+        bump(&mut pos, c);
+        out.push(Token { tok, pos: start });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn unicode_and_ascii_spellings_agree() {
+        assert_eq!(kinds("x ≈ y"), kinds("x == y"));
+        assert_eq!(kinds("x ≈ y"), kinds("x ~ y"));
+        assert_eq!(kinds("a ∧ b ∨ c"), kinds("a and b or c"));
+        assert_eq!(kinds("¬x"), kinds("!x"));
+        assert_eq!(kinds("p → q"), kinds("p -> q"));
+        assert_eq!(kinds("p ↔ q"), kinds("p <-> q"));
+        assert_eq!(kinds("∃x"), kinds("exists x"));
+        assert_eq!(kinds("R ∪ S"), kinds("R union S"));
+        assert_eq!(kinds("R − S"), kinds("R - S"));
+        assert_eq!(kinds("R × S"), kinds("R * S"));
+        assert_eq!(kinds("𝒫(R)"), kinds("powerset(R)"));
+        assert_eq!(kinds("⋀(x)"), kinds("all(x)"));
+    }
+
+    #[test]
+    fn identifiers_carry_primes_and_hashes() {
+        assert_eq!(
+            kinds("v#0 x' _tmp"),
+            vec![
+                Tok::Ident("v#0".into()),
+                Tok::Ident("x'".into()),
+                Tok::Ident("_tmp".into()),
+            ]
+        );
+        // A `#` starting a token is a comment, not an identifier.
+        assert_eq!(kinds("x # trailing comment"), vec![Tok::Ident("x".into())]);
+        assert_eq!(kinds("x // c\ny"), kinds("x -- c\ny"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let toks = lex("ab\n  ≈ cd").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, column: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, column: 3 });
+        assert_eq!(toks[2].pos, Pos { line: 2, column: 5 });
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("x ≈\n  ?").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 2, column: 3 });
+        let err = lex("'unterminated").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 1, column: 1 });
+        assert!(lex("<=").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn display_output_of_the_engine_lexes() {
+        // The exact strings the engine's printers produce.
+        assert!(lex("{t/[U, U] | ∃x/[U, U] (PAR(x) ∧ x.1 ≈ t.1)}").is_ok());
+        assert!(lex("π_{1,4}(σ_{($2 = $3 ∧ $1 = \"a9\")}((PAR × PAR)))").is_ok());
+        assert!(lex("𝒞(𝒫(μ(R)))").is_ok());
+    }
+}

@@ -1,0 +1,219 @@
+//! Property suite for the surface language: for generated `Term`, `Formula`,
+//! `Query`, and `AlgExpr` values, `parse(display(x)) == x` — the parser is the
+//! exact inverse of the engine's printers — and parse errors carry the
+//! position of the offending token.
+
+use itq_algebra::{AlgExpr, SelFormula, SelTerm};
+use itq_calculus::{Formula, Query, Term};
+use itq_core::queries;
+use itq_object::{Atom, Type};
+use itq_surface::{parse_alg_expr, parse_formula, parse_query, parse_term};
+use proptest::prelude::*;
+
+/// Variable names that are not reserved (no `a<digits>`, no keywords); the
+/// primed and hashed spellings cover the printer's fresh-name output.
+const VARS: [&str; 6] = ["x", "y", "z", "t", "s'", "v#0"];
+
+/// Predicate names as the workloads spell them.
+const PREDS: [&str; 4] = ["P", "PAR", "PERSON", "R2"];
+
+fn var_name() -> impl Strategy<Value = String> {
+    (0usize..VARS.len()).prop_map(|i| VARS[i].to_string())
+}
+
+fn pred_name() -> impl Strategy<Value = String> {
+    (0usize..PREDS.len()).prop_map(|i| PREDS[i].to_string())
+}
+
+fn atom() -> impl Strategy<Value = Atom> {
+    (0u32..50).prop_map(Atom)
+}
+
+/// Types of set-height ≤ 2 and width ≤ 3, honouring the tuple invariant.
+fn ty() -> BoxedStrategy<Type> {
+    Just(Type::Atomic)
+        .prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Type::set),
+                proptest::collection::vec(inner, 1..4).prop_map(Type::tuple),
+            ]
+        })
+        .boxed()
+}
+
+fn term() -> BoxedStrategy<Term> {
+    prop_oneof![
+        atom().prop_map(Term::Const),
+        var_name().prop_map(Term::Var),
+        (var_name(), 1usize..5).prop_map(|(v, i)| Term::Proj(v, i)),
+    ]
+    .boxed()
+}
+
+/// Arbitrary formulas over every constructor — including the one-element
+/// conjunctions/disjunctions whose old rendering could not round-trip.
+fn formula() -> BoxedStrategy<Formula> {
+    let leaf = prop_oneof![
+        (term(), term()).prop_map(|(a, b)| Formula::Eq(a, b)),
+        (term(), term()).prop_map(|(a, b)| Formula::Member(a, b)),
+        (pred_name(), term()).prop_map(|(p, t)| Formula::Pred(p, t)),
+        Just(Formula::truth()),
+        Just(Formula::falsity()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Formula::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Formula::Or),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            (var_name(), ty(), inner.clone()).prop_map(|(v, t, f)| Formula::Exists(
+                v,
+                t,
+                Box::new(f)
+            )),
+            (var_name(), ty(), inner).prop_map(|(v, t, f)| Formula::Forall(v, t, Box::new(f))),
+        ]
+    })
+}
+
+fn sel_term() -> BoxedStrategy<SelTerm> {
+    prop_oneof![
+        (1usize..5).prop_map(SelTerm::Coord),
+        atom().prop_map(SelTerm::Const),
+    ]
+    .boxed()
+}
+
+fn sel_formula() -> BoxedStrategy<SelFormula> {
+    let leaf = prop_oneof![
+        (sel_term(), sel_term()).prop_map(|(a, b)| SelFormula::Eq(a, b)),
+        (sel_term(), sel_term()).prop_map(|(a, b)| SelFormula::In(a, b)),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(SelFormula::negate),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(SelFormula::And),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(SelFormula::Or),
+            (inner.clone(), inner).prop_map(|(a, b)| SelFormula::implies(a, b)),
+        ]
+    })
+}
+
+fn alg_expr() -> BoxedStrategy<AlgExpr> {
+    let leaf = prop_oneof![
+        pred_name().prop_map(AlgExpr::Pred),
+        atom().prop_map(AlgExpr::Singleton),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.diff(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.product(b)),
+            (proptest::collection::vec(1usize..6, 1..4), inner.clone())
+                .prop_map(|(coords, e)| e.project(coords)),
+            (sel_formula(), inner.clone()).prop_map(|(f, e)| e.select(f)),
+            inner.clone().prop_map(AlgExpr::untuple),
+            inner.clone().prop_map(AlgExpr::collapse),
+            inner.prop_map(AlgExpr::powerset),
+        ]
+    })
+}
+
+/// Well-typed queries: one of the repo's canonical queries with a random stack
+/// of validity-preserving decorations applied to its body.  (Arbitrary random
+/// formulas are almost never t-wffs, so `Query` generation works by
+/// construction instead.)
+fn query() -> BoxedStrategy<Query> {
+    let base = (0usize..4).prop_map(|i| match i {
+        0 => queries::grandparent_query(),
+        1 => queries::sibling_query(),
+        2 => queries::transitive_closure_query(),
+        _ => queries::even_cardinality_query(),
+    });
+    (base, proptest::collection::vec(0usize..4, 0..4))
+        .prop_map(|(q, decorations)| {
+            let mut body = q.body().clone();
+            for d in decorations {
+                body = match d {
+                    // Singleton n-ary wrappers — the printer fix under test.
+                    0 => Formula::And(vec![body]),
+                    1 => Formula::Or(vec![body]),
+                    2 => Formula::not(Formula::not(body)),
+                    // A closed quantified conjunct with a type of height 2.
+                    _ => Formula::And(vec![
+                        body,
+                        Formula::exists("w", Type::nested_set(2), Formula::truth()),
+                    ]),
+                };
+            }
+            q.with_body(body).expect("decorations preserve validity")
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse ∘ display` is the identity on terms.
+    #[test]
+    fn term_round_trips(t in term()) {
+        prop_assert_eq!(parse_term(&t.to_string()), Ok(t));
+    }
+
+    /// `parse ∘ display` is the identity on formulas — every connective,
+    /// quantifier, and n-ary arity (including singletons).
+    #[test]
+    fn formula_round_trips(f in formula()) {
+        prop_assert_eq!(parse_formula(&f.to_string()), Ok(f));
+    }
+
+    /// `parse ∘ display` is the identity on algebra expressions, selection
+    /// formulas included.
+    #[test]
+    fn alg_expr_round_trips(e in alg_expr()) {
+        prop_assert_eq!(parse_alg_expr(&e.to_string()), Ok(e));
+    }
+
+    /// `parse ∘ display` is the identity on whole (validated) queries.
+    #[test]
+    fn query_round_trips(q in query()) {
+        let reparsed = parse_query(&q.to_string(), q.schema());
+        prop_assert_eq!(reparsed, Ok(q));
+    }
+
+    /// Parse errors point at the offending token: appending a stray `)` to a
+    /// printed formula fails exactly at the `)` — one past the text, on the
+    /// right line — even when the text is shifted to another line and column.
+    #[test]
+    fn parse_errors_carry_line_and_column(f in formula()) {
+        let text = f.to_string();
+        let width = text.chars().count();
+
+        let err = parse_formula(&format!("{text} )")).unwrap_err();
+        prop_assert_eq!(err.line(), 1);
+        prop_assert_eq!(err.column(), width + 2);
+
+        let err = parse_formula(&format!("\n  {text} )")).unwrap_err();
+        prop_assert_eq!(err.line(), 2);
+        prop_assert_eq!(err.column(), width + 4);
+    }
+
+    /// Truncating a printed formula anywhere still reports a position inside
+    /// (or just past) the remaining text — errors never point off into space.
+    #[test]
+    fn parse_errors_stay_in_bounds(f in formula(), cut in 0usize..40) {
+        let text = f.to_string();
+        let chars: Vec<char> = text.chars().collect();
+        let cut = cut.min(chars.len());
+        let prefix: String = chars[..cut].iter().collect();
+        match parse_formula(&prefix) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert_eq!(e.line(), 1);
+                prop_assert!(e.column() <= cut + 1, "column {} past cut {}", e.column(), cut);
+            }
+        }
+    }
+}
