@@ -7,17 +7,24 @@
 //! cargo run --release -p itq-bench --bin report            # all experiments
 //! cargo run --release -p itq-bench --bin report -- E2 E3   # a subset
 //! cargo run --release -p itq-bench --bin report -- --script exp.itq
+//! cargo run --release -p itq-bench --bin report -- --stats-json BENCH_execstats.json
 //! ```
 //!
 //! The tables are the source of the numbers recorded in `EXPERIMENTS.md`.
 //! With `--script`, the named `.itq` surface-language script is executed
 //! through an [`itq_surface::Session`] instead, so ad-hoc experiments can be
 //! written as text without recompiling (the same scripts the `itq` REPL runs).
+//! With `--stats-json`, the canonical workloads are run through the prepared
+//! pipeline under every semantics and the per-execution [`ExecStats`] are
+//! serialized as a JSON array (to the given file, or stdout with `-`), so
+//! successive revisions accumulate a perf trajectory in `BENCH_*.json` files.
 
 use itq_calculus::eval::EvalConfig;
 use itq_calculus::normal::sf_classification;
 use itq_core::complexity::{growth_table, theorem_4_4_bounds, variable_space_bound};
+use itq_core::engine::{Engine, Semantics};
 use itq_core::hierarchy::{hierarchy_table, level_zero_one_witnesses};
+use itq_core::pipeline::ExecStats;
 use itq_core::queries;
 use itq_core::report::Table;
 use itq_invention::{eval_with_invented, UniversalCodec};
@@ -71,6 +78,10 @@ fn main() {
         }
         return;
     }
+    if raw.first().map(String::as_str) == Some("--stats-json") {
+        emit_stats_json(raw.get(1).map(String::as_str).unwrap_or("-"));
+        return;
+    }
     let requested: Vec<String> = raw.iter().map(|s| s.to_uppercase()).collect();
     let unknown: Vec<&String> = requested
         .iter()
@@ -118,6 +129,71 @@ fn run_script(path: &str) {
             std::process::exit(1);
         }
     }
+}
+
+/// `--stats-json [FILE|-]`: run the canonical workloads through the prepared
+/// pipeline under every semantics and serialize each execution's [`ExecStats`]
+/// (plus the answer size and boundedness flag) as a JSON array — the perf
+/// trajectory consumed by `BENCH_*.json` files.
+fn emit_stats_json(target: &str) {
+    // One invention level keeps the set-height-1 workloads affordable while
+    // still exercising the n > 0 machinery.  The workload grid is shared with
+    // the prepared-pipeline equivalence suite (`queries::exemplar_workloads`),
+    // so the numbers CI records describe exactly the answers the tests pin.
+    let engine = Engine::builder().max_invented(1).build();
+    let mut records: Vec<String> = Vec::new();
+    for (name, query, db) in queries::exemplar_workloads() {
+        let prepared = match engine.prepare(&query) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: prepare `{name}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        for semantics in Semantics::ALL {
+            match prepared.execute(&db, semantics) {
+                Ok(outcome) => records.push(stats_record(
+                    name,
+                    semantics,
+                    outcome.result.len(),
+                    outcome.bounded_approximation,
+                    &outcome.stats,
+                )),
+                Err(e) => {
+                    eprintln!("error: execute `{name}` under {semantics}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    if target == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(target, &json) {
+        eprintln!("error: cannot write `{target}`: {e}");
+        std::process::exit(1);
+    } else {
+        println!(
+            "wrote {} execution-stats records to {target}",
+            records.len()
+        );
+    }
+}
+
+/// One `--stats-json` record: experiment coordinates plus the stats block.
+fn stats_record(
+    name: &str,
+    semantics: Semantics,
+    result_size: usize,
+    bounded: bool,
+    stats: &ExecStats,
+) -> String {
+    format!(
+        "{{\"experiment\":\"{name}\",\"semantics\":\"{semantics}\",\
+         \"result_size\":{result_size},\"bounded_approximation\":{bounded},\
+         \"stats\":{}}}",
+        stats.to_json()
+    )
 }
 
 /// E1 — Figure 1: the example types, their set-heights, and their constructive

@@ -77,6 +77,27 @@ pub struct EvalStats {
     pub max_domain_seen: u64,
 }
 
+impl EvalStats {
+    /// Fold another evaluation's counters into this one: additive counters are
+    /// summed, `max_domain_seen` takes the maximum.  Used by the invention
+    /// semantics, which run one evaluation per invention level and report the
+    /// aggregate.
+    ///
+    /// ```
+    /// use itq_calculus::eval::EvalStats;
+    /// let mut total = EvalStats { steps: 10, max_domain_seen: 4, ..Default::default() };
+    /// total.merge(&EvalStats { steps: 5, max_domain_seen: 9, ..Default::default() });
+    /// assert_eq!(total.steps, 15);
+    /// assert_eq!(total.max_domain_seen, 9);
+    /// ```
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.steps += other.steps;
+        self.quantifier_values += other.quantifier_values;
+        self.candidates_checked += other.candidates_checked;
+        self.max_domain_seen = self.max_domain_seen.max(other.max_domain_seen);
+    }
+}
+
 /// The result of evaluating a query: the answer instance plus statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Evaluation {

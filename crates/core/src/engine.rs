@@ -51,16 +51,26 @@ impl fmt::Display for Semantics {
 impl std::str::FromStr for Semantics {
     type Err = String;
 
-    /// Parse a semantics keyword as used by the `itq` surface language
-    /// (`limited`, `finite-invention`, `terminal-invention`; underscores are
-    /// accepted in place of hyphens).
+    /// Parse a semantics keyword as used by the `itq` surface language.
+    ///
+    /// Matching is case-insensitive, underscores are accepted in place of
+    /// hyphens, and each invention semantics has short aliases: `fi`/`finite`
+    /// for finite invention and `ti`/`terminal` for terminal invention.
+    ///
+    /// ```
+    /// use itq_core::engine::Semantics;
+    /// assert_eq!("FI".parse::<Semantics>().unwrap(), Semantics::FiniteInvention);
+    /// assert_eq!("ti".parse::<Semantics>().unwrap(), Semantics::TerminalInvention);
+    /// assert_eq!("Limited".parse::<Semantics>().unwrap(), Semantics::Limited);
+    /// ```
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.replace('_', "-").as_str() {
+        match s.trim().to_ascii_lowercase().replace('_', "-").as_str() {
             "limited" => Ok(Semantics::Limited),
-            "finite-invention" => Ok(Semantics::FiniteInvention),
-            "terminal-invention" => Ok(Semantics::TerminalInvention),
+            "finite-invention" | "finite" | "fi" => Ok(Semantics::FiniteInvention),
+            "terminal-invention" | "terminal" | "ti" => Ok(Semantics::TerminalInvention),
             other => Err(format!(
-                "unknown semantics `{other}`; expected one of limited, finite-invention, terminal-invention"
+                "unknown semantics `{other}`; expected one of limited, \
+                 finite-invention (fi), terminal-invention (ti)"
             )),
         }
     }
@@ -106,6 +116,10 @@ impl From<InventionError> for EngineError {
 }
 
 /// The result of evaluating a query under an invention-aware semantics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the unified `QueryOutcome` returned by `Prepared::execute` instead"
+)]
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SemanticAnswer {
     /// The answer instance.
@@ -116,15 +130,24 @@ pub struct SemanticAnswer {
 }
 
 /// The evaluation facade.
+///
+/// An `Engine` is an immutable bundle of evaluation configuration (budgets,
+/// invention bounds, feature toggles, a seeded [`Universe`]) built once via
+/// [`Engine::builder`].  The static work on a query — type-checking,
+/// `CALC_{k,i}` classification, normal forms, and (for algebra inputs) the
+/// Theorem 3.8 compilation — happens once in [`Engine::prepare`] /
+/// [`Engine::prepare_algebra`], which return a [`crate::pipeline::Prepared`]
+/// handle that can be executed any number of times, on any database, under any
+/// [`Semantics`], through a shared reference.
 #[derive(Debug, Clone)]
 pub struct Engine {
     /// Budgets for calculus evaluation.
-    pub calc_config: EvalConfig,
+    pub(crate) calc_config: EvalConfig,
     /// Budgets for algebra evaluation.
-    pub alg_config: AlgConfig,
+    pub(crate) alg_config: AlgConfig,
     /// Budgets for the invention semantics.
-    pub invention_config: InventionConfig,
-    universe: Universe,
+    pub(crate) invention_config: InventionConfig,
+    pub(crate) universe: Universe,
 }
 
 impl Default for Engine {
@@ -144,7 +167,39 @@ impl Engine {
         }
     }
 
+    /// Start configuring an engine: budgets, invention bounds, universe
+    /// seeding, and feature toggles, finished with
+    /// [`build`](crate::pipeline::EngineBuilder::build).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().max_invented(2).seed_atoms(["Tom"]).build();
+    /// assert_eq!(engine.invention_config().max_invented, 2);
+    /// ```
+    pub fn builder() -> crate::pipeline::EngineBuilder {
+        crate::pipeline::EngineBuilder::new()
+    }
+
+    /// The engine's calculus-evaluation budgets.
+    pub fn calc_config(&self) -> &EvalConfig {
+        &self.calc_config
+    }
+
+    /// The engine's algebra-evaluation budgets.
+    pub fn alg_config(&self) -> &AlgConfig {
+        &self.alg_config
+    }
+
+    /// The engine's invention-semantics configuration.
+    pub fn invention_config(&self) -> &InventionConfig {
+        &self.invention_config
+    }
+
     /// An engine with custom calculus budgets.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::builder().calc_config(..).build()` instead"
+    )]
     pub fn with_calc_config(calc_config: EvalConfig) -> Engine {
         Engine {
             calc_config,
@@ -175,88 +230,114 @@ impl Engine {
     }
 
     /// Evaluate a calculus query under the limited interpretation.
+    ///
+    /// Legacy shim: prepares the query and executes it once, re-doing the
+    /// static work on every call.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `engine.prepare(query)?.execute(db, Semantics::Limited)` and reuse the handle"
+    )]
     pub fn eval_calculus(&self, query: &Query, db: &Database) -> Result<Evaluation, EngineError> {
-        Ok(query.eval_full(db, &self.calc_config)?)
+        let outcome = self.prepare(query)?.execute(db, Semantics::Limited)?;
+        Ok(Evaluation {
+            result: outcome.result,
+            stats: outcome.stats.eval_stats(),
+        })
     }
 
     /// Evaluate an algebra expression.
+    ///
+    /// Legacy shim: compiles and prepares the expression on every call.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `engine.prepare_algebra(expr, schema)?.execute(db, Semantics::Limited)` and \
+                reuse the handle"
+    )]
     pub fn eval_algebra(
         &self,
         expr: &AlgExpr,
         schema: &Schema,
         db: &Database,
     ) -> Result<Instance, EngineError> {
-        Ok(expr.eval(db, schema, &self.alg_config)?)
+        let outcome = self
+            .prepare_algebra(expr, schema)?
+            .execute(db, Semantics::Limited)?;
+        Ok(outcome.result)
     }
 
     /// Evaluate a calculus query under finite invention, returning the full
     /// per-level report.
+    ///
+    /// Invention draws its scratch atoms from a clone of the engine's universe,
+    /// so this takes `&self` (the engine is never mutated by evaluation).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `engine.prepare(query)?.execute(db, Semantics::FiniteInvention)`; the \
+                per-level trace is in `itq_invention::finite_invention` if needed"
+    )]
     pub fn eval_finite_invention(
-        &mut self,
+        &self,
         query: &Query,
         db: &Database,
     ) -> Result<FiniteInventionReport, EngineError> {
+        let mut scratch = self.universe.clone();
         Ok(finite_invention(
             query,
             db,
-            &mut self.universe,
+            &mut scratch,
             &self.invention_config,
         )?)
     }
 
     /// Evaluate a calculus query under terminal invention.
+    ///
+    /// Invention draws its scratch atoms from a clone of the engine's universe,
+    /// so this takes `&self` (the engine is never mutated by evaluation).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `engine.prepare(query)?.execute(db, Semantics::TerminalInvention)`"
+    )]
     pub fn eval_terminal_invention(
-        &mut self,
+        &self,
         query: &Query,
         db: &Database,
     ) -> Result<TerminalOutcome, EngineError> {
+        let mut scratch = self.universe.clone();
         Ok(terminal_invention(
             query,
             db,
-            &mut self.universe,
+            &mut scratch,
             &self.invention_config,
         )?)
     }
 
     /// Evaluate a query under the chosen [`Semantics`], reducing every outcome to
     /// a [`SemanticAnswer`].
+    ///
+    /// Legacy shim over the prepared-query pipeline; note it now takes `&self`
+    /// for every semantics (invention scratch atoms come from an interior
+    /// clone of the universe, never from mutating the engine).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `engine.prepare(query)?.execute(db, semantics)` and reuse the handle"
+    )]
+    #[allow(deprecated)] // constructs the deprecated legacy result shape
     pub fn eval_with_semantics(
-        &mut self,
+        &self,
         query: &Query,
         db: &Database,
         semantics: Semantics,
     ) -> Result<SemanticAnswer, EngineError> {
-        match semantics {
-            Semantics::Limited => {
-                let evaluation = self.eval_calculus(query, db)?;
-                Ok(SemanticAnswer {
-                    result: evaluation.result,
-                    bounded_approximation: false,
-                })
-            }
-            Semantics::FiniteInvention => {
-                let report = self.eval_finite_invention(query, db)?;
-                let bounded = report.stabilised_at.is_none();
-                Ok(SemanticAnswer {
-                    result: report.union,
-                    bounded_approximation: bounded,
-                })
-            }
-            Semantics::TerminalInvention => match self.eval_terminal_invention(query, db)? {
-                TerminalOutcome::Defined { answer, .. } => Ok(SemanticAnswer {
-                    result: answer,
-                    bounded_approximation: false,
-                }),
-                TerminalOutcome::UndefinedWithinBound { .. } => Ok(SemanticAnswer {
-                    result: Instance::empty(),
-                    bounded_approximation: true,
-                }),
-            },
-        }
+        let outcome = self.prepare(query)?.execute(db, semantics)?;
+        Ok(SemanticAnswer {
+            result: outcome.result,
+            bounded_approximation: outcome.bounded_approximation,
+        })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims stay covered until they are removed
 mod tests {
     use super::*;
     use crate::queries::{grandparent_query, parent_database, parent_schema};
@@ -314,7 +395,7 @@ mod tests {
             parent_schema(),
         )
         .unwrap();
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let limited = engine
             .eval_with_semantics(&q, &db(), Semantics::Limited)
             .unwrap();
@@ -335,7 +416,7 @@ mod tests {
             parent_schema(),
         )
         .unwrap();
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         let outcome = engine
             .eval_with_semantics(&q, &db(), Semantics::TerminalInvention)
             .unwrap();
@@ -358,6 +439,27 @@ mod tests {
             Semantics::FiniteInvention
         );
         assert!("naive".parse::<Semantics>().is_err());
+    }
+
+    #[test]
+    fn semantics_parsing_is_case_insensitive_with_aliases() {
+        for (text, expect) in [
+            ("LIMITED", Semantics::Limited),
+            ("  limited ", Semantics::Limited),
+            ("fi", Semantics::FiniteInvention),
+            ("FI", Semantics::FiniteInvention),
+            ("Finite", Semantics::FiniteInvention),
+            ("Finite-Invention", Semantics::FiniteInvention),
+            ("ti", Semantics::TerminalInvention),
+            ("TI", Semantics::TerminalInvention),
+            ("Terminal", Semantics::TerminalInvention),
+            ("TERMINAL_INVENTION", Semantics::TerminalInvention),
+        ] {
+            assert_eq!(text.parse::<Semantics>().unwrap(), expect, "{text}");
+        }
+        for bad in ["f", "t", "fin-invention", "naïve"] {
+            assert!(bad.parse::<Semantics>().is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -15,9 +15,13 @@
 //!   instantiate a query's variables;
 //! * the **hierarchy analysis** of Theorem 5.1 ([`hierarchy`]): the per-level
 //!   counting power that makes `CALC_{0,i} ⊊ CALC_{0,i+1}`;
-//! * an [`Engine`](engine::Engine) facade that evaluates queries under the
-//!   limited interpretation, under the algebra, or under the invented-value
-//!   semantics of Section 6, with uniform statistics.
+//! * an [`Engine`](engine::Engine) facade with a prepare-once / execute-many
+//!   [`pipeline`]: [`Engine::prepare`](engine::Engine::prepare) does the static
+//!   work (typing, classification, normal forms, Theorem 3.8 compilation)
+//!   exactly once, and the resulting [`Prepared`](pipeline::Prepared) handle
+//!   executes on any database under the limited interpretation or the
+//!   invented-value semantics of Section 6, returning one unified
+//!   [`QueryOutcome`](pipeline::QueryOutcome) with execution statistics.
 //!
 //! ## Quickstart
 //!
@@ -31,23 +35,27 @@
 //!
 //! // The transitive-closure query of Example 3.1 lives in CALC_{0,1}.
 //! let query = itq_core::queries::transitive_closure_query();
-//! assert_eq!(query.classification().minimal_class, CalcClass::second_order());
 //!
-//! // Evaluate it and compare with the relational baseline.
-//! let engine = Engine::new();
-//! let answer = engine.eval_calculus(&query, &db).unwrap();
-//! assert!(answer.result.contains(&Value::pair(tom, sue)));
+//! // Prepare once (typing + classification + normal forms), execute many.
+//! let engine = Engine::builder().universe(universe.clone()).build();
+//! let prepared = engine.prepare(&query).unwrap();
+//! assert_eq!(prepared.classification().minimal_class, CalcClass::second_order());
+//! let outcome = prepared.execute(&db, Semantics::Limited).unwrap();
+//! assert!(outcome.result.contains(&Value::pair(tom, sue)));
+//! assert!(outcome.stats.steps > 0);
 //! ```
 
 pub mod complexity;
 pub mod engine;
 pub mod hierarchy;
+pub mod pipeline;
 pub mod queries;
 pub mod report;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::engine::{Engine, Semantics};
+    pub use crate::pipeline::{EngineBuilder, ExecStats, Prepared, QueryOutcome};
     pub use crate::queries;
     pub use itq_algebra::{AlgExpr, SelFormula};
     pub use itq_calculus::{CalcClass, EvalConfig, Formula, Query, Term};

@@ -1,0 +1,835 @@
+//! The prepare-once / execute-many pipeline.
+//!
+//! The paper separates a query's *static* life — type-checking (is the body a
+//! t-wff?), `CALC_{k,i}` classification (Section 3), normal forms (Section 4),
+//! and the algebra → calculus compilation of Theorem 3.8 — from its *dynamic*
+//! life: evaluation under the limited interpretation or the invented-value
+//! semantics of Section 6.  This module gives that split an API:
+//!
+//! * [`EngineBuilder`] configures an [`Engine`] once: budgets, invention
+//!   bounds, universe seeding, feature toggles;
+//! * [`Engine::prepare`] / [`Engine::prepare_algebra`] do *all* static work
+//!   exactly once and cache the derived artifacts in a [`Prepared`] handle;
+//! * [`Prepared::execute`] runs the handle on a database under any
+//!   [`Semantics`] through `&self` — cheap, repeatable, and shareable — and
+//!   returns one unified [`QueryOutcome`] carrying the answer, the semantics
+//!   used, the boundedness flag, and an [`ExecStats`] block.
+//!
+//! Invention semantics need fresh atoms; they are drawn from an interior
+//! scratch clone of the engine's universe, so executing never mutates shared
+//! state (Proposition 6.1 makes the choice of fresh atoms irrelevant).
+//!
+//! ```
+//! use itq_core::prelude::*;
+//! use itq_core::queries;
+//!
+//! let engine = Engine::builder().max_invented(2).build();
+//! let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+//! assert_eq!(prepared.classification().minimal_class, CalcClass::relational());
+//!
+//! // One handle, many executions — no static work is repeated.
+//! let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+//! for semantics in Semantics::ALL {
+//!     let outcome = prepared.execute(&db, semantics).unwrap();
+//!     assert_eq!(outcome.semantics, semantics);
+//! }
+//! ```
+
+use crate::engine::{Engine, EngineError, Semantics};
+use itq_algebra::{infer_type, to_calculus_query, AlgExpr, EvalConfig as AlgConfig};
+use itq_calculus::eval::{EvalConfig, EvalStats};
+use itq_calculus::normal::{sf_classification, to_prenex, PrenexForm, SfClassification};
+use itq_calculus::{Query, QueryClassification};
+use itq_invention::{
+    finite_invention_with_stats, terminal_invention_with_stats, InventionConfig, TerminalOutcome,
+};
+use itq_object::{Database, Instance, Schema, Universe};
+use std::time::Instant;
+
+/// Configures and builds an [`Engine`]: evaluation budgets, invention bounds,
+/// universe seeding, and feature toggles.
+///
+/// ```
+/// use itq_core::prelude::*;
+///
+/// let engine = Engine::builder()
+///     .calc_config(EvalConfig::default())
+///     .max_invented(3)
+///     .short_circuit(true)
+///     .seed_atoms(["Tom", "Mary"])
+///     .build();
+/// assert_eq!(engine.invention_config().max_invented, 3);
+/// assert_eq!(engine.universe().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineBuilder {
+    calc_config: EvalConfig,
+    alg_config: AlgConfig,
+    invention_config: InventionConfig,
+    universe: Universe,
+}
+
+impl EngineBuilder {
+    /// A builder with default budgets and an empty universe.
+    ///
+    /// ```
+    /// use itq_core::pipeline::EngineBuilder;
+    /// let engine = EngineBuilder::new().build();
+    /// assert!(engine.universe().is_empty());
+    /// ```
+    pub fn new() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Set the calculus-evaluation budgets.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().calc_config(EvalConfig::tiny()).build();
+    /// assert_eq!(engine.calc_config().max_steps, EvalConfig::tiny().max_steps);
+    /// ```
+    pub fn calc_config(mut self, config: EvalConfig) -> EngineBuilder {
+        self.calc_config = config;
+        self
+    }
+
+    /// Set the algebra-evaluation budgets.
+    ///
+    /// ```
+    /// use itq_algebra::EvalConfig as AlgConfig;
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().alg_config(AlgConfig::default()).build();
+    /// assert_eq!(engine.alg_config(), &AlgConfig::default());
+    /// ```
+    pub fn alg_config(mut self, config: AlgConfig) -> EngineBuilder {
+        self.alg_config = config;
+        self
+    }
+
+    /// Set the full invention-semantics configuration.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let config = InventionConfig { max_invented: 1, ..Default::default() };
+    /// let engine = Engine::builder().invention_config(config).build();
+    /// assert_eq!(engine.invention_config().max_invented, 1);
+    /// ```
+    pub fn invention_config(mut self, config: InventionConfig) -> EngineBuilder {
+        self.invention_config = config;
+        self
+    }
+
+    /// Bound the number of invented values the Section 6 semantics may try
+    /// (shorthand for adjusting [`InventionConfig::max_invented`]).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().max_invented(7).build();
+    /// assert_eq!(engine.invention_config().max_invented, 7);
+    /// ```
+    pub fn max_invented(mut self, levels: usize) -> EngineBuilder {
+        self.invention_config.max_invented = levels;
+        self
+    }
+
+    /// Toggle quantifier short-circuiting for every evaluation path (the
+    /// "naive" full-enumeration strategy is the `false` setting — the ablation
+    /// benchmarked by the harness).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().short_circuit(false).build();
+    /// assert!(!engine.calc_config().short_circuit);
+    /// assert!(!engine.invention_config().eval.short_circuit);
+    /// ```
+    pub fn short_circuit(mut self, enabled: bool) -> EngineBuilder {
+        self.calc_config.short_circuit = enabled;
+        self.invention_config.eval.short_circuit = enabled;
+        self
+    }
+
+    /// Intern named atoms into the engine's universe up front, so workload
+    /// loaders and the REPL can render answers with human-readable names.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().seed_atoms(["Tom", "Mary", "Sue"]).build();
+    /// assert_eq!(engine.universe().len(), 3);
+    /// ```
+    pub fn seed_atoms<'a, I: IntoIterator<Item = &'a str>>(mut self, names: I) -> EngineBuilder {
+        self.universe.atoms(names);
+        self
+    }
+
+    /// Adopt an already-populated universe (e.g. one a workload generator
+    /// interned its atoms into).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let mut universe = Universe::new();
+    /// universe.atom("Tom");
+    /// let engine = Engine::builder().universe(universe).build();
+    /// assert!(engine.universe().lookup("Tom").is_some());
+    /// ```
+    pub fn universe(mut self, universe: Universe) -> EngineBuilder {
+        self.universe = universe;
+        self
+    }
+
+    /// Finish: produce the configured [`Engine`].
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().build();
+    /// assert_eq!(engine.calc_config(), &EvalConfig::default());
+    /// ```
+    pub fn build(self) -> Engine {
+        Engine {
+            calc_config: self.calc_config,
+            alg_config: self.alg_config,
+            invention_config: self.invention_config,
+            universe: self.universe,
+        }
+    }
+}
+
+/// Counters and timings accumulated while executing a prepared query — the
+/// dynamic half of the pipeline, designed to be serialized (see
+/// [`ExecStats::to_json`]) so benchmark trajectories can be recorded across
+/// revisions.
+///
+/// ```
+/// use itq_core::prelude::*;
+/// use itq_core::queries;
+///
+/// let engine = Engine::new();
+/// let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+/// let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+/// let outcome = prepared.execute(&db, Semantics::Limited).unwrap();
+/// assert!(outcome.stats.steps > 0);
+/// assert!(outcome.stats.candidates_checked >= 9); // 3 atoms → 9 candidate pairs
+/// assert_eq!(outcome.stats.invention_levels, 0); // no invention under `limited`
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Number of formula nodes evaluated.
+    pub steps: u64,
+    /// Number of values drawn from quantifier domains (quantifier expansions).
+    pub quantifier_values: u64,
+    /// Number of candidate output objects tested (tuples scanned at the top
+    /// level of the evaluation).
+    pub candidates_checked: u64,
+    /// The largest single quantifier domain encountered.
+    pub max_domain_seen: u64,
+    /// Number of invention levels `Q|_n[d]` explored (0 under the limited
+    /// interpretation, which never invents).
+    pub invention_levels: u64,
+    /// Wall-clock time of the execute call, in microseconds.
+    pub wall_micros: u64,
+}
+
+impl ExecStats {
+    /// Fold calculus-evaluator counters plus an invention-level count into an
+    /// `ExecStats` block (wall time is stamped by the caller).
+    fn from_eval(stats: EvalStats, invention_levels: u64) -> ExecStats {
+        ExecStats {
+            steps: stats.steps,
+            quantifier_values: stats.quantifier_values,
+            candidates_checked: stats.candidates_checked,
+            max_domain_seen: stats.max_domain_seen,
+            invention_levels,
+            wall_micros: 0,
+        }
+    }
+
+    /// View the calculus-evaluator share of these statistics as an
+    /// [`EvalStats`] (used by the legacy `eval_*` shims).
+    pub(crate) fn eval_stats(&self) -> EvalStats {
+        EvalStats {
+            steps: self.steps,
+            quantifier_values: self.quantifier_values,
+            candidates_checked: self.candidates_checked,
+            max_domain_seen: self.max_domain_seen,
+        }
+    }
+
+    /// Serialize as a flat JSON object (no external dependencies), in the
+    /// field order of the struct.
+    ///
+    /// ```
+    /// use itq_core::pipeline::ExecStats;
+    /// let json = ExecStats { steps: 2, ..Default::default() }.to_json();
+    /// assert!(json.starts_with("{\"steps\":2,"));
+    /// assert!(json.ends_with("}"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"steps\":{},\"quantifier_values\":{},\"candidates_checked\":{},\
+             \"max_domain_seen\":{},\"invention_levels\":{},\"wall_micros\":{}}}",
+            self.steps,
+            self.quantifier_values,
+            self.candidates_checked,
+            self.max_domain_seen,
+            self.invention_levels,
+            self.wall_micros,
+        )
+    }
+}
+
+/// The unified result of executing a prepared query: one shape for all three
+/// semantics, replacing the legacy `Evaluation` / `FiniteInventionReport` /
+/// `TerminalOutcome` trio.
+///
+/// ```
+/// use itq_core::prelude::*;
+/// use itq_core::queries;
+///
+/// let engine = Engine::new();
+/// let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+/// let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+///
+/// let limited = prepared.execute(&db, Semantics::Limited).unwrap();
+/// assert_eq!(limited.result.len(), 1);
+/// assert!(!limited.bounded_approximation);
+///
+/// // Terminal invention on a guarded query is the paper's `?` (undefined):
+/// // empty answer, bounded flag set, and no defining level.
+/// let terminal = prepared.execute(&db, Semantics::TerminalInvention).unwrap();
+/// assert!(terminal.bounded_approximation && terminal.defined_at.is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The answer instance.
+    pub result: Instance,
+    /// The semantics this outcome was computed under.
+    pub semantics: Semantics,
+    /// True if the semantics was only decided up to its bound: the finite-
+    /// invention union had not stabilised within `max_invented` levels, or
+    /// terminal invention came back undefined within the bound.
+    pub bounded_approximation: bool,
+    /// Terminal invention only: the least `n` at which the unrestricted answer
+    /// surfaced an invented value (Theorem 6.19).
+    pub defined_at: Option<usize>,
+    /// Finite invention only: the smallest `n` after which no new answer
+    /// appeared within the bound.
+    pub stabilised_at: Option<usize>,
+    /// Execution statistics for this call.
+    pub stats: ExecStats,
+}
+
+/// Which language the handle was prepared from.
+#[derive(Debug, Clone)]
+enum PreparedSource {
+    /// A calculus query, evaluated directly.
+    Calculus,
+    /// An algebra expression: kept for direct limited evaluation, alongside
+    /// the calculus compilation used by classification and invention.
+    Algebra { expr: AlgExpr, schema: Schema },
+}
+
+/// A query with all its static work done: type-checked, classified,
+/// normalized, compiled (for algebra inputs), and bundled with a snapshot of
+/// the engine's configuration — ready to execute any number of times.
+///
+/// Handles are created by [`Engine::prepare`] and [`Engine::prepare_algebra`];
+/// [`Prepared::execute`] takes `&self`, so one handle can serve concurrent
+/// readers (e.g. a REPL session caching a handle per named query).
+///
+/// ```
+/// use itq_core::prelude::*;
+/// use itq_core::queries;
+///
+/// let engine = Engine::new();
+/// let prepared = engine.prepare(&queries::transitive_closure_query()).unwrap();
+/// // Static artifacts are cached in the handle:
+/// assert_eq!(prepared.classification().minimal_class, CalcClass::second_order());
+/// assert!(!prepared.sf_classification().is_in_sf());
+/// assert!(prepared.prenex().prefix.len() >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    source: PreparedSource,
+    query: Query,
+    classification: QueryClassification,
+    sf: SfClassification,
+    prenex: PrenexForm,
+    calc_config: EvalConfig,
+    alg_config: AlgConfig,
+    invention_config: InventionConfig,
+    universe_seed: Universe,
+}
+
+impl Engine {
+    /// Prepare a calculus query: re-validate its typing, classify it into its
+    /// minimal `CALC_{k,i}` family, compute its normal forms, and snapshot the
+    /// engine configuration into a reusable [`Prepared`] handle.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    ///
+    /// let engine = Engine::new();
+    /// let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+    /// let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+    /// let outcome = prepared.execute(&db, Semantics::Limited).unwrap();
+    /// assert_eq!(outcome.result.len(), 1);
+    /// ```
+    pub fn prepare(&self, query: &Query) -> Result<Prepared, EngineError> {
+        // Prepare-time semantic type-checking: `Query` values are validated at
+        // construction, but a handle must stand on its own, so re-derive the
+        // full typing here (this is where an invalid body is rejected).
+        let validated = query.with_body(query.body().clone())?;
+        Ok(self.prepared_from(PreparedSource::Calculus, validated))
+    }
+
+    /// Prepare an algebra expression: infer its output type, compile it into
+    /// an equivalent calculus query (Theorem 3.8, done exactly once), and
+    /// bundle both forms into a [`Prepared`] handle.  Limited execution runs
+    /// the algebra form directly; the invention semantics and the
+    /// classification artifacts use the compiled calculus form.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    ///
+    /// let engine = Engine::new();
+    /// let expr = AlgExpr::pred("PAR")
+    ///     .product(AlgExpr::pred("PAR"))
+    ///     .select(SelFormula::coords_eq(2, 3))
+    ///     .project(vec![1, 4]);
+    /// let prepared = engine.prepare_algebra(&expr, &queries::parent_schema()).unwrap();
+    /// let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+    /// assert_eq!(prepared.execute(&db, Semantics::Limited).unwrap().result.len(), 1);
+    /// ```
+    pub fn prepare_algebra(
+        &self,
+        expr: &AlgExpr,
+        schema: &Schema,
+    ) -> Result<Prepared, EngineError> {
+        infer_type(expr, schema)?;
+        let query = to_calculus_query(expr, schema)?;
+        Ok(self.prepared_from(
+            PreparedSource::Algebra {
+                expr: expr.clone(),
+                schema: schema.clone(),
+            },
+            query,
+        ))
+    }
+
+    /// Cache the static artifacts and configuration snapshot into a handle.
+    fn prepared_from(&self, source: PreparedSource, query: Query) -> Prepared {
+        let classification = query.classification();
+        let sf = sf_classification(&query);
+        let prenex = to_prenex(query.body());
+        Prepared {
+            source,
+            query,
+            classification,
+            sf,
+            prenex,
+            calc_config: self.calc_config,
+            alg_config: self.alg_config,
+            invention_config: self.invention_config,
+            universe_seed: self.universe.clone(),
+        }
+    }
+}
+
+impl Prepared {
+    /// The calculus query this handle executes (for algebra inputs, the
+    /// Theorem 3.8 compilation).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let q = queries::grandparent_query();
+    /// let prepared = Engine::new().prepare(&q).unwrap();
+    /// assert_eq!(prepared.query(), &q);
+    /// ```
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The cached `CALC_{k,i}` classification, identical to
+    /// [`Query::classification`] on [`Prepared::query`].
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let q = queries::even_cardinality_query();
+    /// let prepared = Engine::new().prepare(&q).unwrap();
+    /// assert_eq!(prepared.classification(), &q.classification());
+    /// ```
+    pub fn classification(&self) -> &QueryClassification {
+        &self.classification
+    }
+
+    /// The cached existential-fragment analysis (`CALC_{0,1,∃}`, Theorem 4.3).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let prepared = Engine::new().prepare(&queries::grandparent_query()).unwrap();
+    /// assert!(prepared.sf_classification().is_in_sf());
+    /// ```
+    pub fn sf_classification(&self) -> &SfClassification {
+        &self.sf
+    }
+
+    /// The cached prenex normal form of the query body.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let prepared = Engine::new().prepare(&queries::grandparent_query()).unwrap();
+    /// assert_eq!(prepared.prenex().prefix.len(), 2); // ∃x ∃y
+    /// ```
+    pub fn prenex(&self) -> &PrenexForm {
+        &self.prenex
+    }
+
+    /// True if this handle was prepared from an algebra expression.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let engine = Engine::new();
+    /// assert!(!engine.prepare(&queries::grandparent_query()).unwrap().is_algebra());
+    /// let pw = AlgExpr::pred("PAR").powerset();
+    /// assert!(engine.prepare_algebra(&pw, &queries::parent_schema()).unwrap().is_algebra());
+    /// ```
+    pub fn is_algebra(&self) -> bool {
+        matches!(self.source, PreparedSource::Algebra { .. })
+    }
+
+    /// The original algebra expression, if this handle was prepared from one.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let expr = AlgExpr::pred("PAR").powerset();
+    /// let prepared = Engine::new()
+    ///     .prepare_algebra(&expr, &queries::parent_schema())
+    ///     .unwrap();
+    /// assert_eq!(prepared.algebra_expr(), Some(&expr));
+    /// ```
+    pub fn algebra_expr(&self) -> Option<&AlgExpr> {
+        match &self.source {
+            PreparedSource::Calculus => None,
+            PreparedSource::Algebra { expr, .. } => Some(expr),
+        }
+    }
+
+    /// Execute the prepared query on `db` under the chosen semantics.
+    ///
+    /// Takes `&self`: the limited interpretation is read-only by nature, and
+    /// the invention semantics confine their fresh-atom bookkeeping to an
+    /// interior scratch clone of the universe snapshot, so no exclusive access
+    /// is ever needed — prepare once, execute many, share freely.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    ///
+    /// let engine = Engine::new();
+    /// let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+    /// // Execute-many over *different* databases with one handle.
+    /// for edges in [vec![(Atom(0), Atom(1))], vec![(Atom(0), Atom(1)), (Atom(1), Atom(2))]] {
+    ///     let db = queries::parent_database(&edges);
+    ///     let outcome = prepared.execute(&db, Semantics::Limited).unwrap();
+    ///     assert_eq!(outcome.result.len(), edges.len() - 1);
+    /// }
+    /// ```
+    pub fn execute(
+        &self,
+        db: &Database,
+        semantics: Semantics,
+    ) -> Result<QueryOutcome, EngineError> {
+        let start = Instant::now();
+        let mut outcome = match semantics {
+            Semantics::Limited => match &self.source {
+                PreparedSource::Algebra { expr, schema } => {
+                    let result = expr.eval(db, schema, &self.alg_config)?;
+                    QueryOutcome {
+                        result,
+                        semantics,
+                        bounded_approximation: false,
+                        defined_at: None,
+                        stabilised_at: None,
+                        stats: ExecStats::default(),
+                    }
+                }
+                PreparedSource::Calculus => {
+                    let evaluation = self.query.eval_full(db, &self.calc_config)?;
+                    QueryOutcome {
+                        result: evaluation.result,
+                        semantics,
+                        bounded_approximation: false,
+                        defined_at: None,
+                        stabilised_at: None,
+                        stats: ExecStats::from_eval(evaluation.stats, 0),
+                    }
+                }
+            },
+            Semantics::FiniteInvention => {
+                let mut scratch = self.universe_seed.clone();
+                let (report, stats) = finite_invention_with_stats(
+                    &self.query,
+                    db,
+                    &mut scratch,
+                    &self.invention_config,
+                )?;
+                QueryOutcome {
+                    bounded_approximation: report.stabilised_at.is_none(),
+                    stabilised_at: report.stabilised_at,
+                    defined_at: None,
+                    semantics,
+                    stats: ExecStats::from_eval(stats, report.levels() as u64),
+                    result: report.union,
+                }
+            }
+            Semantics::TerminalInvention => {
+                let mut scratch = self.universe_seed.clone();
+                let (terminal, stats) = terminal_invention_with_stats(
+                    &self.query,
+                    db,
+                    &mut scratch,
+                    &self.invention_config,
+                )?;
+                match terminal {
+                    TerminalOutcome::Defined { n, answer } => QueryOutcome {
+                        result: answer,
+                        semantics,
+                        bounded_approximation: false,
+                        defined_at: Some(n),
+                        stabilised_at: None,
+                        stats: ExecStats::from_eval(stats, (n + 1) as u64),
+                    },
+                    TerminalOutcome::UndefinedWithinBound { tried } => QueryOutcome {
+                        result: Instance::empty(),
+                        semantics,
+                        bounded_approximation: true,
+                        defined_at: None,
+                        stabilised_at: None,
+                        stats: ExecStats::from_eval(stats, tried as u64),
+                    },
+                }
+            }
+        };
+        outcome.stats.wall_micros = start.elapsed().as_micros() as u64;
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::{
+        grandparent_query, parent_database, parent_schema, transitive_closure_query,
+    };
+    use itq_algebra::SelFormula;
+    use itq_calculus::{Formula, Term};
+    use itq_object::{Atom, Type};
+
+    fn db() -> Database {
+        parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))])
+    }
+
+    /// A query whose answer differs between the limited interpretation and
+    /// finite invention (it needs an external witness).
+    fn witness_query() -> Query {
+        Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::and(vec![
+                Formula::pred("PAR", Term::var("t")),
+                Formula::exists(
+                    "y",
+                    Type::Atomic,
+                    Formula::not(Formula::exists(
+                        "z",
+                        Type::flat_tuple(2),
+                        Formula::and(vec![
+                            Formula::pred("PAR", Term::var("z")),
+                            Formula::or(vec![
+                                Formula::eq(Term::proj("z", 1), Term::var("y")),
+                                Formula::eq(Term::proj("z", 2), Term::var("y")),
+                            ]),
+                        ]),
+                    )),
+                ),
+            ]),
+            parent_schema(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_configures_every_knob() {
+        let engine = Engine::builder()
+            .calc_config(EvalConfig::tiny())
+            .alg_config(AlgConfig::default())
+            .invention_config(InventionConfig::default())
+            .max_invented(2)
+            .short_circuit(false)
+            .seed_atoms(["Tom", "Mary"])
+            .build();
+        assert_eq!(engine.calc_config().max_steps, EvalConfig::tiny().max_steps);
+        assert_eq!(engine.invention_config().max_invented, 2);
+        assert!(!engine.calc_config().short_circuit);
+        assert!(!engine.invention_config().eval.short_circuit);
+        assert_eq!(engine.universe().len(), 2);
+
+        let mut seeded = Universe::new();
+        seeded.atom("Zed");
+        let adopted = Engine::builder().universe(seeded).build();
+        assert!(adopted.universe().lookup("Zed").is_some());
+    }
+
+    #[test]
+    fn prepare_caches_the_static_artifacts() {
+        let engine = Engine::new();
+        let q = transitive_closure_query();
+        let prepared = engine.prepare(&q).unwrap();
+        assert_eq!(prepared.query(), &q);
+        assert_eq!(prepared.classification(), &q.classification());
+        assert_eq!(
+            prepared.sf_classification().higher_order_vars,
+            itq_calculus::normal::sf_classification(&q).higher_order_vars
+        );
+        assert_eq!(
+            prepared.prenex().matrix,
+            itq_calculus::normal::to_prenex(q.body()).matrix
+        );
+        assert!(!prepared.is_algebra());
+        assert!(prepared.algebra_expr().is_none());
+    }
+
+    #[test]
+    fn execute_takes_shared_references_only() {
+        let engine = Engine::new();
+        let prepared = engine.prepare(&witness_query()).unwrap();
+        let db = db();
+        // Two simultaneous shared borrows execute fine — no `&mut` anywhere.
+        let (a, b) = (&prepared, &prepared);
+        let limited = a.execute(&db, Semantics::Limited).unwrap();
+        let invented = b.execute(&db, Semantics::FiniteInvention).unwrap();
+        assert!(limited.result.is_empty());
+        assert_eq!(invented.result.len(), 2);
+        assert!(invented.stats.invention_levels > 0);
+        // The engine's shared universe was never touched by invention.
+        assert!(engine.universe().is_empty());
+    }
+
+    #[test]
+    fn outcome_carries_semantics_flags_and_stats() {
+        let engine = Engine::new();
+        let db = db();
+        let prepared = engine.prepare(&grandparent_query()).unwrap();
+
+        let limited = prepared.execute(&db, Semantics::Limited).unwrap();
+        assert_eq!(limited.semantics, Semantics::Limited);
+        assert!(!limited.bounded_approximation);
+        assert_eq!(limited.stats.invention_levels, 0);
+        assert!(limited.stats.steps > 0);
+        assert!(limited.stats.candidates_checked >= 9);
+
+        // Grandparent is guarded: terminal invention is undefined within bound.
+        let terminal = prepared.execute(&db, Semantics::TerminalInvention).unwrap();
+        assert!(terminal.bounded_approximation);
+        assert_eq!(terminal.defined_at, None);
+        assert!(terminal.result.is_empty());
+        assert_eq!(
+            terminal.stats.invention_levels,
+            engine.invention_config().max_invented as u64 + 1
+        );
+
+        // The unguarded query {t/U | ⊤} is defined at n = 1.
+        let everything = Query::new("t", Type::Atomic, Formula::truth(), parent_schema()).unwrap();
+        let outcome = engine
+            .prepare(&everything)
+            .unwrap()
+            .execute(&db, Semantics::TerminalInvention)
+            .unwrap();
+        assert_eq!(outcome.defined_at, Some(1));
+        assert!(!outcome.bounded_approximation);
+        assert_eq!(outcome.stats.invention_levels, 2);
+
+        // Finite invention stabilises on invention-invariant queries.
+        let finite = prepared.execute(&db, Semantics::FiniteInvention).unwrap();
+        assert!(!finite.bounded_approximation);
+        assert!(finite.stabilised_at.is_some());
+        assert_eq!(finite.result, limited.result);
+    }
+
+    #[test]
+    fn algebra_handles_compile_once_and_execute_under_every_semantics() {
+        let engine = Engine::new();
+        let expr = AlgExpr::pred("PAR")
+            .product(AlgExpr::pred("PAR"))
+            .select(SelFormula::coords_eq(2, 3))
+            .project(vec![1, 4]);
+        let prepared = engine.prepare_algebra(&expr, &parent_schema()).unwrap();
+        assert!(prepared.is_algebra());
+        assert_eq!(prepared.algebra_expr(), Some(&expr));
+        let db = db();
+        let limited = prepared.execute(&db, Semantics::Limited).unwrap();
+        // The direct algebra path and the compiled calculus path agree.
+        let compiled = prepared.query().eval(&db, engine.calc_config()).unwrap();
+        assert_eq!(limited.result, compiled);
+        // Relational algebra gains nothing from invention (Theorem 6.11); use a
+        // cheap expression and one invention level to keep the domains small.
+        let tight = Engine::builder().max_invented(1).build();
+        let identity = tight
+            .prepare_algebra(&AlgExpr::pred("PAR"), &parent_schema())
+            .unwrap();
+        let finite = identity.execute(&db, Semantics::FiniteInvention).unwrap();
+        assert_eq!(
+            finite.result,
+            identity.execute(&db, Semantics::Limited).unwrap().result
+        );
+    }
+
+    #[test]
+    fn prepare_rejects_ill_typed_algebra() {
+        let engine = Engine::new();
+        // Projection coordinate 5 does not exist in a binary relation.
+        let bad = AlgExpr::pred("PAR").project(vec![5]);
+        assert!(engine.prepare_algebra(&bad, &parent_schema()).is_err());
+        // Unknown predicate fails type inference too.
+        let unknown = AlgExpr::pred("NOPE");
+        assert!(engine.prepare_algebra(&unknown, &parent_schema()).is_err());
+    }
+
+    #[test]
+    fn exec_stats_json_shape() {
+        let stats = ExecStats {
+            steps: 1,
+            quantifier_values: 2,
+            candidates_checked: 3,
+            max_domain_seen: 4,
+            invention_levels: 5,
+            wall_micros: 6,
+        };
+        assert_eq!(
+            stats.to_json(),
+            "{\"steps\":1,\"quantifier_values\":2,\"candidates_checked\":3,\
+             \"max_domain_seen\":4,\"invention_levels\":5,\"wall_micros\":6}"
+        );
+    }
+
+    #[test]
+    fn budget_errors_surface_through_execute() {
+        let engine = Engine::builder().calc_config(EvalConfig::tiny()).build();
+        let q = Query::new(
+            "t",
+            Type::set(Type::flat_tuple(2)),
+            Formula::truth(),
+            parent_schema(),
+        )
+        .unwrap();
+        let prepared = engine.prepare(&q).unwrap();
+        assert!(prepared.execute(&db(), Semantics::Limited).is_err());
+    }
+}

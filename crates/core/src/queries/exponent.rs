@@ -258,6 +258,25 @@ mod tests {
     }
 
     #[test]
+    fn exponent_exemplar_runs_through_the_prepared_pipeline() {
+        use crate::engine::{Engine, Semantics};
+        let engine = Engine::new();
+        let prepared = engine.prepare(&perfect_square_query()).unwrap();
+        for n in 1..=2u32 {
+            let db = Database::single("R", Instance::from_atoms((0..n).map(Atom)));
+            let outcome = prepared.execute(&db, Semantics::Limited).unwrap();
+            assert_eq!(
+                !outcome.result.is_empty(),
+                perfect_square_reference(n as usize),
+                "n = {n}"
+            );
+        }
+        // The budget refusal surfaces through the pipeline too.
+        let db = Database::single("R", Instance::from_atoms((0..4u32).map(Atom)));
+        assert!(prepared.execute(&db, Semantics::Limited).is_err());
+    }
+
+    #[test]
     fn perfect_square_query_classification() {
         let c = perfect_square_query().classification();
         assert_eq!(c.minimal_class, CalcClass::second_order());

@@ -196,6 +196,26 @@ mod tests {
     }
 
     #[test]
+    fn genealogy_exemplars_run_through_the_prepared_pipeline() {
+        use crate::engine::{Engine, Semantics};
+        let engine = Engine::new();
+        // Three atoms: the transitive-closure query's quantifier domain is
+        // 2^(n²), so this is the largest size a debug-mode unit test affords.
+        let db = parent_database(&[(a(0), a(1)), (a(1), a(2))]);
+        for query in [
+            grandparent_query(),
+            sibling_query(),
+            transitive_closure_query(),
+        ] {
+            let prepared = engine.prepare(&query).unwrap();
+            let direct = query.eval(&db, engine.calc_config()).unwrap();
+            let outcome = prepared.execute(&db, Semantics::Limited).unwrap();
+            assert_eq!(outcome.result, direct);
+            assert_eq!(prepared.classification(), &query.classification());
+        }
+    }
+
+    #[test]
     fn transitive_closure_query_is_in_calc_0_1() {
         let classification = transitive_closure_query().classification();
         assert_eq!(classification.minimal_class, CalcClass::second_order());

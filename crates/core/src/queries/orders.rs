@@ -59,6 +59,19 @@ mod tests {
     }
 
     #[test]
+    fn orders_exemplar_runs_through_the_prepared_pipeline() {
+        use crate::engine::{Engine, Semantics};
+        // One handle, every committee size — the answers match the direct path.
+        let engine = Engine::new();
+        let prepared = engine.prepare(&total_orders_query()).unwrap();
+        for (n, expected) in [(0u32, 1usize), (1, 1), (2, 2), (3, 6)] {
+            let db = unary_db(n);
+            let outcome = prepared.execute(&db, Semantics::Limited).unwrap();
+            assert_eq!(outcome.result.len(), expected, "n = {n}");
+        }
+    }
+
+    #[test]
     fn every_returned_order_contains_the_diagonal() {
         let q = total_orders_query();
         let out = q.eval(&unary_db(3), &EvalConfig::default()).unwrap();

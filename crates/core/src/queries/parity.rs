@@ -139,6 +139,25 @@ mod tests {
     }
 
     #[test]
+    fn parity_exemplar_runs_through_the_prepared_pipeline() {
+        use crate::engine::{Engine, Semantics};
+        // Prepare once, execute on committees of both parities.
+        let engine = Engine::new();
+        let prepared = engine.prepare(&even_cardinality_query()).unwrap();
+        for n in 1..=4u32 {
+            let db = people_db(n);
+            let outcome = prepared.execute(&db, Semantics::Limited).unwrap();
+            assert_eq!(outcome.result.is_empty(), n % 2 == 1, "n = {n}");
+            assert_eq!(
+                outcome.result,
+                even_cardinality_query()
+                    .eval(&db, engine.calc_config())
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
     fn parity_reference_handles_missing_relation() {
         assert!(parity_reference(&Database::empty()));
     }

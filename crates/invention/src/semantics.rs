@@ -19,7 +19,7 @@
 //!   equivalent to the computable queries).
 
 use crate::error::InventionError;
-use itq_calculus::eval::{EvalConfig, Evaluation};
+use itq_calculus::eval::{EvalConfig, EvalStats, Evaluation};
 use itq_calculus::Query;
 use itq_object::{Atom, Database, Instance, Universe, Value};
 use std::collections::BTreeSet;
@@ -111,11 +111,40 @@ pub fn finite_invention(
     universe: &mut Universe,
     config: &InventionConfig,
 ) -> Result<FiniteInventionReport, InventionError> {
+    Ok(finite_invention_with_stats(query, db, universe, config)?.0)
+}
+
+/// [`finite_invention`] plus the aggregated [`EvalStats`] of every per-level
+/// evaluation — the variant the prepared-query pipeline uses to fill its
+/// execution-statistics block.
+///
+/// ```
+/// use itq_calculus::{Formula, Query};
+/// use itq_invention::{finite_invention_with_stats, InventionConfig};
+/// use itq_object::{Atom, Database, Instance, Schema, Type, Universe};
+///
+/// let q = Query::new("t", Type::Atomic, Formula::pred("R", itq_calculus::Term::var("t")),
+///                    Schema::single("R", Type::Atomic)).unwrap();
+/// let db = Database::single("R", Instance::from_atoms(vec![Atom(0)]));
+/// let mut universe = Universe::new();
+/// let (report, stats) =
+///     finite_invention_with_stats(&q, &db, &mut universe, &InventionConfig::default()).unwrap();
+/// assert_eq!(report.union.len(), 1);
+/// assert!(stats.steps > 0, "one evaluation per invention level was counted");
+/// ```
+pub fn finite_invention_with_stats(
+    query: &Query,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+) -> Result<(FiniteInventionReport, EvalStats), InventionError> {
     let mut answers = Vec::new();
     let mut union = Instance::empty();
     let mut stabilised_at = None;
+    let mut stats = EvalStats::default();
     for n in 0..=config.max_invented {
-        let (restricted, _) = eval_with_invented(query, db, universe, n, &config.eval)?;
+        let (restricted, evaluation) = eval_with_invented(query, db, universe, n, &config.eval)?;
+        stats.merge(&evaluation.stats);
         let before = union.len();
         for v in restricted.iter() {
             union.insert(v.clone());
@@ -127,11 +156,14 @@ pub fn finite_invention(
         }
         answers.push(restricted);
     }
-    Ok(FiniteInventionReport {
-        answers,
-        union,
-        stabilised_at,
-    })
+    Ok((
+        FiniteInventionReport {
+            answers,
+            union,
+            stabilised_at,
+        },
+        stats,
+    ))
 }
 
 /// Bounded invention `Q|_f[d]` for a bound function `f` of the active-domain
@@ -182,24 +214,60 @@ pub fn terminal_invention(
     universe: &mut Universe,
     config: &InventionConfig,
 ) -> Result<TerminalOutcome, InventionError> {
+    Ok(terminal_invention_with_stats(query, db, universe, config)?.0)
+}
+
+/// [`terminal_invention`] plus the aggregated [`EvalStats`] of every level
+/// searched — the variant the prepared-query pipeline uses to fill its
+/// execution-statistics block.
+///
+/// ```
+/// use itq_calculus::{Formula, Query};
+/// use itq_invention::{terminal_invention_with_stats, InventionConfig, TerminalOutcome};
+/// use itq_object::{Atom, Database, Instance, Schema, Type, Universe};
+///
+/// // {t/U | ⊤} surfaces an invented value at n = 1.
+/// let q = Query::new("t", Type::Atomic, Formula::truth(),
+///                    Schema::single("R", Type::Atomic)).unwrap();
+/// let db = Database::single("R", Instance::from_atoms(vec![Atom(0)]));
+/// let mut universe = Universe::new();
+/// let (outcome, stats) =
+///     terminal_invention_with_stats(&q, &db, &mut universe, &InventionConfig::default()).unwrap();
+/// assert!(matches!(outcome, TerminalOutcome::Defined { n: 1, .. }));
+/// assert!(stats.candidates_checked > 0);
+/// ```
+pub fn terminal_invention_with_stats(
+    query: &Query,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+) -> Result<(TerminalOutcome, EvalStats), InventionError> {
     let original_domain: BTreeSet<Atom> = query.evaluation_domain(db);
+    let mut stats = EvalStats::default();
     for n in 0..=config.max_invented {
         let (restricted, unrestricted) = eval_with_invented(query, db, universe, n, &config.eval)?;
+        stats.merge(&unrestricted.stats);
         let contains_invented = unrestricted.result.iter().any(|v| {
             v.active_domain()
                 .iter()
                 .any(|a| !original_domain.contains(a))
         });
         if contains_invented {
-            return Ok(TerminalOutcome::Defined {
-                n,
-                answer: restricted,
-            });
+            return Ok((
+                TerminalOutcome::Defined {
+                    n,
+                    answer: restricted,
+                },
+                stats,
+            ));
         }
     }
-    Ok(TerminalOutcome::UndefinedWithinBound {
-        tried: config.max_invented + 1,
-    })
+    Ok((
+        TerminalOutcome::UndefinedWithinBound {
+            tried: config.max_invented + 1,
+        },
+        stats,
+    ))
 }
 
 #[cfg(test)]

@@ -11,8 +11,9 @@
 //!   databases, queries, and algebra expressions by name, then `classify`,
 //!   `typecheck`, `eval` (under all three semantics of the paper), and
 //!   `compile` them;
-//! * a [`Session`](session::Session) that executes scripts against
-//!   [`itq_core::Engine`], powering the `itq` REPL binary.
+//! * a [`session::Session`] that executes scripts against an
+//!   [`itq_core::engine::Engine`] through cached
+//!   [`itq_core::pipeline::Prepared`] handles, powering the `itq` REPL binary.
 //!
 //! The grammar is the exact inverse of the engine's `Display` impls:
 //! `parse(display(x)) == x` for [`Term`](itq_calculus::Term),

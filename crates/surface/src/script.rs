@@ -11,7 +11,7 @@
 //! classify gp;                                  # minimal CALC_{k,i} class
 //! eval gp on d;                                 # limited interpretation
 //! eval gp on d with finite-invention;           # Section 6 semantics
-//! eval gp on d with terminal-invention;
+//! eval gp on d under ti;                        # `under` ≡ `with`; fi/ti aliases
 //! compile ga as gc;                             # algebra -> calculus (Thm 3.8)
 //! show gc;  list;  help;  quit;
 //! ```
@@ -296,10 +296,11 @@ pub fn parse_stmt(
             let semantics = if p.at_end() {
                 Semantics::Limited
             } else {
-                let (with, with_pos) = named(&mut p, "`with`")?;
-                if with != "with" {
+                let (with, with_pos) = named(&mut p, "`with` or `under`")?;
+                if with != "with" && with != "under" {
                     return Err(ParseError::new(
-                        "expected `with <semantics>` after the database name",
+                        "expected `with <semantics>` or `under <semantics>` after the \
+                         database name",
                         with_pos,
                     ));
                 }
@@ -371,7 +372,8 @@ fn schema_ref(p: &mut Parser<'_>, schemas: &BTreeMap<String, Schema>) -> Result<
 }
 
 /// Parse a (possibly hyphenated) semantics keyword: `limited`,
-/// `finite-invention`, `terminal-invention`.
+/// `finite-invention`, `terminal-invention`, or the case-insensitive short
+/// aliases `fi`, `ti`, `finite`, `terminal` (see [`Semantics::from_str`]).
 fn semantics_name(p: &mut Parser<'_>) -> Result<Semantics> {
     let (mut word, pos) = named(p, "a semantics keyword")?;
     while p.eat_minus() {
@@ -466,6 +468,31 @@ mod tests {
             if *semantics == Semantics::FiniteInvention));
         assert!(matches!(&stmts[5], Stmt::Compile { target: Some(t), .. } if t == "ec"));
         assert_eq!(stmts[8], Stmt::Quit);
+    }
+
+    #[test]
+    fn eval_accepts_under_and_semantics_aliases() {
+        let mut u = Universe::new();
+        for (clause, expect) in [
+            ("with limited", Semantics::Limited),
+            ("under limited", Semantics::Limited),
+            ("under fi", Semantics::FiniteInvention),
+            ("with FI", Semantics::FiniteInvention),
+            ("under Finite-Invention", Semantics::FiniteInvention),
+            ("under ti", Semantics::TerminalInvention),
+            ("with TERMINAL", Semantics::TerminalInvention),
+            ("under terminal_invention", Semantics::TerminalInvention),
+        ] {
+            let src = format!("eval q on d {clause}");
+            let stmts = parse_script(&src, &mut u).expect(&src);
+            assert!(
+                matches!(&stmts[0], Stmt::Eval { semantics, .. } if *semantics == expect),
+                "{src}"
+            );
+        }
+        // A bogus joiner and a bogus semantics keyword both fail cleanly.
+        assert!(parse_script("eval q on d using limited", &mut u).is_err());
+        assert!(parse_script("eval q on d under naive", &mut u).is_err());
     }
 
     #[test]

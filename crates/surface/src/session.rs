@@ -1,18 +1,22 @@
 //! The interactive session: named schemas, databases, queries, and algebra
-//! expressions, executed against an [`itq_core::Engine`].
+//! expressions, executed against an [`itq_core::engine::Engine`].
 //!
 //! A [`Session`] is the semantic half of the `itq` REPL: feed it statement
 //! text ([`Session::run_source`] or [`Session::run_statement`]) and it parses
 //! against its own universe and schema table, executes, and returns the
 //! output lines.  Atom names interned while loading databases are used when
 //! rendering answers, so `eval gp on d` prints `[Tom, Sue]`, not `[a0, a2]`.
+//!
+//! Evaluation goes through [`itq_core::pipeline::Prepared`] handles, cached
+//! per named query: `eval`-ing the same name twice type-checks, classifies,
+//! and (for algebra) compiles only once.
 
 use crate::error::{ParseError, Pos};
 use crate::script::{offset_error, parse_stmt, split_statements, Stmt};
 use itq_algebra::{classify_expr, infer_type, AlgExpr};
 use itq_calculus::Query;
 use itq_core::engine::{Engine, Semantics};
-use itq_core::prelude::TerminalOutcome;
+use itq_core::pipeline::Prepared;
 use itq_object::{Database, Instance, Schema};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -63,12 +67,20 @@ pub struct StmtOutput {
 }
 
 /// A named-object session over an [`Engine`].
+///
+/// Evaluation runs entirely through the prepare-once / execute-many pipeline:
+/// the first `eval` of a named query (or algebra expression) prepares it —
+/// typing, classification, normal forms, Theorem 3.8 compilation — and caches
+/// the [`Prepared`] handle; every later `eval` of the same name reuses the
+/// handle and only pays for execution.  Redefining a name, or touching the
+/// engine through [`Session::engine_mut`], drops the affected handles.
 pub struct Session {
     engine: Engine,
     schemas: BTreeMap<String, Schema>,
     databases: BTreeMap<String, (String, Database)>,
     queries: BTreeMap<String, (String, Query)>,
     algebras: BTreeMap<String, (String, AlgExpr)>,
+    prepared: BTreeMap<String, Prepared>,
 }
 
 impl Default for Session {
@@ -86,6 +98,7 @@ impl Session {
             databases: BTreeMap::new(),
             queries: BTreeMap::new(),
             algebras: BTreeMap::new(),
+            prepared: BTreeMap::new(),
         }
     }
 
@@ -103,7 +116,12 @@ impl Session {
     }
 
     /// Mutable access to the underlying engine (budget tuning).
+    ///
+    /// Prepared handles snapshot the engine configuration, so taking this
+    /// borrow drops every cached handle; the next `eval` of each name
+    /// re-prepares against the new configuration.
     pub fn engine_mut(&mut self) -> &mut Engine {
+        self.prepared.clear();
         &mut self.engine
     }
 
@@ -115,6 +133,12 @@ impl Session {
     /// Look up a declared query.
     pub fn query(&self, name: &str) -> Option<&Query> {
         self.queries.get(name).map(|(_, q)| q)
+    }
+
+    /// The cached [`Prepared`] handle for a named query or algebra expression,
+    /// if it has been evaluated (and therefore prepared) in this session.
+    pub fn prepared(&self, name: &str) -> Option<&Prepared> {
+        self.prepared.get(name)
     }
 
     /// Run a whole script, stopping at the first error (batch mode).  Returns
@@ -147,6 +171,19 @@ impl Session {
         match stmt {
             Stmt::DefSchema { name, schema } => {
                 lines.push(format!("schema {name} = {}", render_schema(&schema)));
+                // Algebra handles resolve their schema by name at prepare time,
+                // so a redefinition invalidates every handle prepared over the
+                // old schema (queries embed their schema at parse time and are
+                // unaffected, matching the pre-pipeline behaviour).
+                let stale: Vec<String> = self
+                    .algebras
+                    .iter()
+                    .filter(|(_, (schema_name, _))| schema_name == &name)
+                    .map(|(algebra_name, _)| algebra_name.clone())
+                    .collect();
+                for algebra_name in stale {
+                    self.prepared.remove(&algebra_name);
+                }
                 self.schemas.insert(name, schema);
             }
             Stmt::DefDatabase {
@@ -172,6 +209,7 @@ impl Session {
                     query.target_type(),
                     query.body().quantifier_count(),
                 ));
+                self.prepared.remove(&name);
                 self.queries.insert(name, (schema, query));
             }
             Stmt::DefAlgebra { name, schema, expr } => {
@@ -179,6 +217,7 @@ impl Session {
                 let ty = infer_type(&expr, schema_decl)
                     .map_err(|e| SessionError::Exec(format!("algebra `{name}`: {e}")))?;
                 lines.push(format!("algebra {name} : {schema} → {ty}"));
+                self.prepared.remove(&name);
                 self.algebras.insert(name, (schema, expr));
             }
             Stmt::Show { name } => lines.extend(self.show(&name)?),
@@ -254,9 +293,11 @@ impl Session {
         lines
     }
 
-    fn classify(&self, name: &str) -> Result<Vec<String>, SessionError> {
-        if let Some((_, query)) = self.queries.get(name) {
-            let c = self.engine.classify(query);
+    fn classify(&mut self, name: &str) -> Result<Vec<String>, SessionError> {
+        if self.queries.contains_key(name) {
+            // The classification was computed at prepare time; reuse the handle.
+            self.ensure_prepared(name)?;
+            let c = self.prepared[name].classification();
             let mut lines = vec![format!("{name} ∈ {} (minimal)", c.minimal_class)];
             if c.intermediate_types.is_empty() {
                 lines.push("  no intermediate types".to_string());
@@ -285,19 +326,17 @@ impl Session {
         )))
     }
 
-    fn typecheck(&self, name: &str) -> Result<Vec<String>, SessionError> {
-        if let Some((schema_name, query)) = self.queries.get(name) {
-            // Queries are validated at construction; re-validate to surface the
-            // full typing (also exercised after `compile`).
-            let revalidated = query.with_body(query.body().clone());
-            return match revalidated {
-                Ok(_) => Ok(vec![format!(
-                    "{name} : {schema_name} → {} ✓ (t-wff over {})",
-                    query.target_type(),
-                    render_schema(query.schema()),
-                )]),
-                Err(e) => Err(SessionError::Exec(format!("typecheck `{name}`: {e}"))),
-            };
+    fn typecheck(&mut self, name: &str) -> Result<Vec<String>, SessionError> {
+        if self.queries.contains_key(name) {
+            // Preparing re-derives the full typing (the prepare-time semantic
+            // type-check); a cached handle is itself the proof of typing.
+            self.ensure_prepared(name)?;
+            let (schema_name, query) = &self.queries[name];
+            return Ok(vec![format!(
+                "{name} : {schema_name} → {} ✓ (t-wff over {})",
+                query.target_type(),
+                render_schema(query.schema()),
+            )]);
         }
         if let Some((schema_name, expr)) = self.algebras.get(name) {
             let schema = self.schema_or_err(schema_name)?;
@@ -308,6 +347,32 @@ impl Session {
         Err(SessionError::Exec(format!(
             "no query or algebra expression named `{name}`"
         )))
+    }
+
+    /// Get-or-create the [`Prepared`] handle for a named query or algebra
+    /// expression — the prepare-once half of the pipeline.
+    fn ensure_prepared(&mut self, name: &str) -> Result<(), SessionError> {
+        if !self.prepared.contains_key(name) {
+            let handle = if let Some((_, query)) = self.queries.get(name) {
+                self.engine
+                    .prepare(query)
+                    .map_err(|e| SessionError::Exec(format!("prepare `{name}`: {e}")))?
+            } else if let Some((schema_name, expr)) = self.algebras.get(name) {
+                let schema = self
+                    .schemas
+                    .get(schema_name)
+                    .ok_or_else(|| SessionError::Exec(format!("unknown schema `{schema_name}`")))?;
+                self.engine
+                    .prepare_algebra(expr, schema)
+                    .map_err(|e| SessionError::Exec(format!("prepare `{name}`: {e}")))?
+            } else {
+                return Err(SessionError::Exec(format!(
+                    "no query or algebra expression named `{name}`"
+                )));
+            };
+            self.prepared.insert(name.to_string(), handle);
+        }
+        Ok(())
     }
 
     fn eval(
@@ -321,70 +386,52 @@ impl Session {
             .get(database)
             .ok_or_else(|| SessionError::Exec(format!("unknown database `{database}`")))?
             .clone();
-        if let Some((_, query)) = self.queries.get(name).cloned() {
-            let header = format!("eval {name} on {database} with {semantics}");
-            // Terminal invention deserves its level report, not just the answer.
-            if semantics == Semantics::TerminalInvention {
-                let outcome = self
-                    .engine
-                    .eval_terminal_invention(&query, &db)
-                    .map_err(|e| SessionError::Exec(format!("{header}: {e}")))?;
-                return Ok(match outcome {
-                    TerminalOutcome::Defined { n, answer } => {
-                        let mut lines = vec![format!(
-                            "{header}: defined at n = {n}, {} object{}",
-                            answer.len(),
-                            plural(answer.len())
-                        )];
-                        lines.extend(self.render_values(&answer));
-                        lines
-                    }
-                    TerminalOutcome::UndefinedWithinBound { tried } => vec![format!(
+        self.ensure_prepared(name)?;
+        let prepared = &self.prepared[name];
+        // Algebra expressions keep their historical header under the limited
+        // interpretation (no semantics qualifier); everything else names the
+        // semantics it ran under.
+        let header = if prepared.is_algebra() && semantics == Semantics::Limited {
+            format!("eval {name} on {database}")
+        } else {
+            format!("eval {name} on {database} with {semantics}")
+        };
+        let outcome = prepared
+            .execute(&db, semantics)
+            .map_err(|e| SessionError::Exec(format!("{header}: {e}")))?;
+        // Terminal invention deserves its level report, not just the answer.
+        if semantics == Semantics::TerminalInvention {
+            return Ok(match outcome.defined_at {
+                Some(n) => {
+                    let mut lines = vec![format!(
+                        "{header}: defined at n = {n}, {} object{}",
+                        outcome.result.len(),
+                        plural(outcome.result.len())
+                    )];
+                    lines.extend(self.render_values(&outcome.result));
+                    lines
+                }
+                None => {
+                    let tried = outcome.stats.invention_levels as usize;
+                    vec![format!(
                         "{header}: undefined within bound (tried {tried} invention level{})",
                         plural(tried)
-                    )],
-                });
-            }
-            let answer = self
-                .engine
-                .eval_with_semantics(&query, &db, semantics)
-                .map_err(|e| SessionError::Exec(format!("{header}: {e}")))?;
-            let qualifier = if answer.bounded_approximation {
-                " (bounded approximation)"
-            } else {
-                ""
-            };
-            let mut lines = vec![format!(
-                "{header}: {} object{}{qualifier}",
-                answer.result.len(),
-                plural(answer.result.len()),
-            )];
-            lines.extend(self.render_values(&answer.result));
-            return Ok(lines);
+                    )]
+                }
+            });
         }
-        if let Some((schema_name, expr)) = self.algebras.get(name).cloned() {
-            if semantics != Semantics::Limited {
-                return Err(SessionError::Exec(format!(
-                    "algebra expressions evaluate under the limited interpretation only; \
-                     `compile {name}` first to use {semantics}"
-                )));
-            }
-            let schema = self.schema_or_err(&schema_name)?.clone();
-            let answer = self
-                .engine
-                .eval_algebra(&expr, &schema, &db)
-                .map_err(|e| SessionError::Exec(format!("eval {name} on {database}: {e}")))?;
-            let mut lines = vec![format!(
-                "eval {name} on {database}: {} object{}",
-                answer.len(),
-                plural(answer.len()),
-            )];
-            lines.extend(self.render_values(&answer));
-            return Ok(lines);
-        }
-        Err(SessionError::Exec(format!(
-            "no query or algebra expression named `{name}`"
-        )))
+        let qualifier = if outcome.bounded_approximation {
+            " (bounded approximation)"
+        } else {
+            ""
+        };
+        let mut lines = vec![format!(
+            "{header}: {} object{}{qualifier}",
+            outcome.result.len(),
+            plural(outcome.result.len()),
+        )];
+        lines.extend(self.render_values(&outcome.result));
+        Ok(lines)
     }
 
     fn compile(&mut self, name: &str, target: Option<String>) -> Result<Vec<String>, SessionError> {
@@ -399,6 +446,7 @@ impl Session {
                 format!("compiled {name} (algebra) → {target} (calculus), Theorem 3.8:"),
                 format!("  {query}"),
             ];
+            self.prepared.remove(&target);
             self.queries.insert(target, (schema_name, query));
             return Ok(lines);
         }
@@ -454,7 +502,7 @@ fn help_text() -> Vec<String> {
         "  typecheck NAME                       re-check and print the typing",
         "  classify NAME                        minimal CALC_{k,i} / ALG_{k,i} class",
         "  eval NAME on DB [with SEMANTICS]     semantics: limited (default),",
-        "                                       finite-invention, terminal-invention",
+        "    (`under` ≡ `with`)                 finite-invention (fi), terminal-invention (ti)",
         "  compile NAME [as NEW]                algebra → calculus (Theorem 3.8)",
         "  show NAME | list | help | quit",
         "syntax: Unicode (∃x/[U, U] (PAR(x) ∧ x.1 ≈ t.1)) or ASCII",
@@ -549,6 +597,88 @@ mod tests {
         ] {
             assert!(s.run_source(bad).is_err(), "`{bad}` should fail");
         }
+    }
+
+    #[test]
+    fn eval_caches_prepared_handles_per_name() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        assert!(s.prepared("gp").is_none(), "nothing prepared before eval");
+        run(&mut s, "eval gp on d;");
+        assert!(s.prepared("gp").is_some(), "eval prepares and caches");
+        // The handle survives further evals and carries the classification.
+        run(&mut s, "eval gp on d with finite-invention;");
+        let handle = s.prepared("gp").unwrap();
+        assert_eq!(
+            handle.classification().minimal_class,
+            s.query("gp").unwrap().classification().minimal_class
+        );
+        // Redefining the query drops the stale handle.
+        run(&mut s, "query gp : Gen {t/[U, U] | PAR(t)};");
+        assert!(s.prepared("gp").is_none(), "redefinition invalidates");
+        let out = run(&mut s, "eval gp on d;");
+        assert_eq!(out[0], "eval gp on d with limited: 2 objects");
+        // Touching the engine configuration drops every handle.
+        s.engine_mut();
+        assert!(s.prepared("gp").is_none());
+    }
+
+    #[test]
+    fn redefining_a_schema_invalidates_prepared_algebra_handles() {
+        // An algebra handle compiled against the old schema must not survive a
+        // schema redefinition: the stale compiled form would silently type the
+        // predicate at its old arity.
+        let mut s = Session::with_engine(Engine::builder().max_invented(1).build());
+        run(
+            &mut s,
+            "schema Gen {PAR : [U, U]};\nalgebra ga : Gen PAR ∪ PAR;\n\
+             database d2 : Gen {PAR = {[Tom, Mary]}};\neval ga on d2;",
+        );
+        assert!(s.prepared("ga").is_some());
+        run(
+            &mut s,
+            "schema Gen {PAR : [U, U, U]};\n\
+             database d3 : Gen {PAR = {[Tom, Mary, Sue]}};",
+        );
+        assert!(
+            s.prepared("ga").is_none(),
+            "schema redefinition must drop the handle"
+        );
+        // Re-preparing against the new schema keeps limited and invention
+        // semantics in agreement (Theorem 6.11) on the ternary database.
+        let out = run(&mut s, "eval ga on d3;\neval ga on d3 under fi;");
+        assert!(out.iter().any(|l| l == "eval ga on d3: 1 object"));
+        assert!(out
+            .iter()
+            .any(|l| l == "eval ga on d3 with finite-invention: 1 object"));
+    }
+
+    #[test]
+    fn under_clause_and_short_aliases_reach_the_engine() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        let out = run(&mut s, "eval gp on d under fi;\neval gp on d under TI;");
+        assert!(out[0].starts_with("eval gp on d with finite-invention:"));
+        assert!(out.iter().any(|l| l.contains("terminal-invention")));
+    }
+
+    #[test]
+    fn algebra_expressions_evaluate_under_invention_via_their_compiled_form() {
+        // The prepared handle compiles algebra to calculus once, so the
+        // Section 6 semantics apply to algebra names directly now.  Keep the
+        // invention bound at one level — the compiled form quantifies over
+        // wide tuple domains that grow fast with extra atoms.
+        let mut s = Session::with_engine(Engine::builder().max_invented(1).build());
+        genealogy(&mut s);
+        let out = run(
+            &mut s,
+            "algebra gu : Gen PAR ∪ PAR;\neval gu on d;\neval gu on d under fi;",
+        );
+        assert!(out.iter().any(|l| l == "eval gu on d: 2 objects"));
+        assert!(out
+            .iter()
+            .any(|l| l == "eval gu on d with finite-invention: 2 objects"));
+        assert_eq!(out.iter().filter(|l| l.ends_with("[Tom, Mary]")).count(), 2);
     }
 
     #[test]

@@ -74,19 +74,19 @@ fn main() {
         with_one.len()
     );
 
-    // The engine's invention semantics bundle the bounded search.
-    let mut engine = Engine::new();
-    let finite = engine
-        .eval_with_semantics(&query, &db, Semantics::FiniteInvention)
-        .unwrap();
+    // The engine's invention semantics bundle the bounded search: one prepared
+    // handle executes under both Section 6 semantics through `&self`.
+    let engine = Engine::new();
+    let prepared = engine.prepare(&query).unwrap();
+    let finite = prepared.execute(&db, Semantics::FiniteInvention).unwrap();
     println!(
-        "finite invention answer has {} tuples (bounded approximation: {})",
+        "finite invention answer has {} tuples (bounded approximation: {}, \
+         {} levels explored)",
         finite.result.len(),
-        finite.bounded_approximation
+        finite.bounded_approximation,
+        finite.stats.invention_levels
     );
-    let terminal = engine
-        .eval_with_semantics(&query, &db, Semantics::TerminalInvention)
-        .unwrap();
+    let terminal = prepared.execute(&db, Semantics::TerminalInvention).unwrap();
     println!(
         "terminal invention answer has {} tuples (undefined-within-bound: {})",
         terminal.result.len(),

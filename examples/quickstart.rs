@@ -21,10 +21,12 @@ fn main() {
     );
 
     // --------------------------------------------------- calculus evaluation ----
-    let engine = Engine::new();
+    // Build the engine once (budgets, invention bounds, the interner), then
+    // prepare each query once and execute the handle as often as needed.
+    let engine = Engine::builder().universe(universe.clone()).build();
 
-    let grandparent = queries::grandparent_query();
-    let answer = engine.eval_calculus(&grandparent, &db).unwrap();
+    let grandparent = engine.prepare(&queries::grandparent_query()).unwrap();
+    let answer = grandparent.execute(&db, Semantics::Limited).unwrap();
     println!(
         "\ngrandparent query ({}):",
         grandparent.classification().minimal_class
@@ -34,47 +36,59 @@ fn main() {
     }
 
     // The transitive-closure query of Example 3.1 needs an intermediate type of
-    // set-height 1 — it is *not* a relational-calculus query.
-    let tc = queries::transitive_closure_query();
-    let classification = tc.classification();
+    // set-height 1 — it is *not* a relational-calculus query.  The handle
+    // caches the classification computed at prepare time.
+    let tc = engine
+        .prepare(&queries::transitive_closure_query())
+        .unwrap();
     println!(
         "\ntransitive closure is in {} with intermediate types {:?}",
-        classification.minimal_class, classification.intermediate_types
+        tc.classification().minimal_class,
+        tc.classification().intermediate_types
     );
-    let ancestors = engine.eval_calculus(&tc, &db).unwrap();
+    let ancestors = tc.execute(&db, Semantics::Limited).unwrap();
     println!("ancestor pairs ({} total):", ancestors.result.len());
     for value in ancestors.result.iter() {
         println!("  {}", value.display_with(&universe));
     }
     println!(
-        "evaluation statistics: {} formula steps, {} quantifier values, largest domain {}",
-        ancestors.stats.steps, ancestors.stats.quantifier_values, ancestors.stats.max_domain_seen
+        "execution statistics: {} formula steps, {} quantifier values, largest domain {}, \
+         {} µs wall",
+        ancestors.stats.steps,
+        ancestors.stats.quantifier_values,
+        ancestors.stats.max_domain_seen,
+        ancestors.stats.wall_micros
     );
 
     // ----------------------------------------------------- algebra evaluation ----
+    // Algebra expressions are compiled to the calculus once, at prepare time
+    // (Theorem 3.8); limited execution still runs the algebra form directly.
     let schema = queries::parent_schema();
     let grandparent_algebra = AlgExpr::pred("PAR")
         .product(AlgExpr::pred("PAR"))
         .select(SelFormula::coords_eq(2, 3))
         .project(vec![1, 4]);
-    let algebra_answer = engine
-        .eval_algebra(&grandparent_algebra, &schema, &db)
+    let prepared_algebra = engine
+        .prepare_algebra(&grandparent_algebra, &schema)
         .unwrap();
-    assert_eq!(algebra_answer, answer.result);
+    let algebra_answer = prepared_algebra.execute(&db, Semantics::Limited).unwrap();
+    assert_eq!(algebra_answer.result, answer.result);
     println!("\nthe algebra expression {grandparent_algebra} agrees with the calculus query");
 
     // ------------------------------------------------------ invented values ----
     // Under finite invention a query may use scratch atoms that never appear in
     // the output (Section 6).  For relational-calculus queries like grandparent
-    // this changes nothing (Theorem 6.11).
-    let mut engine = Engine::new();
-    let outcome = engine
-        .eval_with_semantics(&grandparent, &db, Semantics::FiniteInvention)
+    // this changes nothing (Theorem 6.11).  The same prepared handle executes
+    // under every semantics — through a shared reference.
+    let outcome = grandparent
+        .execute(&db, Semantics::FiniteInvention)
         .unwrap();
     assert_eq!(outcome.result, answer.result);
     println!(
-        "\nunder finite invention the grandparent answer is unchanged ({} pairs) — \
-         relational queries gain nothing from invention (Theorem 6.11)",
-        outcome.result.len()
+        "\nunder finite invention the grandparent answer is unchanged ({} pairs, \
+         {} invention levels explored) — relational queries gain nothing from \
+         invention (Theorem 6.11)",
+        outcome.result.len(),
+        outcome.stats.invention_levels
     );
 }

@@ -3,8 +3,8 @@
 //! The build environment has no access to crates.io, so this shim reimplements
 //! the part of the `proptest 1.x` API that the workspace's property suites use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_filter`, `prop_recursive`,
-//!   and `boxed`;
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_filter`, `prop_recursive`, and `boxed`;
 //! * primitive strategies: [`Just`](strategy::Just), integer ranges, tuples,
 //!   [`any::<T>()`](arbitrary::any);
 //! * [`collection::vec`] and [`collection::btree_set`];

@@ -68,6 +68,25 @@ fn algebra_and_translated_calculus_agree_on_random_databases() {
 }
 
 #[test]
+fn prepared_algebra_handles_agree_with_both_direct_paths() {
+    // The pipeline's algebra handles hold both forms: limited execution runs
+    // the algebra directly, while the compiled calculus (made once at prepare
+    // time) is what classification and invention use — and the two agree.
+    let engine = itq_core::prelude::Engine::new();
+    let db = database(11, 3, 0.4);
+    for expr in expression_zoo() {
+        let prepared = engine.prepare_algebra(&expr, &schema()).unwrap();
+        let outcome = prepared
+            .execute(&db, itq_core::prelude::Semantics::Limited)
+            .unwrap();
+        let direct_algebra = expr.eval(&db, &schema(), &AlgConfig::default()).unwrap();
+        let direct_calculus = prepared.query().eval(&db, &EvalConfig::default()).unwrap();
+        assert_eq!(outcome.result, direct_algebra, "expression {expr}");
+        assert_eq!(outcome.result, direct_calculus, "expression {expr}");
+    }
+}
+
+#[test]
 fn translation_preserves_minimal_class_for_the_zoo() {
     for expr in expression_zoo() {
         let alg_class = classify_expr(&expr, &schema()).unwrap();

@@ -123,7 +123,9 @@ fn query_answers_round_trip_through_the_universal_type() {
     let engine = Engine::new();
     let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
     let answer = engine
-        .eval_calculus(&queries::transitive_closure_query(), &db)
+        .prepare(&queries::transitive_closure_query())
+        .unwrap()
+        .execute(&db, Semantics::Limited)
         .unwrap()
         .result;
     // The answer is an instance of [U,U]; view it as a single object of {[U,U]}.
@@ -141,24 +143,25 @@ fn query_answers_round_trip_through_the_universal_type() {
     assert_eq!(ty.set_height(), 1);
 }
 
-/// Engine-level smoke test covering all three semantics on one query.
+/// Engine-level smoke test covering all three semantics on one prepared query.
 #[test]
 fn engine_semantics_dispatch() {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     let db = person_database(3);
-    let query = needs_invention_query();
-    let limited = engine
-        .eval_with_semantics(&query, &db, Semantics::Limited)
-        .unwrap();
-    let finite = engine
-        .eval_with_semantics(&query, &db, Semantics::FiniteInvention)
-        .unwrap();
-    let terminal = engine
-        .eval_with_semantics(&query, &db, Semantics::TerminalInvention)
-        .unwrap();
+    let prepared = engine.prepare(&needs_invention_query()).unwrap();
+    let limited = prepared.execute(&db, Semantics::Limited).unwrap();
+    let finite = prepared.execute(&db, Semantics::FiniteInvention).unwrap();
+    let terminal = prepared.execute(&db, Semantics::TerminalInvention).unwrap();
     assert!(limited.result.is_empty());
     assert_eq!(finite.result.len(), 3);
     // The guarded query never emits invented values, so terminal invention is a
     // bounded "undefined".
     assert!(terminal.bounded_approximation);
+    assert_eq!(terminal.defined_at, None);
+    // Each outcome remembers the semantics that produced it, and the invention
+    // paths report how many levels they explored.
+    assert_eq!(limited.semantics, Semantics::Limited);
+    assert_eq!(finite.stats.invention_levels as usize, {
+        engine.invention_config().max_invented + 1
+    });
 }

@@ -1,0 +1,199 @@
+//! Integration suite for the prepare-once / execute-many pipeline: on the
+//! genealogy, parity, and exponent workloads, [`Prepared::execute`] must be
+//! bit-identical to the legacy per-call `eval_*` API under all three
+//! semantics, a single handle must survive many executions, and the static
+//! artifacts cached at prepare time must equal what the underlying crates
+//! compute directly (property-tested over generated queries).
+
+#![allow(deprecated)] // half of this suite *is* the legacy API, for comparison
+
+use itq_calculus::{Formula, Query};
+use itq_core::prelude::*;
+use itq_core::queries;
+use proptest::prelude::*;
+
+/// The exemplar queries of the three workloads named by the acceptance
+/// criteria, each paired with a database small enough for every semantics —
+/// the same grid the `report --stats-json` trajectory records.
+fn workloads() -> Vec<(&'static str, Query, Database)> {
+    queries::exemplar_workloads()
+}
+
+/// A tight invention bound keeps the set-height-1 workloads affordable under
+/// the invention semantics while still exercising the n > 0 levels.
+fn engine() -> Engine {
+    Engine::builder().max_invented(1).build()
+}
+
+#[test]
+fn prepared_execute_is_bit_identical_to_the_legacy_api_under_all_semantics() {
+    let engine = engine();
+    for (name, query, db) in workloads() {
+        let prepared = engine.prepare(&query).unwrap();
+        for semantics in Semantics::ALL {
+            let outcome = prepared.execute(&db, semantics).unwrap();
+            let legacy = engine.eval_with_semantics(&query, &db, semantics).unwrap();
+            assert_eq!(outcome.result, legacy.result, "{name} under {semantics}");
+            assert_eq!(
+                outcome.bounded_approximation, legacy.bounded_approximation,
+                "{name} under {semantics}"
+            );
+        }
+        // The richer legacy shapes agree with the unified outcome too.
+        let evaluation = engine.eval_calculus(&query, &db).unwrap();
+        let limited = prepared.execute(&db, Semantics::Limited).unwrap();
+        assert_eq!(evaluation.result, limited.result, "{name}");
+        assert_eq!(
+            evaluation.stats,
+            limited.stats.eval_stats_for_tests(),
+            "{name}"
+        );
+        let report = engine.eval_finite_invention(&query, &db).unwrap();
+        let finite = prepared.execute(&db, Semantics::FiniteInvention).unwrap();
+        assert_eq!(report.union, finite.result, "{name}");
+        assert_eq!(report.stabilised_at, finite.stabilised_at, "{name}");
+        match engine.eval_terminal_invention(&query, &db).unwrap() {
+            TerminalOutcome::Defined { n, answer } => {
+                let terminal = prepared.execute(&db, Semantics::TerminalInvention).unwrap();
+                assert_eq!(terminal.defined_at, Some(n), "{name}");
+                assert_eq!(terminal.result, answer, "{name}");
+            }
+            TerminalOutcome::UndefinedWithinBound { tried } => {
+                let terminal = prepared.execute(&db, Semantics::TerminalInvention).unwrap();
+                assert_eq!(terminal.defined_at, None, "{name}");
+                assert!(terminal.result.is_empty(), "{name}");
+                assert_eq!(terminal.stats.invention_levels as usize, tried, "{name}");
+            }
+        }
+    }
+}
+
+/// Hack-free stats comparison: `ExecStats` and `EvalStats` share their four
+/// evaluator counters; compare through a plain tuple.
+trait EvalStatsView {
+    fn eval_stats_for_tests(&self) -> itq_calculus::eval::EvalStats;
+}
+
+impl EvalStatsView for ExecStats {
+    fn eval_stats_for_tests(&self) -> itq_calculus::eval::EvalStats {
+        itq_calculus::eval::EvalStats {
+            steps: self.steps,
+            quantifier_values: self.quantifier_values,
+            candidates_checked: self.candidates_checked,
+            max_domain_seen: self.max_domain_seen,
+        }
+    }
+}
+
+#[test]
+fn prepare_once_execute_many_is_stable_across_repetition_and_databases() {
+    let engine = engine();
+    let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+    // Repeated execution of one handle never drifts (the invention scratch
+    // space is rebuilt per call, so earlier calls cannot leak into later ones).
+    let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+    for semantics in Semantics::ALL {
+        let first = prepared.execute(&db, semantics).unwrap();
+        for _ in 0..3 {
+            let again = prepared.execute(&db, semantics).unwrap();
+            assert_eq!(first.result, again.result, "{semantics}");
+            assert_eq!(
+                first.bounded_approximation, again.bounded_approximation,
+                "{semantics}"
+            );
+        }
+    }
+    // One handle, many databases: identical to a freshly prepared handle each
+    // time (prepare-once loses nothing).
+    for n in 2..=4u32 {
+        let edges: Vec<(Atom, Atom)> = (0..n - 1).map(|i| (Atom(i), Atom(i + 1))).collect();
+        let db = queries::parent_database(&edges);
+        let reused = prepared.execute(&db, Semantics::Limited).unwrap();
+        let fresh = engine
+            .prepare(&queries::grandparent_query())
+            .unwrap()
+            .execute(&db, Semantics::Limited)
+            .unwrap();
+        assert_eq!(reused.result, fresh.result, "n = {n}");
+    }
+}
+
+#[test]
+fn execute_shares_the_handle_without_exclusive_access() {
+    // The REPL use case behind the `&mut` asymmetry fix: several readers of
+    // one handle evaluate limited queries with no mutable borrow in sight.
+    let engine = engine();
+    let prepared = engine.prepare(&queries::sibling_query()).unwrap();
+    let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(0), Atom(2))]);
+    let readers = [&prepared, &prepared, &prepared];
+    for reader in readers {
+        assert_eq!(
+            reader
+                .execute(&db, Semantics::Limited)
+                .unwrap()
+                .result
+                .len(),
+            2
+        );
+    }
+    // Invention semantics also go through `&self`: scratch atoms come from an
+    // interior clone, and the engine's universe is observably untouched.
+    let before = engine.universe().len();
+    prepared.execute(&db, Semantics::FiniteInvention).unwrap();
+    assert_eq!(engine.universe().len(), before);
+}
+
+/// Well-typed queries: one of the repo's canonical queries with a random stack
+/// of validity-preserving decorations applied to its body (arbitrary random
+/// formulas are almost never t-wffs, so generation works by construction).
+fn query() -> BoxedStrategy<Query> {
+    let base = (0usize..4).prop_map(|i| match i {
+        0 => queries::grandparent_query(),
+        1 => queries::sibling_query(),
+        2 => queries::transitive_closure_query(),
+        _ => queries::even_cardinality_query(),
+    });
+    (base, proptest::collection::vec(0usize..4, 0..4))
+        .prop_map(|(q, decorations)| {
+            let mut body = q.body().clone();
+            for d in decorations {
+                body = match d {
+                    0 => Formula::And(vec![body]),
+                    1 => Formula::Or(vec![body]),
+                    2 => Formula::not(Formula::not(body)),
+                    // A closed quantified conjunct with a type of height 2.
+                    _ => Formula::And(vec![
+                        body,
+                        Formula::exists("w", Type::nested_set(2), Formula::truth()),
+                    ]),
+                };
+            }
+            q.with_body(body).expect("decorations preserve validity")
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The classification cached in a `Prepared` handle is exactly the
+    /// query's own classification, for arbitrary (decorated) queries.
+    #[test]
+    fn prepared_classification_equals_query_classification(q in query()) {
+        let engine = Engine::new();
+        let prepared = engine.prepare(&q).unwrap();
+        prop_assert_eq!(prepared.classification(), &q.classification());
+        prop_assert_eq!(prepared.query(), &q);
+    }
+
+    /// Preparing also caches the existential-fragment analysis faithfully.
+    #[test]
+    fn prepared_sf_classification_matches_normal_forms(q in query()) {
+        let engine = Engine::new();
+        let prepared = engine.prepare(&q).unwrap();
+        prop_assert_eq!(
+            prepared.sf_classification(),
+            &itq_calculus::normal::sf_classification(&q)
+        );
+    }
+}

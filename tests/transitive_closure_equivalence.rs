@@ -118,3 +118,24 @@ fn calculus_query_cost_grows_much_faster_than_the_baseline() {
         assert_eq!(evaluation.stats.max_domain_seen, 1u64 << (n * n));
     }
 }
+
+#[test]
+fn prepared_pipeline_reports_the_same_cost_model() {
+    // The ExecStats carried by a QueryOutcome are the same counters the raw
+    // evaluator reports, plus wall time — one prepared handle across sizes.
+    let engine = itq_core::prelude::Engine::new();
+    let prepared = engine.prepare(&transitive_closure_query()).unwrap();
+    for n in 2..=3u32 {
+        let db = parent_database(&chain_edges(n));
+        let outcome = prepared
+            .execute(&db, itq_core::prelude::Semantics::Limited)
+            .unwrap();
+        let evaluation = transitive_closure_query()
+            .eval_full(&db, &EvalConfig::default())
+            .unwrap();
+        assert_eq!(outcome.result, evaluation.result, "n = {n}");
+        assert_eq!(outcome.stats.steps, evaluation.stats.steps, "n = {n}");
+        assert_eq!(outcome.stats.max_domain_seen, 1u64 << (n * n));
+        assert_eq!(outcome.stats.invention_levels, 0);
+    }
+}
