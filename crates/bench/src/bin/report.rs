@@ -82,6 +82,10 @@ fn main() {
         emit_stats_json(raw.get(1).map(String::as_str).unwrap_or("-"));
         return;
     }
+    if raw.first().map(String::as_str) == Some("--compiled-json") {
+        emit_compiled_json(raw.get(1).map(String::as_str).unwrap_or("-"));
+        return;
+    }
     let requested: Vec<String> = raw.iter().map(|s| s.to_uppercase()).collect();
     let unknown: Vec<&String> = requested
         .iter()
@@ -175,6 +179,78 @@ fn emit_stats_json(target: &str) {
     } else {
         println!(
             "wrote {} execution-stats records to {target}",
+            records.len()
+        );
+    }
+}
+
+/// `--compiled-json [FILE|-]`: run the canonical workloads (plus the
+/// transitive-closure query, the paper's heaviest nested-quantifier exemplar)
+/// through the prepared pipeline under the limited interpretation with both
+/// evaluation backends — the compiled slot-based evaluator and the legacy
+/// tree walker — verify the answers are identical, and serialize the timing
+/// comparison as a JSON array (`BENCH_compiled_eval.json` in CI).
+fn emit_compiled_json(target: &str) {
+    let compiled_engine = Engine::new();
+    let legacy_engine = Engine::builder().use_compiled(false).build();
+    let mut grid = queries::exemplar_workloads();
+    grid.push((
+        "genealogy/transitive-closure",
+        queries::transitive_closure_query(),
+        queries::parent_database(&chain_edges(3)),
+    ));
+    let mut records: Vec<String> = Vec::new();
+    for (name, query, db) in grid {
+        let compiled = compiled_engine.prepare(&query).unwrap_or_else(|e| {
+            eprintln!("error: prepare `{name}`: {e}");
+            std::process::exit(1);
+        });
+        let legacy = legacy_engine.prepare(&query).unwrap_or_else(|e| {
+            eprintln!("error: prepare `{name}` (legacy): {e}");
+            std::process::exit(1);
+        });
+        // Min-of-3 wall time per backend: the workloads span four orders of
+        // magnitude, so the minimum is the stable statistic on shared CI.
+        let mut fast_micros = u64::MAX;
+        let mut slow_micros = u64::MAX;
+        let mut fast_outcome = None;
+        let mut slow_outcome = None;
+        for _ in 0..3 {
+            let fast = compiled.execute(&db, Semantics::Limited).unwrap();
+            fast_micros = fast_micros.min(fast.stats.wall_micros);
+            fast_outcome = Some(fast);
+            let slow = legacy.execute(&db, Semantics::Limited).unwrap();
+            slow_micros = slow_micros.min(slow.stats.wall_micros);
+            slow_outcome = Some(slow);
+        }
+        let fast = fast_outcome.expect("three runs completed");
+        let slow = slow_outcome.expect("three runs completed");
+        assert_eq!(
+            fast.result, slow.result,
+            "compiled and legacy answers must agree on `{name}`"
+        );
+        let speedup = slow_micros.max(1) as f64 / fast_micros.max(1) as f64;
+        records.push(format!(
+            "{{\"experiment\":\"{name}\",\"semantics\":\"limited\",\
+             \"result_size\":{},\"legacy_micros\":{slow_micros},\
+             \"compiled_micros\":{fast_micros},\"speedup\":{speedup:.2},\
+             \"domain_cache_hits\":{},\"domain_cache_misses\":{},\
+             \"interned_values\":{}}}",
+            fast.result.len(),
+            fast.stats.domain_cache_hits,
+            fast.stats.domain_cache_misses,
+            fast.stats.interned_values,
+        ));
+    }
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    if target == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(target, &json) {
+        eprintln!("error: cannot write `{target}`: {e}");
+        std::process::exit(1);
+    } else {
+        println!(
+            "wrote {} compiled-vs-legacy records to {target}",
             records.len()
         );
     }

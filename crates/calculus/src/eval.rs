@@ -16,7 +16,8 @@ use crate::query::Query;
 use crate::term::{Term, Var};
 use itq_object::cons::{cons_cardinality, ConsIter};
 use itq_object::{Atom, Database, Instance, Value};
-use std::collections::BTreeMap;
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Budgets and strategy switches for query evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +76,17 @@ pub struct EvalStats {
     pub candidates_checked: u64,
     /// The largest single quantifier domain encountered.
     pub max_domain_seen: u64,
+    /// Compiled backend only: constructive-domain lookups answered from the
+    /// per-execution [`DomainCache`](itq_object::DomainCache) memo (always 0
+    /// for the tree walker, which re-enumerates domains lazily).
+    pub domain_cache_hits: u64,
+    /// Compiled backend only: constructive-domain lookups that had to
+    /// materialise a new domain (always 0 for the tree walker).
+    pub domain_cache_misses: u64,
+    /// Compiled backend only: number of distinct values interned in the
+    /// execution's [`ValueStore`](itq_object::ValueStore) (always 0 for the
+    /// tree walker, which never interns).
+    pub interned_values: u64,
 }
 
 impl EvalStats {
@@ -95,6 +107,9 @@ impl EvalStats {
         self.quantifier_values += other.quantifier_values;
         self.candidates_checked += other.candidates_checked;
         self.max_domain_seen = self.max_domain_seen.max(other.max_domain_seen);
+        self.domain_cache_hits += other.domain_cache_hits;
+        self.domain_cache_misses += other.domain_cache_misses;
+        self.interned_values += other.interned_values;
     }
 }
 
@@ -129,19 +144,22 @@ impl<'a> Evaluator<'a> {
         Ok(())
     }
 
-    fn eval_term(&self, term: &Term, rho: &Assignment) -> Result<Value, CalcError> {
+    /// Evaluate a term to a value, borrowing from the assignment whenever
+    /// possible: `Eq`/`Member`/`Pred` checks only *compare* the value, so
+    /// set-valued bindings must not be deep-cloned just to be looked at.
+    fn eval_term<'r>(&self, term: &Term, rho: &'r Assignment) -> Result<Cow<'r, Value>, CalcError> {
         match term {
-            Term::Const(a) => Ok(Value::Atom(*a)),
+            Term::Const(a) => Ok(Cow::Owned(Value::Atom(*a))),
             Term::Var(v) => rho
                 .get(v)
-                .cloned()
+                .map(Cow::Borrowed)
                 .ok_or_else(|| CalcError::UnboundVariable { var: v.clone() }),
             Term::Proj(v, i) => {
                 let val = rho
                     .get(v)
                     .ok_or_else(|| CalcError::UnboundVariable { var: v.clone() })?;
                 val.project(*i)
-                    .cloned()
+                    .map(Cow::Borrowed)
                     .ok_or_else(|| CalcError::BadProjection {
                         var: v.clone(),
                         coordinate: *i,
@@ -228,11 +246,15 @@ impl<'a> Evaluator<'a> {
             }
             Formula::Exists(v, ty, f) => {
                 let domain = self.quantifier_domain(ty)?;
+                // The shadow-save happens once, before the loop; the binding
+                // slot is then overwritten in place, so the `String` key is
+                // cloned at most once (on the first iteration of an
+                // unshadowed variable) instead of once per drawn value.
                 let shadowed = rho.get(v).cloned();
                 let mut found = false;
                 for value in domain {
                     self.stats.quantifier_values += 1;
-                    rho.insert(v.clone(), value);
+                    bind(rho, v, value);
                     let holds = self.satisfies(f, rho)?;
                     if holds {
                         found = true;
@@ -250,7 +272,7 @@ impl<'a> Evaluator<'a> {
                 let mut all = true;
                 for value in domain {
                     self.stats.quantifier_values += 1;
-                    rho.insert(v.clone(), value);
+                    bind(rho, v, value);
                     let holds = self.satisfies(f, rho)?;
                     if !holds {
                         all = false;
@@ -262,6 +284,17 @@ impl<'a> Evaluator<'a> {
                 restore(rho, v, shadowed);
                 Ok(all)
             }
+        }
+    }
+}
+
+/// Set `var ↦ value`, reusing the existing map entry (and its key allocation)
+/// when the variable is already bound.
+fn bind(rho: &mut Assignment, var: &str, value: Value) {
+    match rho.get_mut(var) {
+        Some(slot) => *slot = value,
+        None => {
+            rho.insert(var.to_string(), value);
         }
     }
 }
@@ -330,6 +363,45 @@ pub fn evaluate_with_extra(
         result,
         stats: evaluator.stats,
     })
+}
+
+/// A query form that can be evaluated under the generalised `Q|^Y` semantics.
+///
+/// Both the source-level [`Query`] (tree walker) and the lowered
+/// [`CompiledQuery`](crate::compile::CompiledQuery) (slot-based interpreter)
+/// implement this, which lets the invention semantics of Section 6 drive
+/// either backend through one per-level loop — the compiled form in
+/// particular is lowered **once** and re-executed at every invention level
+/// instead of being re-derived.
+pub trait Evaluable {
+    /// Evaluate `Q|^Y` where `Y` is given by `extra`: every variable
+    /// (including the target) ranges over objects constructed from
+    /// `Y ∪ adom(d) ∪ adom(Q)`.
+    fn eval_with_extra(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+    ) -> Result<Evaluation, CalcError>;
+
+    /// The atoms over which evaluation of this query on `db` ranges:
+    /// `adom(d) ∪ adom(Q)`.
+    fn evaluation_domain(&self, db: &Database) -> BTreeSet<Atom>;
+}
+
+impl Evaluable for Query {
+    fn eval_with_extra(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+    ) -> Result<Evaluation, CalcError> {
+        evaluate_with_extra(self, db, extra, config)
+    }
+
+    fn evaluation_domain(&self, db: &Database) -> BTreeSet<Atom> {
+        Query::evaluation_domain(self, db)
+    }
 }
 
 /// Decide whether a *sentence* (a formula with no free variables) holds on `db`

@@ -59,6 +59,7 @@
 
 pub mod builders;
 pub mod classify;
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod formula;
@@ -68,8 +69,9 @@ pub mod term;
 pub mod typing;
 
 pub use classify::{CalcClass, QueryClassification};
+pub use compile::{compile, CompiledQuery};
 pub use error::CalcError;
-pub use eval::{EvalConfig, EvalStats, Evaluation};
+pub use eval::{EvalConfig, EvalStats, Evaluable, Evaluation};
 pub use formula::Formula;
 pub use query::Query;
 pub use term::{Term, Var};

@@ -147,6 +147,10 @@ pub struct Engine {
     pub(crate) alg_config: AlgConfig,
     /// Budgets for the invention semantics.
     pub(crate) invention_config: InventionConfig,
+    /// When true (the default), `Prepared::execute` runs the compiled
+    /// slot-based evaluator; when false it runs the legacy tree walker (the
+    /// ablation toggled by `EngineBuilder::use_compiled`).
+    pub(crate) use_compiled: bool,
     pub(crate) universe: Universe,
 }
 
@@ -163,6 +167,7 @@ impl Engine {
             calc_config: EvalConfig::default(),
             alg_config: AlgConfig::default(),
             invention_config: InventionConfig::default(),
+            use_compiled: true,
             universe: Universe::new(),
         }
     }
@@ -193,6 +198,13 @@ impl Engine {
     /// The engine's invention-semantics configuration.
     pub fn invention_config(&self) -> &InventionConfig {
         &self.invention_config
+    }
+
+    /// True if handles prepared by this engine execute through the compiled
+    /// slot-based evaluator (the default); false selects the legacy
+    /// tree-walking evaluator, kept for ablation benchmarks.
+    pub fn use_compiled(&self) -> bool {
+        self.use_compiled
     }
 
     /// An engine with custom calculus budgets.

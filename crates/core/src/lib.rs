@@ -58,7 +58,7 @@ pub mod prelude {
     pub use crate::pipeline::{EngineBuilder, ExecStats, Prepared, QueryOutcome};
     pub use crate::queries;
     pub use itq_algebra::{AlgExpr, SelFormula};
-    pub use itq_calculus::{CalcClass, EvalConfig, Formula, Query, Term};
+    pub use itq_calculus::{CalcClass, CompiledQuery, EvalConfig, Evaluable, Formula, Query, Term};
     pub use itq_invention::{InventionConfig, TerminalOutcome, UniversalCodec};
     pub use itq_object::{Atom, Database, Instance, Schema, Type, Universe, Value};
     pub use itq_relational::Relation;

@@ -37,9 +37,9 @@
 
 use crate::engine::{Engine, EngineError, Semantics};
 use itq_algebra::{infer_type, to_calculus_query, AlgExpr, EvalConfig as AlgConfig};
-use itq_calculus::eval::{EvalConfig, EvalStats};
+use itq_calculus::eval::{EvalConfig, EvalStats, Evaluable};
 use itq_calculus::normal::{sf_classification, to_prenex, PrenexForm, SfClassification};
-use itq_calculus::{Query, QueryClassification};
+use itq_calculus::{CompiledQuery, Query, QueryClassification};
 use itq_invention::{
     finite_invention_with_stats, terminal_invention_with_stats, InventionConfig, TerminalOutcome,
 };
@@ -61,12 +61,25 @@ use std::time::Instant;
 /// assert_eq!(engine.invention_config().max_invented, 3);
 /// assert_eq!(engine.universe().len(), 2);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineBuilder {
     calc_config: EvalConfig,
     alg_config: AlgConfig,
     invention_config: InventionConfig,
+    use_compiled: bool,
     universe: Universe,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            calc_config: EvalConfig::default(),
+            alg_config: AlgConfig::default(),
+            invention_config: InventionConfig::default(),
+            use_compiled: true,
+            universe: Universe::default(),
+        }
+    }
 }
 
 impl EngineBuilder {
@@ -148,6 +161,23 @@ impl EngineBuilder {
         self
     }
 
+    /// Select the evaluation backend for prepared handles: `true` (the
+    /// default) runs the compiled slot-based evaluator with interned values
+    /// and memoized constructive domains; `false` runs the legacy
+    /// tree-walking evaluator — kept so the compiled/legacy speedup can be
+    /// measured as an ablation rather than taken on faith.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// assert!(Engine::builder().build().use_compiled());
+    /// let legacy = Engine::builder().use_compiled(false).build();
+    /// assert!(!legacy.use_compiled());
+    /// ```
+    pub fn use_compiled(mut self, enabled: bool) -> EngineBuilder {
+        self.use_compiled = enabled;
+        self
+    }
+
     /// Intern named atoms into the engine's universe up front, so workload
     /// loaders and the REPL can render answers with human-readable names.
     ///
@@ -188,6 +218,7 @@ impl EngineBuilder {
             calc_config: self.calc_config,
             alg_config: self.alg_config,
             invention_config: self.invention_config,
+            use_compiled: self.use_compiled,
             universe: self.universe,
         }
     }
@@ -224,6 +255,16 @@ pub struct ExecStats {
     /// Number of invention levels `Q|_n[d]` explored (0 under the limited
     /// interpretation, which never invents).
     pub invention_levels: u64,
+    /// Compiled backend only: constructive-domain lookups answered from the
+    /// per-execution memo (0 for the legacy tree walker, which re-enumerates
+    /// every domain lazily).
+    pub domain_cache_hits: u64,
+    /// Compiled backend only: constructive-domain lookups that had to
+    /// materialise a new domain (0 for the legacy tree walker).
+    pub domain_cache_misses: u64,
+    /// Compiled backend only: distinct values interned in the execution's
+    /// value store (0 for the legacy tree walker, which never interns).
+    pub interned_values: u64,
     /// Wall-clock time of the execute call, in microseconds.
     pub wall_micros: u64,
 }
@@ -238,6 +279,9 @@ impl ExecStats {
             candidates_checked: stats.candidates_checked,
             max_domain_seen: stats.max_domain_seen,
             invention_levels,
+            domain_cache_hits: stats.domain_cache_hits,
+            domain_cache_misses: stats.domain_cache_misses,
+            interned_values: stats.interned_values,
             wall_micros: 0,
         }
     }
@@ -250,6 +294,9 @@ impl ExecStats {
             quantifier_values: self.quantifier_values,
             candidates_checked: self.candidates_checked,
             max_domain_seen: self.max_domain_seen,
+            domain_cache_hits: self.domain_cache_hits,
+            domain_cache_misses: self.domain_cache_misses,
+            interned_values: self.interned_values,
         }
     }
 
@@ -265,12 +312,16 @@ impl ExecStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"steps\":{},\"quantifier_values\":{},\"candidates_checked\":{},\
-             \"max_domain_seen\":{},\"invention_levels\":{},\"wall_micros\":{}}}",
+             \"max_domain_seen\":{},\"invention_levels\":{},\"domain_cache_hits\":{},\
+             \"domain_cache_misses\":{},\"interned_values\":{},\"wall_micros\":{}}}",
             self.steps,
             self.quantifier_values,
             self.candidates_checked,
             self.max_domain_seen,
             self.invention_levels,
+            self.domain_cache_hits,
+            self.domain_cache_misses,
+            self.interned_values,
             self.wall_micros,
         )
     }
@@ -350,9 +401,14 @@ enum PreparedSource {
 pub struct Prepared {
     source: PreparedSource,
     query: Query,
+    /// The slot-based lowering of `query` (the compiled evaluation backend),
+    /// produced once at prepare time and reused by every execution — and,
+    /// under the invention semantics, by every invention level.
+    compiled: CompiledQuery,
     classification: QueryClassification,
     sf: SfClassification,
     prenex: PrenexForm,
+    use_compiled: bool,
     calc_config: EvalConfig,
     alg_config: AlgConfig,
     invention_config: InventionConfig,
@@ -422,12 +478,16 @@ impl Engine {
         let classification = query.classification();
         let sf = sf_classification(&query);
         let prenex = to_prenex(query.body());
+        let compiled = itq_calculus::compile::compile(&query)
+            .expect("a validated query always lowers to its compiled form");
         Prepared {
             source,
             query,
+            compiled,
             classification,
             sf,
             prenex,
+            use_compiled: self.use_compiled,
             calc_config: self.calc_config,
             alg_config: self.alg_config,
             invention_config: self.invention_config,
@@ -521,6 +581,32 @@ impl Prepared {
         }
     }
 
+    /// The slot-based compiled form of the query, lowered once at prepare
+    /// time.  This is what [`Prepared::execute`] runs by default; the legacy
+    /// tree walker remains reachable via
+    /// [`EngineBuilder::use_compiled`]`(false)`.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let prepared = Engine::new().prepare(&queries::grandparent_query()).unwrap();
+    /// assert_eq!(prepared.compiled().slot_count(), 3); // t, x, y
+    /// ```
+    pub fn compiled(&self) -> &itq_calculus::CompiledQuery {
+        &self.compiled
+    }
+
+    /// The evaluation backend this handle executes through: the compiled
+    /// slot-based form by default, the legacy tree walker when the engine was
+    /// built with `use_compiled(false)`.
+    fn backend(&self) -> &dyn Evaluable {
+        if self.use_compiled {
+            &self.compiled
+        } else {
+            &self.query
+        }
+    }
+
     /// Execute the prepared query on `db` under the chosen semantics.
     ///
     /// Takes `&self`: the limited interpretation is read-only by nature, and
@@ -561,7 +647,7 @@ impl Prepared {
                     }
                 }
                 PreparedSource::Calculus => {
-                    let evaluation = self.query.eval_full(db, &self.calc_config)?;
+                    let evaluation = self.backend().eval_with_extra(db, &[], &self.calc_config)?;
                     QueryOutcome {
                         result: evaluation.result,
                         semantics,
@@ -574,8 +660,12 @@ impl Prepared {
             },
             Semantics::FiniteInvention => {
                 let mut scratch = self.universe_seed.clone();
+                // The per-level loop runs the compiled form directly: lowering
+                // happened once at prepare time, so each invention level only
+                // pays for execution (with its own atom-set-specific domain
+                // cache, since a changed atom set changes every cons_X).
                 let (report, stats) = finite_invention_with_stats(
-                    &self.query,
+                    self.backend(),
                     db,
                     &mut scratch,
                     &self.invention_config,
@@ -592,7 +682,7 @@ impl Prepared {
             Semantics::TerminalInvention => {
                 let mut scratch = self.universe_seed.clone();
                 let (terminal, stats) = terminal_invention_with_stats(
-                    &self.query,
+                    self.backend(),
                     db,
                     &mut scratch,
                     &self.invention_config,
@@ -810,12 +900,16 @@ mod tests {
             candidates_checked: 3,
             max_domain_seen: 4,
             invention_levels: 5,
-            wall_micros: 6,
+            domain_cache_hits: 6,
+            domain_cache_misses: 7,
+            interned_values: 8,
+            wall_micros: 9,
         };
         assert_eq!(
             stats.to_json(),
             "{\"steps\":1,\"quantifier_values\":2,\"candidates_checked\":3,\
-             \"max_domain_seen\":4,\"invention_levels\":5,\"wall_micros\":6}"
+             \"max_domain_seen\":4,\"invention_levels\":5,\"domain_cache_hits\":6,\
+             \"domain_cache_misses\":7,\"interned_values\":8,\"wall_micros\":9}"
         );
     }
 

@@ -19,8 +19,7 @@
 //!   equivalent to the computable queries).
 
 use crate::error::InventionError;
-use itq_calculus::eval::{EvalConfig, EvalStats, Evaluation};
-use itq_calculus::Query;
+use itq_calculus::eval::{EvalConfig, EvalStats, Evaluable, Evaluation};
 use itq_object::{Atom, Database, Instance, Universe, Value};
 use std::collections::BTreeSet;
 
@@ -49,8 +48,13 @@ impl Default for InventionConfig {
 /// Returns both the restricted answer and the unrestricted `Q|^Y[d]` evaluation
 /// (which terminal invention needs in order to detect invented values in the
 /// output).
-pub fn eval_with_invented(
-    query: &Query,
+///
+/// Generic over the query form: a source-level [`Query`](itq_calculus::Query)
+/// runs the tree walker, a [`CompiledQuery`](itq_calculus::CompiledQuery) runs
+/// the slot-based interpreter — the prepared pipeline passes the latter so
+/// per-level re-evaluation never re-lowers the query.
+pub fn eval_with_invented<Q: Evaluable + ?Sized>(
+    query: &Q,
     db: &Database,
     universe: &mut Universe,
     n: usize,
@@ -105,8 +109,8 @@ impl FiniteInventionReport {
 /// Approximate finite invention: `⋃_{n ≤ max} Q|_n[d]`, with a stabilisation
 /// report.  (The exact semantics is a countable union and is not computable in
 /// general; see Lemma 6.16.)
-pub fn finite_invention(
-    query: &Query,
+pub fn finite_invention<Q: Evaluable + ?Sized>(
+    query: &Q,
     db: &Database,
     universe: &mut Universe,
     config: &InventionConfig,
@@ -132,8 +136,8 @@ pub fn finite_invention(
 /// assert_eq!(report.union.len(), 1);
 /// assert!(stats.steps > 0, "one evaluation per invention level was counted");
 /// ```
-pub fn finite_invention_with_stats(
-    query: &Query,
+pub fn finite_invention_with_stats<Q: Evaluable + ?Sized>(
+    query: &Q,
     db: &Database,
     universe: &mut Universe,
     config: &InventionConfig,
@@ -168,8 +172,8 @@ pub fn finite_invention_with_stats(
 
 /// Bounded invention `Q|_f[d]` for a bound function `f` of the active-domain
 /// size: the union of `Q|_n[d]` for `n ≤ f(|adom(d)|)`.
-pub fn bounded_invention(
-    query: &Query,
+pub fn bounded_invention<Q: Evaluable + ?Sized>(
+    query: &Q,
     db: &Database,
     universe: &mut Universe,
     bound: impl Fn(usize) -> usize,
@@ -208,8 +212,8 @@ pub enum TerminalOutcome {
 
 /// Terminal invention `Q^ti[d]` (Theorem 6.19), searched up to
 /// `config.max_invented` levels.
-pub fn terminal_invention(
-    query: &Query,
+pub fn terminal_invention<Q: Evaluable + ?Sized>(
+    query: &Q,
     db: &Database,
     universe: &mut Universe,
     config: &InventionConfig,
@@ -236,8 +240,8 @@ pub fn terminal_invention(
 /// assert!(matches!(outcome, TerminalOutcome::Defined { n: 1, .. }));
 /// assert!(stats.candidates_checked > 0);
 /// ```
-pub fn terminal_invention_with_stats(
-    query: &Query,
+pub fn terminal_invention_with_stats<Q: Evaluable + ?Sized>(
+    query: &Q,
     db: &Database,
     universe: &mut Universe,
     config: &InventionConfig,
@@ -273,7 +277,7 @@ pub fn terminal_invention_with_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use itq_calculus::{Formula, Term};
+    use itq_calculus::{Formula, Query, Term};
     use itq_object::{Schema, Type};
 
     fn unary_schema() -> Schema {

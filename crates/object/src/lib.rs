@@ -49,6 +49,7 @@ pub mod card;
 pub mod cons;
 pub mod error;
 pub mod instance;
+pub mod store;
 pub mod types;
 pub mod value;
 
@@ -57,6 +58,7 @@ pub use card::{hyp, Cardinality};
 pub use cons::{cons_cardinality, enumerate_cons, ConsIter};
 pub use error::ObjectError;
 pub use instance::{Database, Instance, PredName, Schema};
+pub use store::{DomainCache, DomainHandle, ValueId, ValueStore};
 pub use types::Type;
 pub use value::Value;
 

@@ -1,0 +1,342 @@
+//! Equivalence suite for the compiled slot-based evaluator: on randomly
+//! generated well-typed queries and databases, `eval_compiled` must be
+//! bit-identical to the tree walker — same answers, same shared statistics
+//! counters, and the same budget-error classification — and a `Prepared`
+//! handle must produce the same [`QueryOutcome`] whether the engine routes
+//! through the compiled backend (the default) or the legacy tree walker
+//! (`EngineBuilder::use_compiled(false)`), under all three semantics.
+//!
+//! The suite also pins the domain-cache invalidation contract: the invention
+//! semantics extend the atom set per level, and a domain memoized over `X`
+//! must never be reused for `X ∪ {fresh}` (changed atom set ⇒ changed
+//! `cons_X`).
+
+use itq_calculus::compile::compile;
+use itq_calculus::CalcError;
+use itq_core::prelude::*;
+use itq_core::queries;
+use itq_invention::eval_with_invented;
+use proptest::prelude::*;
+
+/// Compare one evaluation through both backends: identical answers and
+/// shared statistics on success, identical error classification on failure.
+fn assert_backends_agree(query: &Query, db: &Database, config: &EvalConfig) {
+    let compiled = compile(query).expect("validated queries always compile");
+    let slow = query.eval_full(db, config);
+    let fast = compiled.eval_full(db, config);
+    match (slow, fast) {
+        (Ok(slow), Ok(fast)) => {
+            assert_eq!(slow.result, fast.result, "answers diverge");
+            assert_eq!(slow.stats.steps, fast.stats.steps, "step counts diverge");
+            assert_eq!(
+                slow.stats.quantifier_values, fast.stats.quantifier_values,
+                "quantifier draws diverge"
+            );
+            assert_eq!(
+                slow.stats.candidates_checked, fast.stats.candidates_checked,
+                "candidate counts diverge"
+            );
+            assert_eq!(
+                slow.stats.max_domain_seen, fast.stats.max_domain_seen,
+                "domain maxima diverge"
+            );
+        }
+        (Err(slow), Err(fast)) => {
+            assert_eq!(slow, fast, "error classification diverges");
+        }
+        (slow, fast) => panic!("backends disagree: tree {slow:?} vs compiled {fast:?}"),
+    }
+}
+
+/// The two engines of the ablation: identical configuration except for the
+/// evaluation backend.
+fn engine_pair() -> (Engine, Engine) {
+    let compiled = Engine::builder().max_invented(1).build();
+    let legacy = Engine::builder()
+        .max_invented(1)
+        .use_compiled(false)
+        .build();
+    (compiled, legacy)
+}
+
+/// Compare a `Prepared::execute` outcome between two backend-ablated engines.
+fn assert_outcomes_agree_on(
+    engines: &(Engine, Engine),
+    query: &Query,
+    db: &Database,
+    semantics: Semantics,
+) {
+    let (compiled, legacy) = engines;
+    let fast = compiled.prepare(query).unwrap().execute(db, semantics);
+    let slow = legacy.prepare(query).unwrap().execute(db, semantics);
+    match (slow, fast) {
+        (Ok(slow), Ok(fast)) => {
+            assert_eq!(slow.result, fast.result, "{semantics}: answers diverge");
+            assert_eq!(slow.semantics, fast.semantics);
+            assert_eq!(
+                slow.bounded_approximation, fast.bounded_approximation,
+                "{semantics}: boundedness flags diverge"
+            );
+            assert_eq!(slow.defined_at, fast.defined_at, "{semantics}");
+            assert_eq!(slow.stabilised_at, fast.stabilised_at, "{semantics}");
+            assert_eq!(slow.stats.steps, fast.stats.steps, "{semantics}");
+            assert_eq!(
+                slow.stats.quantifier_values, fast.stats.quantifier_values,
+                "{semantics}"
+            );
+            assert_eq!(
+                slow.stats.candidates_checked, fast.stats.candidates_checked,
+                "{semantics}"
+            );
+            assert_eq!(
+                slow.stats.max_domain_seen, fast.stats.max_domain_seen,
+                "{semantics}"
+            );
+            assert_eq!(
+                slow.stats.invention_levels, fast.stats.invention_levels,
+                "{semantics}"
+            );
+        }
+        (Err(slow), Err(fast)) => assert_eq!(slow, fast, "{semantics}"),
+        (slow, fast) => panic!("{semantics}: backends disagree: {slow:?} vs {fast:?}"),
+    }
+}
+
+#[test]
+fn exemplar_workloads_agree_under_all_semantics() {
+    let engines = engine_pair();
+    for (name, query, db) in queries::exemplar_workloads() {
+        for semantics in Semantics::ALL {
+            assert_outcomes_agree_on(&engines, &query, &db, semantics);
+        }
+        // Limited evaluation is also pinned at the raw-evaluator level.
+        assert_backends_agree(&query, &db, &EvalConfig::default());
+        let _ = name;
+    }
+}
+
+/// `{t/U | R(t) ∧ ∃y/U ¬R(y)}` — empty under the limited interpretation,
+/// full once one invented atom provides the witness.  Used to prove the
+/// domain cache is per-atom-set: a stale level-0 `U` domain would make the
+/// level-1 witness search fail.
+fn needs_external_witness() -> Query {
+    Query::new(
+        "t",
+        Type::Atomic,
+        Formula::and(vec![
+            Formula::pred("R", Term::var("t")),
+            Formula::exists(
+                "y",
+                Type::Atomic,
+                Formula::not(Formula::pred("R", Term::var("y"))),
+            ),
+        ]),
+        Schema::single("R", Type::Atomic),
+    )
+    .unwrap()
+}
+
+#[test]
+fn invention_invalidates_the_domain_cache_when_scratch_atoms_arrive() {
+    let query = needs_external_witness();
+    let compiled = compile(&query).unwrap();
+    let db = Database::single("R", Instance::from_atoms(vec![Atom(0), Atom(1)]));
+    let config = EvalConfig::default();
+
+    // Level by level through the compiled form: the level-0 atom set has no
+    // witness, level 1 must see a quantifier domain that *contains* the fresh
+    // atom — which can only happen if cons_X(U) was rebuilt for the extended
+    // atom set rather than replayed from a stale memo.
+    let mut universe = Universe::new();
+    let (level0, eval0) = eval_with_invented(&compiled, &db, &mut universe, 0, &config).unwrap();
+    assert!(level0.is_empty(), "no witness without invention");
+    assert_eq!(eval0.stats.max_domain_seen, 2);
+    let (level1, eval1) = eval_with_invented(&compiled, &db, &mut universe, 1, &config).unwrap();
+    assert_eq!(level1.len(), 2, "one invented value provides the witness");
+    assert_eq!(
+        eval1.stats.max_domain_seen, 3,
+        "the quantifier domain grew with the scratch atom"
+    );
+
+    // The full pipeline agrees with the legacy backend end to end.
+    let engines = engine_pair();
+    for semantics in Semantics::ALL {
+        assert_outcomes_agree_on(&engines, &query, &db, semantics);
+    }
+    // With the default invention bound the union stabilises after level 1 —
+    // possible only because each level re-materialised its domains and found
+    // the witness the level-0 cache could not contain.
+    let outcome = Engine::new()
+        .prepare(&query)
+        .unwrap()
+        .execute(&db, Semantics::FiniteInvention)
+        .unwrap();
+    assert_eq!(outcome.result.len(), 2);
+    assert!(!outcome.bounded_approximation);
+    assert_eq!(outcome.stabilised_at, Some(2));
+}
+
+#[test]
+fn compiled_outcomes_expose_the_cache_counters() {
+    let engine = Engine::new();
+    let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+    let outcome = engine
+        .prepare(&queries::grandparent_query())
+        .unwrap()
+        .execute(&db, Semantics::Limited)
+        .unwrap();
+    assert!(outcome.stats.interned_values > 0);
+    assert!(outcome.stats.domain_cache_misses > 0);
+    assert!(
+        outcome.stats.domain_cache_hits > outcome.stats.domain_cache_misses,
+        "repeated quantifier entries must hit the memo"
+    );
+    // The ablation engine runs the tree walker and reports zeros.
+    let legacy = Engine::builder().use_compiled(false).build();
+    let slow = legacy
+        .prepare(&queries::grandparent_query())
+        .unwrap()
+        .execute(&db, Semantics::Limited)
+        .unwrap();
+    assert_eq!(slow.stats.domain_cache_hits, 0);
+    assert_eq!(slow.stats.domain_cache_misses, 0);
+    assert_eq!(slow.stats.interned_values, 0);
+}
+
+/// Random well-typed queries: one of the repo's canonical PAR-schema queries
+/// with a stack of validity-preserving decorations (arbitrary random formulas
+/// are almost never t-wffs, so generation works by construction).  The
+/// decorations deliberately include non-short-circuit connectives (`↔`),
+/// negation, and closed higher-type quantifiers, so the compiled interpreter
+/// is exercised on every formula constructor.
+fn par_query() -> BoxedStrategy<Query> {
+    let base = (0usize..3).prop_map(|i| match i {
+        0 => queries::grandparent_query(),
+        1 => queries::sibling_query(),
+        _ => queries::transitive_closure_query(),
+    });
+    (base, proptest::collection::vec(0usize..6, 0..4))
+        .prop_map(|(q, decorations)| {
+            let mut body = q.body().clone();
+            for d in decorations {
+                body = match d {
+                    0 => Formula::And(vec![body]),
+                    1 => Formula::Or(vec![body, Formula::falsity()]),
+                    2 => Formula::not(Formula::not(body)),
+                    3 => Formula::iff(body, Formula::truth()),
+                    4 => Formula::implies(Formula::truth(), body),
+                    // A closed quantified conjunct with a set-height-2 type —
+                    // the hyper-exponential fragment under a tiny atom set.
+                    _ => Formula::And(vec![
+                        body,
+                        Formula::exists("w", Type::nested_set(2), Formula::truth()),
+                    ]),
+                };
+            }
+            q.with_body(body).expect("decorations preserve validity")
+        })
+        .boxed()
+}
+
+/// Small random parent databases (0–4 edges over at most 3 atoms — the
+/// transitive-closure query's `∀x/{[U,U]}` domain is `2^(n²)`, so 3 atoms is
+/// the largest size where full tree-walk enumeration stays in milliseconds).
+fn par_db() -> BoxedStrategy<Database> {
+    proptest::collection::vec((0u32..3, 0u32..3), 0..5)
+        .prop_map(|edges| {
+            let pairs: Vec<(Atom, Atom)> =
+                edges.into_iter().map(|(a, b)| (Atom(a), Atom(b))).collect();
+            queries::parent_database(&pairs)
+        })
+        .boxed()
+}
+
+/// The naive (no short-circuit) strategy enumerates every domain completely;
+/// cap its step budget so pathological draws die on the *same* budget error
+/// in both backends instead of burning minutes proving it.
+fn capped_naive() -> EvalConfig {
+    EvalConfig {
+        max_steps: 300_000,
+        ..EvalConfig::naive()
+    }
+}
+
+/// Engines for the property sweep: backend ablation pair with a step cap on
+/// every evaluation path (invention levels extend the atom set, and one extra
+/// atom can multiply the transitive-closure workload by ~500×).
+fn capped_engine_pair() -> (Engine, Engine) {
+    let capped = EvalConfig {
+        max_steps: 500_000,
+        ..EvalConfig::default()
+    };
+    let invention = InventionConfig {
+        max_invented: 1,
+        eval: capped,
+    };
+    let compiled = Engine::builder()
+        .calc_config(capped)
+        .invention_config(invention)
+        .build();
+    let legacy = Engine::builder()
+        .calc_config(capped)
+        .invention_config(invention)
+        .use_compiled(false)
+        .build();
+    (compiled, legacy)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Limited interpretation: answers and shared statistics are
+    /// bit-identical on arbitrary decorated queries and databases.
+    #[test]
+    fn eval_compiled_equals_evaluate(q in par_query(), db in par_db()) {
+        assert_backends_agree(&q, &db, &EvalConfig::default());
+        // The naive (no short-circuit) strategy walks different paths; the
+        // backends must track each other there too (step-capped: full
+        // enumeration is the whole point of the ablation).
+        assert_backends_agree(&q, &db, &capped_naive());
+    }
+
+    /// Budget errors classify identically: under tiny budgets many of the
+    /// decorated queries die on the candidate, quantifier-domain, or step
+    /// budget, and both backends must report the same `CalcError`.
+    #[test]
+    fn budget_errors_classify_identically(q in par_query(), db in par_db()) {
+        assert_backends_agree(&q, &db, &EvalConfig::tiny());
+        let step_starved = EvalConfig { max_steps: 7, ..EvalConfig::default() };
+        assert_backends_agree(&q, &db, &step_starved);
+    }
+
+    /// The full pipeline: a `Prepared` handle produces the same
+    /// `QueryOutcome` through either backend under every semantics.
+    #[test]
+    fn prepared_outcomes_agree_across_backends(q in par_query(), db in par_db()) {
+        let engines = capped_engine_pair();
+        for semantics in Semantics::ALL {
+            assert_outcomes_agree_on(&engines, &q, &db, semantics);
+        }
+    }
+}
+
+#[test]
+fn tiny_budget_candidate_error_matches_exactly() {
+    // Pin one concrete budget error end to end (not just equality of the two
+    // backends, but the exact classification both produce).
+    let q = Query::new(
+        "t",
+        Type::set(Type::flat_tuple(2)),
+        Formula::truth(),
+        queries::parent_schema(),
+    )
+    .unwrap();
+    let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+    let compiled_err = compile(&q)
+        .unwrap()
+        .eval_full(&db, &EvalConfig::tiny())
+        .unwrap_err();
+    let tree_err = q.eval_full(&db, &EvalConfig::tiny()).unwrap_err();
+    assert_eq!(compiled_err, tree_err);
+    assert!(matches!(compiled_err, CalcError::Budget { limit: 64, .. }));
+}

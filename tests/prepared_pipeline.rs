@@ -68,8 +68,8 @@ fn prepared_execute_is_bit_identical_to_the_legacy_api_under_all_semantics() {
     }
 }
 
-/// Hack-free stats comparison: `ExecStats` and `EvalStats` share their four
-/// evaluator counters; compare through a plain tuple.
+/// Hack-free stats comparison: `ExecStats` and `EvalStats` share their
+/// evaluator counters; compare through the shared struct.
 trait EvalStatsView {
     fn eval_stats_for_tests(&self) -> itq_calculus::eval::EvalStats;
 }
@@ -81,6 +81,9 @@ impl EvalStatsView for ExecStats {
             quantifier_values: self.quantifier_values,
             candidates_checked: self.candidates_checked,
             max_domain_seen: self.max_domain_seen,
+            domain_cache_hits: self.domain_cache_hits,
+            domain_cache_misses: self.domain_cache_misses,
+            interned_values: self.interned_values,
         }
     }
 }
