@@ -32,15 +32,19 @@
 pub mod classify;
 pub mod error;
 pub mod eval;
+pub mod exec;
 pub mod expr;
 pub mod nest;
+pub mod plan;
 pub mod to_calculus;
 pub mod typing;
 
 pub use classify::{classify_expr, AlgClassification};
 pub use error::AlgError;
 pub use eval::EvalConfig;
+pub use exec::PlanStats;
 pub use expr::{AlgExpr, SelFormula, SelTerm};
+pub use plan::{plan, JoinStrategy, PhysNode, PhysicalPlan};
 pub use to_calculus::to_calculus_query;
 pub use typing::infer_type;
 

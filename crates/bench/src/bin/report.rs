@@ -86,6 +86,10 @@ fn main() {
         emit_compiled_json(raw.get(1).map(String::as_str).unwrap_or("-"));
         return;
     }
+    if raw.first().map(String::as_str) == Some("--algebra-json") {
+        emit_algebra_json(raw.get(1).map(String::as_str).unwrap_or("-"));
+        return;
+    }
     let requested: Vec<String> = raw.iter().map(|s| s.to_uppercase()).collect();
     let unknown: Vec<&String> = requested
         .iter()
@@ -251,6 +255,75 @@ fn emit_compiled_json(target: &str) {
     } else {
         println!(
             "wrote {} compiled-vs-legacy records to {target}",
+            records.len()
+        );
+    }
+}
+
+/// `--algebra-json [FILE|-]`: run the E14 product-heavy algebra grid
+/// (`itq_bench::algebra_exec_workloads`, shared with the `algebra_exec`
+/// bench) through the prepared pipeline with both algebra backends — the
+/// set-at-a-time planned executor and the tuple-at-a-time evaluator — verify
+/// the answers are identical, and serialize the timing comparison as a JSON
+/// array (`BENCH_algebra_exec.json` in CI).
+fn emit_algebra_json(target: &str) {
+    let planner_engine = Engine::new();
+    let tuple_engine = Engine::builder().use_algebra_planner(false).build();
+    let mut records: Vec<String> = Vec::new();
+    for (name, expr, schema, db) in itq_bench::algebra_exec_workloads() {
+        let planned = planner_engine
+            .prepare_algebra(&expr, &schema)
+            .unwrap_or_else(|e| {
+                eprintln!("error: prepare `{name}`: {e}");
+                std::process::exit(1);
+            });
+        let tuple = tuple_engine
+            .prepare_algebra(&expr, &schema)
+            .unwrap_or_else(|e| {
+                eprintln!("error: prepare `{name}` (tuple-at-a-time): {e}");
+                std::process::exit(1);
+            });
+        // Min-of-3 wall time per backend, matching the E13 pattern.
+        let mut planned_micros = u64::MAX;
+        let mut tuple_micros = u64::MAX;
+        let mut planned_outcome = None;
+        let mut tuple_outcome = None;
+        for _ in 0..3 {
+            let fast = planned.execute(&db, Semantics::Limited).unwrap();
+            planned_micros = planned_micros.min(fast.stats.wall_micros);
+            planned_outcome = Some(fast);
+            let slow = tuple.execute(&db, Semantics::Limited).unwrap();
+            tuple_micros = tuple_micros.min(slow.stats.wall_micros);
+            tuple_outcome = Some(slow);
+        }
+        let fast = planned_outcome.expect("three runs completed");
+        let slow = tuple_outcome.expect("three runs completed");
+        assert_eq!(
+            fast.result, slow.result,
+            "planned and tuple-at-a-time answers must agree on `{name}`"
+        );
+        let speedup = tuple_micros.max(1) as f64 / planned_micros.max(1) as f64;
+        records.push(format!(
+            "{{\"experiment\":\"{name}\",\"semantics\":\"limited\",\
+             \"result_size\":{},\"tuple_micros\":{tuple_micros},\
+             \"planned_micros\":{planned_micros},\"speedup\":{speedup:.2},\
+             \"join_probes\":{},\"tuples_materialised\":{},\
+             \"interned_values\":{}}}",
+            fast.result.len(),
+            fast.stats.join_probes,
+            fast.stats.tuples_materialised,
+            fast.stats.interned_values,
+        ));
+    }
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    if target == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(target, &json) {
+        eprintln!("error: cannot write `{target}`: {e}");
+        std::process::exit(1);
+    } else {
+        println!(
+            "wrote {} planned-vs-tuple algebra records to {target}",
             records.len()
         );
     }

@@ -151,6 +151,11 @@ pub struct Engine {
     /// slot-based evaluator; when false it runs the legacy tree walker (the
     /// ablation toggled by `EngineBuilder::use_compiled`).
     pub(crate) use_compiled: bool,
+    /// When true (the default), prepared algebra handles execute their
+    /// limited interpretation through the set-at-a-time physical plan; when
+    /// false they run the tuple-at-a-time evaluator (the ablation toggled by
+    /// `EngineBuilder::use_algebra_planner`).
+    pub(crate) use_algebra_planner: bool,
     pub(crate) universe: Universe,
 }
 
@@ -168,6 +173,7 @@ impl Engine {
             alg_config: AlgConfig::default(),
             invention_config: InventionConfig::default(),
             use_compiled: true,
+            use_algebra_planner: true,
             universe: Universe::new(),
         }
     }
@@ -205,6 +211,14 @@ impl Engine {
     /// tree-walking evaluator, kept for ablation benchmarks.
     pub fn use_compiled(&self) -> bool {
         self.use_compiled
+    }
+
+    /// True if algebra handles prepared by this engine execute their limited
+    /// interpretation through the set-at-a-time physical plan (the default);
+    /// false selects the tuple-at-a-time evaluator, kept for ablation
+    /// benchmarks (E14) and the backend differential suite.
+    pub fn use_algebra_planner(&self) -> bool {
+        self.use_algebra_planner
     }
 
     /// An engine with custom calculus budgets.

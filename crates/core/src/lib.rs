@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate::engine::{Engine, Semantics};
     pub use crate::pipeline::{EngineBuilder, ExecStats, Prepared, QueryOutcome};
     pub use crate::queries;
-    pub use itq_algebra::{AlgExpr, SelFormula};
+    pub use itq_algebra::{AlgExpr, PhysicalPlan, SelFormula};
     pub use itq_calculus::{CalcClass, CompiledQuery, EvalConfig, Evaluable, Formula, Query, Term};
     pub use itq_invention::{InventionConfig, TerminalOutcome, UniversalCodec};
     pub use itq_object::{Atom, Database, Instance, Schema, Type, Universe, Value};

@@ -36,7 +36,7 @@
 //! ```
 
 use crate::engine::{Engine, EngineError, Semantics};
-use itq_algebra::{infer_type, to_calculus_query, AlgExpr, EvalConfig as AlgConfig};
+use itq_algebra::{to_calculus_query, AlgExpr, EvalConfig as AlgConfig, PhysicalPlan};
 use itq_calculus::eval::{EvalConfig, EvalStats, Evaluable};
 use itq_calculus::normal::{sf_classification, to_prenex, PrenexForm, SfClassification};
 use itq_calculus::{CompiledQuery, Query, QueryClassification};
@@ -67,6 +67,7 @@ pub struct EngineBuilder {
     alg_config: AlgConfig,
     invention_config: InventionConfig,
     use_compiled: bool,
+    use_algebra_planner: bool,
     universe: Universe,
 }
 
@@ -77,6 +78,7 @@ impl Default for EngineBuilder {
             alg_config: AlgConfig::default(),
             invention_config: InventionConfig::default(),
             use_compiled: true,
+            use_algebra_planner: true,
             universe: Universe::default(),
         }
     }
@@ -178,6 +180,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Select the execution path for prepared *algebra* handles under the
+    /// limited interpretation: `true` (the default) runs the set-at-a-time
+    /// physical plan built at prepare time (joins extracted, selections
+    /// pushed down, projections fused — see [`mod@itq_algebra::plan`]); `false`
+    /// runs the legacy tuple-at-a-time evaluator — kept so the planner's
+    /// speedup can be measured as an ablation (E14) and differential-tested
+    /// (`tests/backend_differential.rs`).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// assert!(Engine::builder().build().use_algebra_planner());
+    /// let tuple_at_a_time = Engine::builder().use_algebra_planner(false).build();
+    /// assert!(!tuple_at_a_time.use_algebra_planner());
+    /// ```
+    pub fn use_algebra_planner(mut self, enabled: bool) -> EngineBuilder {
+        self.use_algebra_planner = enabled;
+        self
+    }
+
     /// Intern named atoms into the engine's universe up front, so workload
     /// loaders and the REPL can render answers with human-readable names.
     ///
@@ -219,6 +240,7 @@ impl EngineBuilder {
             alg_config: self.alg_config,
             invention_config: self.invention_config,
             use_compiled: self.use_compiled,
+            use_algebra_planner: self.use_algebra_planner,
             universe: self.universe,
         }
     }
@@ -262,9 +284,17 @@ pub struct ExecStats {
     /// Compiled backend only: constructive-domain lookups that had to
     /// materialise a new domain (0 for the legacy tree walker).
     pub domain_cache_misses: u64,
-    /// Compiled backend only: distinct values interned in the execution's
-    /// value store (0 for the legacy tree walker, which never interns).
+    /// Compiled and planned-algebra backends: distinct values interned in the
+    /// execution's value store (0 for the tree walker and the tuple-at-a-time
+    /// algebra evaluator, which never intern).
     pub interned_values: u64,
+    /// Planned-algebra backend only: hash/member index probes plus candidate
+    /// pairs examined by join operators (0 for every other backend).
+    /// Comparable with the |A|·|B| pairs a tuple-at-a-time product walks.
+    pub join_probes: u64,
+    /// Planned-algebra backend only: objects constructed by plan operators
+    /// before deduplication (0 for every other backend).
+    pub tuples_materialised: u64,
     /// Wall-clock time of the execute call, in microseconds.
     pub wall_micros: u64,
 }
@@ -282,7 +312,21 @@ impl ExecStats {
             domain_cache_hits: stats.domain_cache_hits,
             domain_cache_misses: stats.domain_cache_misses,
             interned_values: stats.interned_values,
+            join_probes: 0,
+            tuples_materialised: 0,
             wall_micros: 0,
+        }
+    }
+
+    /// Fold planned-algebra executor counters into an `ExecStats` block (wall
+    /// time is stamped by the caller; the calculus counters stay zero — no
+    /// formula is evaluated on this path).
+    fn from_plan(stats: itq_algebra::PlanStats) -> ExecStats {
+        ExecStats {
+            interned_values: stats.interned_values,
+            join_probes: stats.join_probes,
+            tuples_materialised: stats.tuples_materialised,
+            ..ExecStats::default()
         }
     }
 
@@ -313,7 +357,8 @@ impl ExecStats {
         format!(
             "{{\"steps\":{},\"quantifier_values\":{},\"candidates_checked\":{},\
              \"max_domain_seen\":{},\"invention_levels\":{},\"domain_cache_hits\":{},\
-             \"domain_cache_misses\":{},\"interned_values\":{},\"wall_micros\":{}}}",
+             \"domain_cache_misses\":{},\"interned_values\":{},\"join_probes\":{},\
+             \"tuples_materialised\":{},\"wall_micros\":{}}}",
             self.steps,
             self.quantifier_values,
             self.candidates_checked,
@@ -322,6 +367,8 @@ impl ExecStats {
             self.domain_cache_hits,
             self.domain_cache_misses,
             self.interned_values,
+            self.join_probes,
+            self.tuples_materialised,
             self.wall_micros,
         )
     }
@@ -373,9 +420,15 @@ pub struct QueryOutcome {
 enum PreparedSource {
     /// A calculus query, evaluated directly.
     Calculus,
-    /// An algebra expression: kept for direct limited evaluation, alongside
-    /// the calculus compilation used by classification and invention.
-    Algebra { expr: AlgExpr, schema: Schema },
+    /// An algebra expression: kept for direct limited evaluation together
+    /// with its set-at-a-time physical plan (planned once, at prepare time),
+    /// alongside the calculus compilation used by classification and
+    /// invention.
+    Algebra {
+        expr: AlgExpr,
+        schema: Schema,
+        plan: Box<PhysicalPlan>,
+    },
 }
 
 /// A query with all its static work done: type-checked, classified,
@@ -409,6 +462,7 @@ pub struct Prepared {
     sf: SfClassification,
     prenex: PrenexForm,
     use_compiled: bool,
+    use_algebra_planner: bool,
     calc_config: EvalConfig,
     alg_config: AlgConfig,
     invention_config: InventionConfig,
@@ -462,12 +516,15 @@ impl Engine {
         expr: &AlgExpr,
         schema: &Schema,
     ) -> Result<Prepared, EngineError> {
-        infer_type(expr, schema)?;
+        // Planning type-checks the expression and lowers it into the
+        // set-at-a-time physical plan — both exactly once, here.
+        let plan = Box::new(itq_algebra::plan(expr, schema)?);
         let query = to_calculus_query(expr, schema)?;
         Ok(self.prepared_from(
             PreparedSource::Algebra {
                 expr: expr.clone(),
                 schema: schema.clone(),
+                plan,
             },
             query,
         ))
@@ -488,6 +545,7 @@ impl Engine {
             sf,
             prenex,
             use_compiled: self.use_compiled,
+            use_algebra_planner: self.use_algebra_planner,
             calc_config: self.calc_config,
             alg_config: self.alg_config,
             invention_config: self.invention_config,
@@ -581,6 +639,35 @@ impl Prepared {
         }
     }
 
+    /// The set-at-a-time physical plan, if this handle was prepared from an
+    /// algebra expression (planned once at prepare time; the surface
+    /// language's `plan <name>;` statement pretty-prints it).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let expr = AlgExpr::pred("PAR")
+    ///     .product(AlgExpr::pred("PAR"))
+    ///     .select(SelFormula::coords_eq(2, 3))
+    ///     .project(vec![1, 4]);
+    /// let prepared = Engine::new()
+    ///     .prepare_algebra(&expr, &queries::parent_schema())
+    ///     .unwrap();
+    /// let plan = prepared.physical_plan().unwrap();
+    /// assert!(plan.render().contains("hash-join"));
+    /// assert!(Engine::new()
+    ///     .prepare(&queries::grandparent_query())
+    ///     .unwrap()
+    ///     .physical_plan()
+    ///     .is_none());
+    /// ```
+    pub fn physical_plan(&self) -> Option<&PhysicalPlan> {
+        match &self.source {
+            PreparedSource::Calculus => None,
+            PreparedSource::Algebra { plan, .. } => Some(plan),
+        }
+    }
+
     /// The slot-based compiled form of the query, lowered once at prepare
     /// time.  This is what [`Prepared::execute`] runs by default; the legacy
     /// tree walker remains reachable via
@@ -635,15 +722,23 @@ impl Prepared {
         let start = Instant::now();
         let mut outcome = match semantics {
             Semantics::Limited => match &self.source {
-                PreparedSource::Algebra { expr, schema } => {
-                    let result = expr.eval(db, schema, &self.alg_config)?;
+                PreparedSource::Algebra { expr, schema, plan } => {
+                    let (result, stats) = if self.use_algebra_planner {
+                        let (result, plan_stats) = plan.execute(db, &self.alg_config)?;
+                        (result, ExecStats::from_plan(plan_stats))
+                    } else {
+                        (
+                            expr.eval(db, schema, &self.alg_config)?,
+                            ExecStats::default(),
+                        )
+                    };
                     QueryOutcome {
                         result,
                         semantics,
                         bounded_approximation: false,
                         defined_at: None,
                         stabilised_at: None,
-                        stats: ExecStats::default(),
+                        stats,
                     }
                 }
                 PreparedSource::Calculus => {
@@ -903,14 +998,51 @@ mod tests {
             domain_cache_hits: 6,
             domain_cache_misses: 7,
             interned_values: 8,
-            wall_micros: 9,
+            join_probes: 9,
+            tuples_materialised: 10,
+            wall_micros: 11,
         };
         assert_eq!(
             stats.to_json(),
             "{\"steps\":1,\"quantifier_values\":2,\"candidates_checked\":3,\
              \"max_domain_seen\":4,\"invention_levels\":5,\"domain_cache_hits\":6,\
-             \"domain_cache_misses\":7,\"interned_values\":8,\"wall_micros\":9}"
+             \"domain_cache_misses\":7,\"interned_values\":8,\"join_probes\":9,\
+             \"tuples_materialised\":10,\"wall_micros\":11}"
         );
+    }
+
+    #[test]
+    fn algebra_planner_is_the_default_and_ablatable() {
+        let expr = AlgExpr::pred("PAR")
+            .product(AlgExpr::pred("PAR"))
+            .select(SelFormula::coords_eq(2, 3))
+            .project(vec![1, 4]);
+        let db = db();
+        let planned_engine = Engine::new();
+        assert!(planned_engine.use_algebra_planner());
+        let tuple_engine = Engine::builder().use_algebra_planner(false).build();
+        assert!(!tuple_engine.use_algebra_planner());
+
+        let planned = planned_engine
+            .prepare_algebra(&expr, &parent_schema())
+            .unwrap()
+            .execute(&db, Semantics::Limited)
+            .unwrap();
+        let tuple = tuple_engine
+            .prepare_algebra(&expr, &parent_schema())
+            .unwrap()
+            .execute(&db, Semantics::Limited)
+            .unwrap();
+        assert_eq!(planned.result, tuple.result);
+        // The planner's counters are observable; the tuple path reports none.
+        assert!(planned.stats.join_probes > 0);
+        assert!(planned.stats.tuples_materialised > 0);
+        assert!(planned.stats.interned_values > 0);
+        assert_eq!(tuple.stats.join_probes, 0);
+        assert_eq!(tuple.stats.tuples_materialised, 0);
+        // Neither algebra path touches the calculus counters.
+        assert_eq!(planned.stats.steps, 0);
+        assert_eq!(tuple.stats.steps, 0);
     }
 
     #[test]

@@ -180,6 +180,27 @@ impl ValueStore {
             _ => false,
         }
     }
+
+    /// The components of an interned tuple, in coordinate order; `None` for
+    /// non-tuples.  This is the id-space view of [`Value::as_tuple`], used by
+    /// the set-at-a-time algebra executor to flatten product operands without
+    /// resolving values.
+    pub fn tuple_components(&self, id: ValueId) -> Option<&[ValueId]> {
+        match &self.nodes[id.index()] {
+            Node::Tuple(components) => Some(components),
+            _ => None,
+        }
+    }
+
+    /// The elements of an interned set, sorted by id; `None` for non-sets.
+    /// The id-space view of [`Value::as_set`], used to expand membership
+    /// (semijoin) indexes and the collapse operator without resolving values.
+    pub fn set_elements(&self, id: ValueId) -> Option<&[ValueId]> {
+        match &self.nodes[id.index()] {
+            Node::Set(elements) => Some(elements),
+            _ => None,
+        }
+    }
 }
 
 /// A dense handle to one constructive domain inside a [`DomainCache`].
@@ -467,6 +488,14 @@ mod tests {
             !store.set_contains(pair_id, pair_id),
             "non-sets contain nothing"
         );
+        // Component / element views.
+        let a0 = store.intern(&Value::Atom(a[0]));
+        let a1 = store.intern(&Value::Atom(a[1]));
+        assert_eq!(store.tuple_components(pair_id), Some(&[a0, a1][..]));
+        assert_eq!(store.tuple_components(set_id), None);
+        assert_eq!(store.tuple_components(a0), None);
+        assert_eq!(store.set_elements(set_id), Some(&[pair_id][..]));
+        assert_eq!(store.set_elements(pair_id), None);
     }
 
     /// Walk a whole domain through the cache, in rank order.

@@ -88,6 +88,13 @@ pub enum Stmt {
         /// A query or algebra name.
         name: String,
     },
+    /// `plan NAME;` — pretty-print the physical plan of an algebra
+    /// expression (joins extracted, selections pushed down, projections
+    /// fused).
+    Plan {
+        /// An algebra expression name.
+        name: String,
+    },
     /// `eval NAME on DB [with SEMANTICS];`
     Eval {
         /// A query or algebra name.
@@ -283,6 +290,9 @@ pub fn parse_stmt(
         "typecheck" => Stmt::Typecheck {
             name: named(&mut p, "a query or algebra name")?.0,
         },
+        "plan" => Stmt::Plan {
+            name: named(&mut p, "an algebra expression name")?.0,
+        },
         "eval" => {
             let (name, _) = named(&mut p, "a query or algebra name")?;
             let (on, on_pos) = named(&mut p, "`on`")?;
@@ -331,7 +341,7 @@ pub fn parse_stmt(
             return Err(ParseError::new(
                 format!(
                     "unknown statement `{other}`; expected one of schema, database, query, \
-                     algebra, show, list, classify, typecheck, eval, compile, help, quit"
+                     algebra, show, list, classify, typecheck, plan, eval, compile, help, quit"
                 ),
                 head_pos,
             ));

@@ -224,6 +224,7 @@ impl Session {
             Stmt::List => lines.extend(self.list()),
             Stmt::Classify { name } => lines.extend(self.classify(&name)?),
             Stmt::Typecheck { name } => lines.extend(self.typecheck(&name)?),
+            Stmt::Plan { name } => lines.extend(self.plan(&name)?),
             Stmt::Eval {
                 name,
                 database,
@@ -347,6 +348,31 @@ impl Session {
         Err(SessionError::Exec(format!(
             "no query or algebra expression named `{name}`"
         )))
+    }
+
+    /// `plan NAME;` — pretty-print the set-at-a-time physical plan the
+    /// prepare step built for a named algebra expression (the same plan
+    /// `eval` executes under the limited interpretation).
+    fn plan(&mut self, name: &str) -> Result<Vec<String>, SessionError> {
+        if self.queries.contains_key(name) {
+            return Err(SessionError::Exec(format!(
+                "`{name}` is a calculus query; physical plans exist for algebra \
+                 expressions (calculus queries run the compiled slot evaluator)"
+            )));
+        }
+        if !self.algebras.contains_key(name) {
+            return Err(SessionError::Exec(format!(
+                "no algebra expression named `{name}`"
+            )));
+        }
+        self.ensure_prepared(name)?;
+        let prepared = &self.prepared[name];
+        let plan = prepared
+            .physical_plan()
+            .expect("algebra handles always carry a physical plan");
+        let mut lines = vec![format!("plan {name}: {}", prepared.algebra_expr().unwrap())];
+        lines.extend(plan.render_lines().into_iter().map(|l| format!("  {l}")));
+        Ok(lines)
     }
 
     /// Get-or-create the [`Prepared`] handle for a named query or algebra
@@ -501,6 +527,7 @@ fn help_text() -> Vec<String> {
         "  algebra NAME : SCHEMA EXPR           define an algebra expression",
         "  typecheck NAME                       re-check and print the typing",
         "  classify NAME                        minimal CALC_{k,i} / ALG_{k,i} class",
+        "  plan NAME                            print an algebra expression's physical plan",
         "  eval NAME on DB [with SEMANTICS]     semantics: limited (default),",
         "    (`under` ≡ `with`)                 finite-invention (fi), terminal-invention (ti)",
         "  compile NAME [as NEW]                algebra → calculus (Theorem 3.8)",
@@ -594,9 +621,38 @@ mod tests {
             "compile gp;",
             "eval gp on d with naive;",
             "database b : Missing {X = {}};",
+            "plan gp;",
+            "plan nope;",
         ] {
             assert!(s.run_source(bad).is_err(), "`{bad}` should fail");
         }
+    }
+
+    #[test]
+    fn plan_statement_prints_the_physical_plan() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        let out = run(
+            &mut s,
+            "algebra ga : Gen π_{1,4}(σ_{$2 = $3}(PAR × PAR));\nplan ga;",
+        );
+        assert!(out.iter().any(|l| l.starts_with("plan ga:")), "{out:?}");
+        assert!(
+            out.iter()
+                .any(|l| l.contains("hash-join [$2 = $1'] project π_{1,4}")),
+            "{out:?}"
+        );
+        assert_eq!(
+            out.iter().filter(|l| l.contains("scan PAR")).count(),
+            2,
+            "{out:?}"
+        );
+        // `plan` reuses (or creates) the cached prepared handle.
+        assert!(s.prepared("ga").is_some());
+        // The planned answer is what `eval` then executes.
+        let out = run(&mut s, "eval ga on d;");
+        assert!(out.iter().any(|l| l == "eval ga on d: 1 object"), "{out:?}");
+        assert!(out.iter().any(|l| l.ends_with("[Tom, Sue]")), "{out:?}");
     }
 
     #[test]

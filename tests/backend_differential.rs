@@ -1,0 +1,498 @@
+//! Three-way cross-backend differential suite.
+//!
+//! Random small databases and random *well-typed* algebra expressions are run
+//! through every execution path the engine now has:
+//!
+//! 1. **planned algebra** — the set-at-a-time physical plan (hash/member
+//!    joins, pushed-down selections, fused projections) over interned values;
+//! 2. **tuple-at-a-time algebra** — the direct `AlgExpr::eval` evaluator;
+//! 3. **the Theorem 3.8 calculus route** — the expression's `CALC_{k,i}`
+//!    translation, itself executed through *both* calculus backends (the
+//!    compiled slot evaluator and the legacy tree walker).
+//!
+//! The contract, checked under default and tiny budgets and under all three
+//! semantics of the prepared pipeline:
+//!
+//! * the two algebra paths are **byte-identical**: same answers, same
+//!   [`AlgError`] classification (budget messages included);
+//! * the two calculus paths are byte-identical to each other (extending
+//!   `tests/compiled_equivalence.rs` to translated queries);
+//! * whenever an algebra path and a calculus path both succeed, their answers
+//!   coincide (Theorem 3.8 + planner correctness) — the budgets themselves
+//!   are language-specific, so a powerset the algebra materialises directly
+//!   may exhaust the calculus quantifier budget, and only the *answers* are
+//!   comparable across the language boundary;
+//! * `Prepared::execute` outcomes (answers, boundedness flags, defining /
+//!   stabilisation levels, error classification) agree across planner-on,
+//!   planner-off, and tree-walker engines for every semantics, and each
+//!   backend's statistics keep their shape (planner counters zero off the
+//!   planned path, calculus counters zero on the algebra paths).
+
+use itq_algebra::EvalConfig as AlgConfig;
+use itq_algebra::{plan, to_calculus_query, AlgExpr, SelFormula, SelTerm};
+use itq_calculus::compile::compile;
+use itq_core::prelude::*;
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::single("PAR", Type::flat_tuple(2)).with("PERSON", Type::Atomic)
+}
+
+/// Databases over at most three atoms: large enough to exercise joins and
+/// powersets, small enough that the translated calculus queries (whose
+/// quantifier domains reach 2^(n²)) stay affordable for the tree walker.
+fn small_db() -> BoxedStrategy<Database> {
+    (
+        proptest::collection::vec((0u32..3, 0u32..3), 0..5),
+        proptest::collection::vec(0u32..3, 0..4),
+    )
+        .prop_map(|(edges, people)| {
+            let pairs: Vec<(Atom, Atom)> =
+                edges.into_iter().map(|(a, b)| (Atom(a), Atom(b))).collect();
+            Database::single("PAR", Instance::from_pairs(pairs))
+                .with("PERSON", Instance::from_atoms(people.into_iter().map(Atom)))
+        })
+        .boxed()
+}
+
+/// A deterministic well-typed selection formula for a tuple type, chosen by
+/// `arg`: coordinate equalities between equally-typed coordinates, membership
+/// when a set coordinate matches an element coordinate, constant tests on
+/// atomic coordinates, and negation/implication wrappers — falling back to ⊤.
+fn selection_for(components: &[Type], arg: usize) -> SelFormula {
+    let mut eq_pairs = Vec::new();
+    let mut in_pairs = Vec::new();
+    let mut atomics = Vec::new();
+    for (i, ti) in components.iter().enumerate() {
+        if *ti == Type::Atomic {
+            atomics.push(i + 1);
+        }
+        for (j, tj) in components.iter().enumerate() {
+            if i != j && ti == tj {
+                eq_pairs.push((i + 1, j + 1));
+            }
+            if i != j && tj.element() == Some(ti) {
+                in_pairs.push((i + 1, j + 1));
+            }
+        }
+    }
+    let pick = |v: &Vec<(usize, usize)>| v[arg / 7 % v.len()];
+    match arg % 7 {
+        0 | 1 if !eq_pairs.is_empty() => {
+            let (i, j) = pick(&eq_pairs);
+            SelFormula::coords_eq(i, j)
+        }
+        2 if !in_pairs.is_empty() => {
+            let (i, j) = pick(&in_pairs);
+            SelFormula::In(SelTerm::Coord(i), SelTerm::Coord(j))
+        }
+        3 if !atomics.is_empty() => {
+            SelFormula::coord_is(atomics[arg / 7 % atomics.len()], Atom((arg % 3) as u32))
+        }
+        4 if !eq_pairs.is_empty() => {
+            let (i, j) = pick(&eq_pairs);
+            SelFormula::negate(SelFormula::coords_eq(i, j))
+        }
+        5 if eq_pairs.len() >= 2 => {
+            let (i, j) = eq_pairs[0];
+            let (k, l) = eq_pairs[eq_pairs.len() - 1];
+            SelFormula::any(vec![
+                SelFormula::coords_eq(i, j),
+                SelFormula::negate(SelFormula::coords_eq(k, l)),
+            ])
+        }
+        6 if !eq_pairs.is_empty() && !atomics.is_empty() => {
+            let (i, j) = pick(&eq_pairs);
+            SelFormula::implies(
+                SelFormula::coords_eq(i, j),
+                SelFormula::coord_is(atomics[0], Atom((arg % 3) as u32)),
+            )
+        }
+        _ => SelFormula::all(vec![]),
+    }
+}
+
+/// Build a well-typed expression from an opcode recipe via a typed stack:
+/// every opcode either pushes a leaf or transforms the top of the stack, and
+/// a transformation is kept only if it type-checks (so generation never
+/// rejects and never produces an ill-typed expression).
+fn expr_from_recipe(recipe: &[(usize, usize)]) -> AlgExpr {
+    let schema = schema();
+    let mut stack: Vec<AlgExpr> = vec![AlgExpr::pred("PAR")];
+    for &(op, arg) in recipe {
+        match op {
+            0 => stack.push(AlgExpr::pred("PAR")),
+            1 => stack.push(AlgExpr::pred("PERSON")),
+            2 => stack.push(AlgExpr::singleton(Atom((arg % 3) as u32))),
+            3..=5 => {
+                // σ over the top (well-typed by construction; op 5 keeps ⊤
+                // selections too, covering the vacuous-selection edge case).
+                let top = stack.pop().expect("stack never empties");
+                let formula = match itq_algebra::infer_type(&top, &schema) {
+                    Ok(Type::Tuple(components)) => selection_for(&components, arg + op),
+                    _ => SelFormula::all(vec![]),
+                };
+                stack.push(top.select(formula));
+            }
+            6 => {
+                // π over the top: a deterministic coordinate multiset.
+                let top = stack.pop().expect("stack never empties");
+                let candidate = match itq_algebra::infer_type(&top, &schema) {
+                    Ok(Type::Tuple(components)) => {
+                        let w = components.len();
+                        let coords: Vec<usize> = match arg % 4 {
+                            0 => vec![1],
+                            1 => vec![w, 1],
+                            2 => (1..=w).rev().collect(),
+                            _ => vec![1 + arg % w, 1],
+                        };
+                        top.clone().project(coords)
+                    }
+                    _ => top.clone(),
+                };
+                stack.push(keep_if_typed(candidate, top, &schema));
+            }
+            7 => {
+                // Product of the two topmost (or the top with PAR).
+                let b = stack.pop().expect("stack never empties");
+                let a = stack.pop().unwrap_or(AlgExpr::pred("PAR"));
+                stack.push(a.product(b));
+            }
+            8 => {
+                // A set operator between the top and a same-typed variant.
+                let top = stack.pop().expect("stack never empties");
+                let twin = match itq_algebra::infer_type(&top, &schema) {
+                    Ok(Type::Tuple(components)) => {
+                        let coords: Vec<usize> = (1..=components.len()).rev().collect();
+                        top.clone().project(coords)
+                    }
+                    _ => top.clone(),
+                };
+                let combined = match arg % 3 {
+                    0 => top.clone().union(twin),
+                    1 => top.clone().intersect(twin),
+                    _ => top.clone().diff(twin),
+                };
+                stack.push(keep_if_typed(combined, top, &schema));
+            }
+            9 => {
+                // Powerset, at most one per expression and only over flat
+                // operands: the translated calculus query quantifies over
+                // cons_X({T}), which must stay enumerable.
+                let top = stack.pop().expect("stack never empties");
+                let candidate = top.clone().powerset();
+                let small = top.powerset_count() == 0
+                    && matches!(
+                        itq_algebra::infer_type(&top, &schema),
+                        Ok(ty) if ty.set_height() == 0
+                    );
+                stack.push(if small { candidate } else { top });
+            }
+            10 => {
+                // Collapse (inverse of powerset) where typed.
+                let top = stack.pop().expect("stack never empties");
+                stack.push(keep_if_typed(top.clone().collapse(), top, &schema));
+            }
+            _ => {
+                // Untuple where typed (width-1 tuples only).
+                let top = stack.pop().expect("stack never empties");
+                stack.push(keep_if_typed(top.clone().untuple(), top, &schema));
+            }
+        }
+    }
+    stack.pop().expect("stack never empties")
+}
+
+fn keep_if_typed(candidate: AlgExpr, fallback: AlgExpr, schema: &Schema) -> AlgExpr {
+    if itq_algebra::infer_type(&candidate, schema).is_ok() {
+        candidate
+    } else {
+        fallback
+    }
+}
+
+fn alg_expr() -> BoxedStrategy<AlgExpr> {
+    proptest::collection::vec((0usize..12, 0usize..24), 0..8)
+        .prop_map(|recipe| expr_from_recipe(&recipe))
+        .boxed()
+}
+
+/// The two algebra paths must be byte-identical: same answers or the same
+/// [`AlgError`] (budget messages included).
+fn assert_algebra_paths_agree(expr: &AlgExpr, db: &Database, config: &AlgConfig) {
+    let physical = plan(expr, &schema()).expect("generated expressions are well-typed");
+    let planned = physical.execute(db, config).map(|(result, _)| result);
+    let tuple = expr.eval(db, &schema(), config);
+    assert_eq!(planned, tuple, "planned vs tuple-at-a-time on {expr}");
+}
+
+/// The Theorem 3.8 route: translate to the calculus and pin the compiled slot
+/// evaluator against the tree walker on the translated query; when the
+/// calculus and the (already cross-checked) algebra paths both succeed, the
+/// answers must coincide across the language boundary.
+fn assert_calculus_route_agrees(expr: &AlgExpr, db: &Database) {
+    let query = to_calculus_query(expr, &schema()).expect("well-typed expressions translate");
+    let capped = EvalConfig {
+        max_steps: 500_000,
+        ..EvalConfig::default()
+    };
+    let tree = query.eval_full(db, &capped);
+    let fast = compile(&query)
+        .expect("translated queries compile")
+        .eval_full(db, &capped);
+    match (tree, fast) {
+        (Ok(tree), Ok(fast)) => {
+            assert_eq!(tree.result, fast.result, "calculus backends on {expr}");
+            assert_eq!(tree.stats.steps, fast.stats.steps, "{expr}");
+            if let Ok(algebra) = expr.eval(db, &schema(), &AlgConfig::default()) {
+                assert_eq!(
+                    algebra, tree.result,
+                    "Theorem 3.8: algebra vs calculus on {expr}"
+                );
+            }
+        }
+        (Err(tree), Err(fast)) => assert_eq!(tree, fast, "{expr}"),
+        (tree, fast) => panic!("calculus backends disagree on {expr}: {tree:?} vs {fast:?}"),
+    }
+}
+
+/// The three engines of the differential: planner (the default), the
+/// tuple-at-a-time ablation, and the tuple-at-a-time ablation on the legacy
+/// tree walker.  All step budgets are capped so pathological draws die on a
+/// classified budget error instead of burning minutes.
+fn engine_trio() -> [Engine; 3] {
+    let capped = EvalConfig {
+        max_steps: 500_000,
+        ..EvalConfig::default()
+    };
+    let invention = InventionConfig {
+        max_invented: 1,
+        eval: capped,
+    };
+    let planner = Engine::builder()
+        .calc_config(capped)
+        .invention_config(invention)
+        .build();
+    let tuple = Engine::builder()
+        .calc_config(capped)
+        .invention_config(invention)
+        .use_algebra_planner(false)
+        .build();
+    let tree = Engine::builder()
+        .calc_config(capped)
+        .invention_config(invention)
+        .use_algebra_planner(false)
+        .use_compiled(false)
+        .build();
+    [planner, tuple, tree]
+}
+
+/// Prepared-pipeline outcomes across the engine trio: answers, flags, levels,
+/// and error classification agree; statistics keep their backend shape.
+fn assert_prepared_outcomes_agree(expr: &AlgExpr, db: &Database, semantics: Semantics) {
+    let engines = engine_trio();
+    let outcomes: Vec<Result<QueryOutcome, _>> = engines
+        .iter()
+        .map(|engine| {
+            engine
+                .prepare_algebra(expr, &schema())
+                .expect("generated expressions prepare")
+                .execute(db, semantics)
+        })
+        .collect();
+    let [planner, tuple, tree] = [&outcomes[0], &outcomes[1], &outcomes[2]];
+    match (planner, tuple, tree) {
+        (Ok(planner), Ok(tuple), Ok(tree)) => {
+            for (label, other) in [("tuple", tuple), ("tree-walk", tree)] {
+                assert_eq!(
+                    planner.result, other.result,
+                    "{semantics}: planner vs {label} on {expr}"
+                );
+                assert_eq!(
+                    planner.bounded_approximation, other.bounded_approximation,
+                    "{semantics}: flags on {expr}"
+                );
+                assert_eq!(planner.defined_at, other.defined_at, "{semantics}: {expr}");
+                assert_eq!(
+                    planner.stabilised_at, other.stabilised_at,
+                    "{semantics}: {expr}"
+                );
+                assert_eq!(planner.semantics, other.semantics);
+            }
+            if semantics == Semantics::Limited {
+                // Stats shape: the algebra paths never touch the calculus
+                // counters, and only the planner reports planner counters.
+                assert_eq!(planner.stats.steps, 0, "{expr}");
+                assert_eq!(tuple.stats.steps, 0, "{expr}");
+                assert_eq!(tuple.stats.join_probes, 0, "{expr}");
+                assert_eq!(tuple.stats.tuples_materialised, 0, "{expr}");
+                assert_eq!(tree.stats.join_probes, 0, "{expr}");
+            } else {
+                // Invention routes through the calculus form on every engine;
+                // planner counters stay zero there.
+                for outcome in [planner, tuple, tree] {
+                    assert_eq!(outcome.stats.join_probes, 0, "{semantics}: {expr}");
+                    assert_eq!(outcome.stats.tuples_materialised, 0, "{semantics}: {expr}");
+                }
+            }
+        }
+        (Err(planner), Err(tuple), Err(tree)) => {
+            assert_eq!(
+                planner, tuple,
+                "{semantics}: error classification on {expr}"
+            );
+            assert_eq!(planner, tree, "{semantics}: error classification on {expr}");
+        }
+        _ => panic!(
+            "{semantics}: backends disagree on {expr}: planner {:?} vs tuple {:?} vs tree {:?}",
+            outcomes[0], outcomes[1], outcomes[2]
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Limited interpretation, raw evaluators: planned == tuple-at-a-time,
+    /// byte for byte, under the default and a starved budget.
+    #[test]
+    fn planned_and_tuple_algebra_are_byte_identical(expr in alg_expr(), db in small_db()) {
+        assert_algebra_paths_agree(&expr, &db, &AlgConfig::default());
+        assert_algebra_paths_agree(&expr, &db, &AlgConfig { max_instance: 16 });
+        assert_algebra_paths_agree(&expr, &db, &AlgConfig { max_instance: 2 });
+    }
+
+    /// The CALC_{k,i} route of Theorem 3.8: both calculus backends agree on
+    /// the translated query, and cross-language answers coincide on success.
+    #[test]
+    fn theorem_3_8_route_agrees_with_both_calculus_backends(expr in alg_expr(), db in small_db()) {
+        assert_calculus_route_agrees(&expr, &db);
+    }
+
+    /// The full prepared pipeline across the engine trio, all semantics.
+    #[test]
+    fn prepared_outcomes_agree_across_the_trio(expr in alg_expr(), db in small_db()) {
+        for semantics in Semantics::ALL {
+            assert_prepared_outcomes_agree(&expr, &db, semantics);
+        }
+    }
+
+    /// Tiny algebra budgets: products and powersets die on the same
+    /// byte-identical budget error through the whole pipeline.
+    #[test]
+    fn tiny_budget_errors_classify_identically(expr in alg_expr(), db in small_db()) {
+        let tiny = AlgConfig { max_instance: 8 };
+        assert_algebra_paths_agree(&expr, &db, &tiny);
+        let capped = EvalConfig { max_steps: 500_000, ..EvalConfig::default() };
+        let planner = Engine::builder().calc_config(capped).alg_config(tiny).build();
+        let tuple = Engine::builder()
+            .calc_config(capped)
+            .alg_config(tiny)
+            .use_algebra_planner(false)
+            .build();
+        let a = planner
+            .prepare_algebra(&expr, &schema())
+            .unwrap()
+            .execute(&db, Semantics::Limited);
+        let b = tuple
+            .prepare_algebra(&expr, &schema())
+            .unwrap()
+            .execute(&db, Semantics::Limited);
+        match (a, b) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.result, b.result),
+            (Err(a), Err(b)) => {
+                prop_assert_eq!(&a, &b, "{}", &expr);
+                prop_assert_eq!(a.to_string(), b.to_string(), "{}", &expr);
+            }
+            (a, b) => prop_assert!(false, "budget divergence on {}: {:?} vs {:?}", &expr, a, b),
+        }
+    }
+}
+
+/// Satellite regression: the `Product` budget fires *before* materialisation
+/// on every backend, with a byte-identical message — the planned path checks
+/// the unfiltered |A|·|B| even though its join would never materialise the
+/// product.
+#[test]
+fn product_budget_error_string_is_byte_identical_across_backends() {
+    let expr = AlgExpr::pred("PERSON")
+        .product(AlgExpr::pred("PERSON"))
+        .select(SelFormula::coords_eq(1, 2));
+    let db = Database::single("PAR", Instance::empty()).with(
+        "PERSON",
+        Instance::from_atoms(vec![Atom(0), Atom(1), Atom(2)]),
+    );
+    let tiny = AlgConfig { max_instance: 4 };
+    let expected = "evaluation budget exceeded: product of 3 × 3 objects (limit 4)";
+
+    // Raw evaluators.
+    let tuple_err = expr.eval(&db, &schema(), &tiny).unwrap_err();
+    assert_eq!(tuple_err.to_string(), expected);
+    let planned_err = plan(&expr, &schema())
+        .unwrap()
+        .execute(&db, &tiny)
+        .unwrap_err();
+    assert_eq!(planned_err.to_string(), expected);
+    assert_eq!(planned_err, tuple_err);
+
+    // Through `Prepared::execute` on all three engines.
+    for (label, engine) in [
+        ("planner", Engine::builder().alg_config(tiny).build()),
+        (
+            "tuple",
+            Engine::builder()
+                .alg_config(tiny)
+                .use_algebra_planner(false)
+                .build(),
+        ),
+        (
+            "tree-walk",
+            Engine::builder()
+                .alg_config(tiny)
+                .use_algebra_planner(false)
+                .use_compiled(false)
+                .build(),
+        ),
+    ] {
+        let err = engine
+            .prepare_algebra(&expr, &schema())
+            .unwrap()
+            .execute(&db, Semantics::Limited)
+            .unwrap_err();
+        assert_eq!(err.to_string(), expected, "{label}");
+    }
+}
+
+/// The planner visibly beats the product on the grandparent exemplar while
+/// returning the identical answer — the micro version of the E14 acceptance.
+#[test]
+fn grandparent_exemplar_joins_instead_of_scanning_pairs() {
+    let expr = AlgExpr::pred("PAR")
+        .product(AlgExpr::pred("PAR"))
+        .select(SelFormula::coords_eq(2, 3))
+        .project(vec![1, 4]);
+    let edges: Vec<(Atom, Atom)> = (0..20).map(|i| (Atom(i), Atom(i + 1))).collect();
+    let db = Database::single("PAR", Instance::from_pairs(edges)).with("PERSON", Instance::empty());
+    let engine = Engine::new();
+    let outcome = engine
+        .prepare_algebra(&expr, &schema())
+        .unwrap()
+        .execute(&db, Semantics::Limited)
+        .unwrap();
+    assert_eq!(outcome.result.len(), 19);
+    let pairs = 20u64 * 20;
+    assert!(
+        outcome.stats.join_probes < pairs / 2,
+        "{} probes should beat the {} product pairs",
+        outcome.stats.join_probes,
+        pairs
+    );
+    let tuple = Engine::builder()
+        .use_algebra_planner(false)
+        .build()
+        .prepare_algebra(&expr, &schema())
+        .unwrap()
+        .execute(&db, Semantics::Limited)
+        .unwrap();
+    assert_eq!(outcome.result, tuple.result);
+}
