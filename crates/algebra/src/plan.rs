@@ -627,17 +627,25 @@ fn lower_selected(
         AlgExpr::Product(a, b) => lower_product(conjuncts, a, b, schema),
         other => {
             let (input, ty) = lower(other, schema)?;
-            let tuple_input = matches!(ty, Type::Tuple(_));
-            if conjuncts.is_empty() && tuple_input {
-                // A vacuous selection over tuples is the identity; over a
-                // non-tuple operand it must keep the evaluator's runtime type
-                // error, so the Filter node survives with zero conjuncts.
+            if !matches!(ty, Type::Tuple(_)) {
+                // Typing admits a coordinate-free (vacuous) selection over any
+                // operand, but every backend rejects a non-tuple operand at
+                // runtime.  Report it here, at prepare time, naming the
+                // operand; the tuple-at-a-time evaluator keeps its own
+                // runtime error untouched.
+                return Err(AlgError::TypeMismatch {
+                    operator: "selection".to_string(),
+                    detail: format!("non-tuple operand {other} of type {ty}"),
+                });
+            }
+            if conjuncts.is_empty() {
+                // A vacuous selection over tuples is the identity.
                 return Ok((input, ty));
             }
             Ok((
                 PhysNode::Filter {
                     conjuncts,
-                    tuple_input,
+                    tuple_input: true,
                     input: Box::new(input),
                 },
                 ty,
@@ -977,19 +985,19 @@ mod tests {
     }
 
     #[test]
-    fn vacuous_selection_over_non_tuples_is_preserved() {
-        // Typing admits a coordinate-free selection over atoms, but the
-        // evaluator rejects it at runtime; the plan must not optimise the
-        // error away.
+    fn vacuous_selection_over_non_tuples_is_rejected_at_plan_time() {
+        // Typing admits a coordinate-free selection over atoms, but every
+        // backend rejects it at runtime; the planner now reports the hole up
+        // front, naming the offending operand and its type.
         let expr = AlgExpr::pred("PERSON").select(SelFormula::all(vec![]));
-        let physical = plan(&expr, &schema()).unwrap();
-        assert!(matches!(
-            physical.root(),
-            PhysNode::Filter {
-                tuple_input: false,
-                ..
+        let err = plan(&expr, &schema()).unwrap_err();
+        assert_eq!(
+            err,
+            AlgError::TypeMismatch {
+                operator: "selection".to_string(),
+                detail: "non-tuple operand PERSON of type U".to_string(),
             }
-        ));
+        );
         // Over tuples the vacuous selection is dropped entirely.
         let id = AlgExpr::pred("PAR").select(SelFormula::all(vec![]));
         assert!(matches!(

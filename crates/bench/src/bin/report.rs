@@ -8,6 +8,7 @@
 //! cargo run --release -p itq-bench --bin report -- E2 E3   # a subset
 //! cargo run --release -p itq-bench --bin report -- --script exp.itq
 //! cargo run --release -p itq-bench --bin report -- --stats-json BENCH_execstats.json
+//! cargo run --release -p itq-bench --bin report -- --incremental-json BENCH_incremental_delta.json
 //! ```
 //!
 //! The tables are the source of the numbers recorded in `EXPERIMENTS.md`.
@@ -24,6 +25,7 @@ use itq_calculus::normal::sf_classification;
 use itq_core::complexity::{growth_table, theorem_4_4_bounds, variable_space_bound};
 use itq_core::engine::{Engine, Semantics};
 use itq_core::hierarchy::{hierarchy_table, level_zero_one_witnesses};
+use itq_core::incremental::IncrementalDb;
 use itq_core::pipeline::ExecStats;
 use itq_core::queries;
 use itq_core::report::Table;
@@ -33,7 +35,7 @@ use itq_object::{Atom, Database, Instance, Type, Universe, Value};
 use itq_relational::{transitive_closure_seminaive, Relation};
 use itq_turing::machines::{palindrome_machine, parity_machine, ONE};
 use itq_turing::{encode_run, run, verify_encoding};
-use itq_workloads::graphs::chain_edges;
+use itq_workloads::graphs::{chain_edges, tree_edges};
 use itq_workloads::people::person_database;
 use std::time::Instant;
 
@@ -88,6 +90,10 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("--algebra-json") {
         emit_algebra_json(raw.get(1).map(String::as_str).unwrap_or("-"));
+        return;
+    }
+    if raw.first().map(String::as_str) == Some("--incremental-json") {
+        emit_incremental_json(raw.get(1).map(String::as_str).unwrap_or("-"));
         return;
     }
     let requested: Vec<String> = raw.iter().map(|s| s.to_uppercase()).collect();
@@ -324,6 +330,101 @@ fn emit_algebra_json(target: &str) {
     } else {
         println!(
             "wrote {} planned-vs-tuple algebra records to {target}",
+            records.len()
+        );
+    }
+}
+
+/// `--incremental-json [FILE|-]`: the E15 grid — watch each workload's query
+/// on an [`IncrementalDb`], then compare the cost of refreshing the view
+/// after a one-tuple insert against executing the same `Prepared` handle from
+/// scratch on the mutated snapshot.  The refreshed answer is asserted
+/// byte-identical to the from-scratch answer on every trial before anything
+/// is recorded, and the transitive-closure row must clear a 10× speedup (the
+/// E15 acceptance bar).  Serialized as a JSON array
+/// (`BENCH_incremental_delta.json` in CI).
+fn emit_incremental_json(target: &str) {
+    let engine = Engine::new();
+    let grid = vec![
+        (
+            "genealogy/transitive-closure",
+            queries::transitive_closure_query(),
+            chain_edges(3),
+        ),
+        (
+            "genealogy/grandparent",
+            queries::grandparent_query(),
+            chain_edges(16),
+        ),
+        // A binary tree, so the sibling view is non-empty and the probe edge
+        // (a second child for the last leaf's parent) changes it.
+        (
+            "genealogy/sibling",
+            queries::sibling_query(),
+            tree_edges(17),
+        ),
+    ];
+    let mut records: Vec<String> = Vec::new();
+    for (name, query, edges) in grid {
+        let db = queries::parent_database(&edges);
+        let mut inc = IncrementalDb::new(queries::parent_schema(), &db).unwrap_or_else(|e| {
+            eprintln!("error: seed `{name}`: {e}");
+            std::process::exit(1);
+        });
+        let prepared = engine.prepare(&query).unwrap_or_else(|e| {
+            eprintln!("error: prepare `{name}`: {e}");
+            std::process::exit(1);
+        });
+        inc.watch("view", prepared.clone(), Semantics::Limited);
+        let strategy = inc.view("view").expect("just watched").strategy_name();
+        // The delta: one edge out of the last chain node to a fresh atom.
+        let last = edges.iter().map(|&(_, Atom(b))| b).max().unwrap_or(0);
+        let tuple = Value::pair(Atom(last), Atom(last + 1));
+        // Min-of-3 wall time per arm; each trial restores the database so
+        // every insert refreshes against the identical base.
+        let mut delta_micros = u64::MAX;
+        let mut scratch_micros = u64::MAX;
+        let mut result_size = 0usize;
+        for _ in 0..3 {
+            let start = Instant::now();
+            inc.insert("PAR", vec![tuple.clone()]).unwrap();
+            delta_micros = delta_micros.min(start.elapsed().as_micros() as u64);
+            let scratch = prepared
+                .execute(&inc.snapshot(), Semantics::Limited)
+                .unwrap();
+            scratch_micros = scratch_micros.min(scratch.stats.wall_micros);
+            let stored = inc.view("view").expect("still watched").outcome();
+            assert_eq!(
+                stored.as_ref().ok(),
+                Some(&scratch.result),
+                "refreshed and from-scratch answers must agree on `{name}`"
+            );
+            result_size = scratch.result.len();
+            inc.delete("PAR", vec![tuple.clone()]).unwrap();
+        }
+        let speedup = scratch_micros.max(1) as f64 / delta_micros.max(1) as f64;
+        if name == "genealogy/transitive-closure" {
+            assert!(
+                speedup >= 10.0,
+                "E15 acceptance: delta refresh must beat from-scratch by ≥10× \
+                 on the TC chain (got {speedup:.1}×)"
+            );
+        }
+        records.push(format!(
+            "{{\"experiment\":\"{name}\",\"strategy\":\"{strategy}\",\
+             \"result_size\":{result_size},\"scratch_micros\":{scratch_micros},\
+             \"delta_micros\":{delta_micros},\"speedup\":{speedup:.2}}}"
+        ));
+    }
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    if target == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(target, &json) {
+        eprintln!("error: cannot write `{target}`: {e}");
+        std::process::exit(1);
+    } else {
+        println!(
+            "wrote {} incremental-vs-scratch records to {target}",
             records.len()
         );
     }

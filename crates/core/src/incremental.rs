@@ -1,0 +1,1194 @@
+//! A mutable, versioned database with watched queries and delta-driven
+//! refresh — the serving-oriented incremental engine of the ROADMAP.
+//!
+//! [`IncrementalDb`] keeps each relation as datafrog-style tiers in the
+//! [`ValueId`]-interned space of [`itq_object::ValueStore`]:
+//!
+//! * `stable` — facts that have survived at least one full epoch;
+//! * `recent` — facts added by the latest committed epoch;
+//! * `to_add` / `to_remove` — staged mutations, folded in when the epoch
+//!   commits (every [`IncrementalDb::insert`] / [`IncrementalDb::delete`]
+//!   call commits one epoch and bumps the version).
+//!
+//! Watched queries ([`IncrementalDb::watch`]) keep their [`Prepared`] handle
+//! warm and refresh after every commit.  The refresh strategy is chosen once,
+//! at watch time, by *recognising* the query:
+//!
+//! * the Example 3.1 transitive-closure shape is maintained by re-seeding the
+//!   shared semi-naive driver ([`itq_relational::fixpoint::seminaive_from`])
+//!   from the warm closure with only the inserted edges as the delta;
+//! * conjunctive bodies (an ∃-prefix of flat variables over a conjunction of
+//!   predicate, equality, and disequality atoms) are lowered to a single
+//!   Datalog rule and maintained by [`itq_relational::Program::evaluate_delta`];
+//! * everything else — higher-order quantifiers, invention semantics, algebra
+//!   handles whose translation is not conjunctive — falls back to
+//!   re-execution, guarded so that views whose input relations (and active
+//!   domain) did not change are skipped.
+//!
+//! Both delta strategies are *verified at watch time*: the recogniser's
+//! answer is compared against the `Prepared` handle's own full execution, and
+//! on any disagreement the view silently falls back to re-execution.  A
+//! deletion on a delta-maintained view recomputes the relational fixpoint
+//! from the tiers (still polynomial, against the calculus' hyper-exponential
+//! re-execution); positive fixpoints are monotone, so only insertions can be
+//! maintained differentially.
+
+use crate::engine::{EngineError, Semantics};
+use crate::pipeline::Prepared;
+use itq_calculus::{Formula, Query, Term};
+use itq_object::{Atom, Database, Instance, Schema, Type, Value, ValueId, ValueStore};
+use itq_relational::fixpoint::{seminaive_from, RelationStore};
+use itq_relational::ops::compose;
+use itq_relational::{
+    transitive_closure_seminaive, DatalogAtom, Program, Relation, Rule, TermPattern,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The reserved head predicate of lowered view rules.
+const VIEW_PRED: &str = "__view__";
+
+/// Errors raised by mutations on an [`IncrementalDb`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum IncrementalError {
+    /// The mutated relation is not declared by the schema.
+    UnknownRelation {
+        /// The missing predicate name.
+        pred: String,
+    },
+    /// A mutated value does not conform to the relation's declared type.
+    TypeMismatch {
+        /// The mutated predicate.
+        pred: String,
+        /// The declared type.
+        expected: Type,
+        /// The offending value.
+        value: Value,
+    },
+}
+
+impl fmt::Display for IncrementalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncrementalError::UnknownRelation { pred } => write!(f, "unknown relation {pred}"),
+            IncrementalError::TypeMismatch {
+                pred,
+                expected,
+                value,
+            } => write!(f, "value {value:?} does not conform to {pred} : {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for IncrementalError {}
+
+/// Per-relation instance tiers in interned-id space.
+#[derive(Debug, Clone, Default)]
+struct RelationTiers {
+    /// Facts known for more than one epoch.
+    stable: BTreeSet<ValueId>,
+    /// Facts added by the latest committed epoch.
+    recent: BTreeSet<ValueId>,
+    /// Staged insertions for the next commit.
+    to_add: Vec<ValueId>,
+    /// Staged deletions for the next commit.
+    to_remove: Vec<ValueId>,
+}
+
+impl RelationTiers {
+    fn ids(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.stable.iter().chain(self.recent.iter()).copied()
+    }
+
+    /// Fold the staged mutations in: `recent` ages into `stable`, removals
+    /// apply, and the staged additions not already present become the new
+    /// `recent`.  Returns the ids actually added and actually removed.
+    fn commit(&mut self) -> (Vec<ValueId>, Vec<ValueId>) {
+        let aged = std::mem::take(&mut self.recent);
+        self.stable.extend(aged);
+        let mut removed = Vec::new();
+        for id in self.to_remove.drain(..) {
+            if self.stable.remove(&id) {
+                removed.push(id);
+            }
+        }
+        let mut added = Vec::new();
+        for id in self.to_add.drain(..) {
+            if !self.stable.contains(&id) && self.recent.insert(id) {
+                added.push(id);
+            }
+        }
+        (added, removed)
+    }
+}
+
+/// How a watched view was brought up to date after one mutation epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshPath {
+    /// The mutation could not affect the view (unchanged support relations
+    /// and, for re-executing views, unchanged active domain).
+    SkippedUnchangedSupport,
+    /// The warm transitive closure was extended semi-naively from the delta.
+    DeltaSeminaive,
+    /// The lowered Datalog rule fired on the delta against warm totals.
+    DeltaRules,
+    /// The relational fixpoint was recomputed from the tiers (deletions).
+    Recomputed,
+    /// The `Prepared` handle re-executed from scratch.
+    Reexecuted,
+}
+
+impl fmt::Display for RefreshPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RefreshPath::SkippedUnchangedSupport => "skipped (support unchanged)",
+            RefreshPath::DeltaSeminaive => "delta (semi-naive closure)",
+            RefreshPath::DeltaRules => "delta (datalog rule)",
+            RefreshPath::Recomputed => "recomputed (relational fixpoint)",
+            RefreshPath::Reexecuted => "re-executed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One view's refresh report for one mutation epoch.
+#[derive(Debug, Clone)]
+pub struct ViewRefresh {
+    /// The view's name.
+    pub name: String,
+    /// The refresh path taken.
+    pub path: RefreshPath,
+    /// Semi-naive rounds run by a delta path (0 elsewhere).
+    pub rounds: u64,
+    /// The refreshed answer size, when the view holds an answer.
+    pub answers: Option<usize>,
+}
+
+/// The result of one committed mutation epoch.
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// The mutated predicate.
+    pub pred: String,
+    /// Tuples actually added (not already present).
+    pub added: usize,
+    /// Tuples actually removed (present before).
+    pub removed: usize,
+    /// The database version after the commit.
+    pub version: u64,
+    /// Per-view refresh reports, in view-name order.
+    pub refreshed: Vec<ViewRefresh>,
+}
+
+/// The maintenance strategy chosen for a watched view at watch time.
+#[derive(Debug, Clone)]
+enum RefreshStrategy {
+    /// The Example 3.1 transitive-closure query over `pred`; `closure` is the
+    /// warm fixpoint, extended in place on insertions.
+    TransitiveClosure { pred: String, closure: Relation },
+    /// A conjunctive body lowered to one Datalog rule with head
+    /// [`VIEW_PRED`]; `totals` holds the warm EDB + view fixpoint.
+    DeltaRules {
+        program: Program,
+        totals: RelationStore,
+    },
+    /// Re-execute the `Prepared` handle (with the changed-support guard).
+    Reexecute,
+}
+
+/// A registered query: a warm [`Prepared`] handle, its chosen refresh
+/// strategy, and the current answer (or error) under that strategy.
+#[derive(Debug, Clone)]
+pub struct WatchedView {
+    prepared: Prepared,
+    semantics: Semantics,
+    strategy: RefreshStrategy,
+    outcome: Result<Instance, EngineError>,
+    support: BTreeSet<String>,
+}
+
+impl WatchedView {
+    /// The warm prepared handle.
+    pub fn prepared(&self) -> &Prepared {
+        &self.prepared
+    }
+
+    /// The semantics the view is watched under.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// The current answer (or execution error) of the view.
+    pub fn outcome(&self) -> &Result<Instance, EngineError> {
+        &self.outcome
+    }
+
+    /// The relations the view reads.
+    pub fn support(&self) -> &BTreeSet<String> {
+        &self.support
+    }
+
+    /// A short label for the chosen maintenance strategy.
+    pub fn strategy_name(&self) -> &'static str {
+        match self.strategy {
+            RefreshStrategy::TransitiveClosure { .. } => "seminaive-closure",
+            RefreshStrategy::DeltaRules { .. } => "delta-rules",
+            RefreshStrategy::Reexecute => "re-execute",
+        }
+    }
+}
+
+/// A mutable, versioned database with watched queries.
+#[derive(Debug, Clone)]
+pub struct IncrementalDb {
+    schema: Schema,
+    store: ValueStore,
+    tiers: BTreeMap<String, RelationTiers>,
+    version: u64,
+    views: BTreeMap<String, WatchedView>,
+}
+
+impl IncrementalDb {
+    /// Build an incremental database over `schema`, seeded from `db` (values
+    /// land directly in the `stable` tier; version starts at 1).
+    pub fn new(schema: Schema, db: &Database) -> Result<IncrementalDb, IncrementalError> {
+        let mut this = IncrementalDb {
+            tiers: schema
+                .iter()
+                .map(|(name, _)| (name.to_string(), RelationTiers::default()))
+                .collect(),
+            schema,
+            store: ValueStore::new(),
+            version: 1,
+            views: BTreeMap::new(),
+        };
+        for (name, instance) in db.iter() {
+            let ty = this
+                .schema
+                .type_of(name)
+                .ok_or_else(|| IncrementalError::UnknownRelation {
+                    pred: name.to_string(),
+                })?
+                .clone();
+            for value in instance.iter() {
+                if !value.has_type(&ty) {
+                    return Err(IncrementalError::TypeMismatch {
+                        pred: name.to_string(),
+                        expected: ty,
+                        value: value.clone(),
+                    });
+                }
+                let id = this.store.intern(value);
+                this.tiers
+                    .get_mut(name)
+                    .expect("tier exists for every schema predicate")
+                    .stable
+                    .insert(id);
+            }
+        }
+        Ok(this)
+    }
+
+    /// The schema the database conforms to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The current version (bumped by every committed mutation epoch).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The number of tuples currently in `pred`, if declared.
+    pub fn relation_len(&self, pred: &str) -> Option<usize> {
+        self.tiers
+            .get(pred)
+            .map(|t| t.stable.len() + t.recent.len())
+    }
+
+    /// Materialise the current state as a plain [`Database`].
+    pub fn snapshot(&self) -> Database {
+        Database::new(self.tiers.iter().map(|(name, tiers)| {
+            (
+                name.clone(),
+                Instance::from_values(tiers.ids().map(|id| self.store.resolve(id))),
+            )
+        }))
+    }
+
+    /// The active domain of the current state.
+    pub fn active_domain(&self) -> BTreeSet<Atom> {
+        let mut out = BTreeSet::new();
+        for tiers in self.tiers.values() {
+            for id in tiers.ids() {
+                self.store.resolve(id).collect_atoms(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Insert `values` into `pred`, commit the epoch, and refresh every
+    /// watched view.
+    pub fn insert(
+        &mut self,
+        pred: &str,
+        values: Vec<Value>,
+    ) -> Result<MutationOutcome, IncrementalError> {
+        let ids = self.check_and_intern(pred, values)?;
+        self.tiers
+            .get_mut(pred)
+            .expect("checked by check_and_intern")
+            .to_add
+            .extend(ids);
+        Ok(self.commit_epoch(pred))
+    }
+
+    /// Delete `values` from `pred`, commit the epoch, and refresh every
+    /// watched view.  Deleting an absent tuple is a no-op counted as 0.
+    pub fn delete(
+        &mut self,
+        pred: &str,
+        values: Vec<Value>,
+    ) -> Result<MutationOutcome, IncrementalError> {
+        let ids = self.check_and_intern(pred, values)?;
+        self.tiers
+            .get_mut(pred)
+            .expect("checked by check_and_intern")
+            .to_remove
+            .extend(ids);
+        Ok(self.commit_epoch(pred))
+    }
+
+    fn check_and_intern(
+        &mut self,
+        pred: &str,
+        values: Vec<Value>,
+    ) -> Result<Vec<ValueId>, IncrementalError> {
+        let ty = self
+            .schema
+            .type_of(pred)
+            .ok_or_else(|| IncrementalError::UnknownRelation {
+                pred: pred.to_string(),
+            })?
+            .clone();
+        for value in &values {
+            if !value.has_type(&ty) {
+                return Err(IncrementalError::TypeMismatch {
+                    pred: pred.to_string(),
+                    expected: ty,
+                    value: value.clone(),
+                });
+            }
+        }
+        Ok(values.iter().map(|v| self.store.intern(v)).collect())
+    }
+
+    fn commit_epoch(&mut self, pred: &str) -> MutationOutcome {
+        let adom_before = self.active_domain();
+        let (added_ids, removed_ids) = self
+            .tiers
+            .get_mut(pred)
+            .expect("commit_epoch only runs on checked predicates")
+            .commit();
+        self.version += 1;
+        let adom_changed = adom_before != self.active_domain();
+        let added: Vec<Value> = added_ids.iter().map(|&id| self.store.resolve(id)).collect();
+        let refreshed = self.refresh_views(pred, &added, removed_ids.len(), adom_changed);
+        MutationOutcome {
+            pred: pred.to_string(),
+            added: added_ids.len(),
+            removed: removed_ids.len(),
+            version: self.version,
+            refreshed,
+        }
+    }
+
+    /// Register (or replace) a watched view: execute it once in full, choose
+    /// and verify a maintenance strategy, and keep it warm.  Returns the
+    /// initial refresh report.
+    pub fn watch(&mut self, name: &str, prepared: Prepared, semantics: Semantics) -> ViewRefresh {
+        let snapshot = self.snapshot();
+        let outcome = prepared
+            .execute(&snapshot, semantics)
+            .map(|outcome| outcome.result);
+        let support = prepared.query().body().predicates();
+        let strategy = self.choose_strategy(&prepared, semantics, &outcome);
+        let report = ViewRefresh {
+            name: name.to_string(),
+            path: RefreshPath::Reexecuted,
+            rounds: 0,
+            answers: outcome.as_ref().ok().map(Instance::len),
+        };
+        self.views.insert(
+            name.to_string(),
+            WatchedView {
+                prepared,
+                semantics,
+                strategy,
+                outcome,
+                support,
+            },
+        );
+        report
+    }
+
+    /// Stop watching `name`; returns whether it was watched.
+    pub fn unwatch(&mut self, name: &str) -> bool {
+        self.views.remove(name).is_some()
+    }
+
+    /// The view registered under `name`, if any.
+    pub fn view(&self, name: &str) -> Option<&WatchedView> {
+        self.views.get(name)
+    }
+
+    /// All registered views, in name order.
+    pub fn views(&self) -> impl Iterator<Item = (&str, &WatchedView)> {
+        self.views.iter().map(|(name, view)| (name.as_str(), view))
+    }
+
+    /// Choose a delta strategy for a freshly watched view, verifying the
+    /// recognised form against the full execution before trusting it.
+    fn choose_strategy(
+        &self,
+        prepared: &Prepared,
+        semantics: Semantics,
+        outcome: &Result<Instance, EngineError>,
+    ) -> RefreshStrategy {
+        // Delta maintenance is only meaningful for the limited interpretation
+        // of a calculus query that executed cleanly: invention semantics
+        // re-run their level loop, and a failed execution (budget error) must
+        // keep failing identically until the database changes.
+        let (Semantics::Limited, Ok(answer)) = (semantics, outcome) else {
+            return RefreshStrategy::Reexecute;
+        };
+        if self.schema.contains(VIEW_PRED) {
+            return RefreshStrategy::Reexecute;
+        }
+        // A tightened budget may succeed on today's database and starve on
+        // tomorrow's; a delta refresh would mask that.  Only handles whose
+        // budgets are at the (effectively unreachable) defaults may skip the
+        // budgeted execution.
+        if !prepared.budgets_are_default() {
+            return RefreshStrategy::Reexecute;
+        }
+        if let Some(pred) = recognize_transitive_closure(prepared.query()) {
+            if let Some(edges) = self.relation_as_flat(&pred) {
+                if edges.arity() == 2 {
+                    let closure = transitive_closure_seminaive(&edges);
+                    if closure.to_instance() == *answer {
+                        return RefreshStrategy::TransitiveClosure { pred, closure };
+                    }
+                }
+            }
+        }
+        if let Some(program) = lower_to_datalog(prepared.query()) {
+            if let Some(seed) = self.edb_for(&program) {
+                // Warm totals: the head relation at declared arity, plus the
+                // EDB absorbed by the seeding pass of the delta driver.
+                let mut totals: RelationStore = program
+                    .rules
+                    .iter()
+                    .map(|r| (r.head.pred.clone(), Relation::empty(r.head.terms.len())))
+                    .collect();
+                program.evaluate_delta(&mut totals, seed);
+                let view = totals
+                    .get(VIEW_PRED)
+                    .cloned()
+                    .unwrap_or_else(|| Relation::empty(1));
+                if view.to_instance() == *answer {
+                    return RefreshStrategy::DeltaRules { program, totals };
+                }
+            }
+        }
+        RefreshStrategy::Reexecute
+    }
+
+    /// The EDB a lowered program reads, from the current tiers; `None` if any
+    /// referenced relation is not flat.
+    fn edb_for(&self, program: &Program) -> Option<RelationStore> {
+        let mut edb = RelationStore::new();
+        for rule in &program.rules {
+            for literal in &rule.body {
+                if !edb.contains_key(&literal.pred) {
+                    edb.insert(literal.pred.clone(), self.relation_as_flat(&literal.pred)?);
+                }
+            }
+        }
+        Some(edb)
+    }
+
+    /// The current contents of `pred` as a flat [`Relation`], if its declared
+    /// type is flat.
+    pub fn relation_as_flat(&self, pred: &str) -> Option<Relation> {
+        let width = flat_width(self.schema.type_of(pred)?)?;
+        let tiers = self.tiers.get(pred)?;
+        let mut out = Relation::empty(width);
+        for id in tiers.ids() {
+            out.insert(flat_tuple_of(&self.store.resolve(id))?);
+        }
+        Some(out)
+    }
+
+    /// Refresh every watched view after a committed epoch on `pred`.
+    fn refresh_views(
+        &mut self,
+        pred: &str,
+        added: &[Value],
+        removed: usize,
+        adom_changed: bool,
+    ) -> Vec<ViewRefresh> {
+        let mut views = std::mem::take(&mut self.views);
+        let mut snapshot: Option<Database> = None;
+        let mut reports = Vec::with_capacity(views.len());
+        for (name, view) in views.iter_mut() {
+            let touched = view.support.contains(pred);
+            let (path, rounds) = match &mut view.strategy {
+                // The delta strategies maintain answers that depend only on
+                // the view's own relations, so an untouched support set means
+                // an unchanged answer even if the active domain moved.
+                RefreshStrategy::TransitiveClosure { pred: p, closure } if touched && p == pred => {
+                    if removed == 0 {
+                        let delta = added
+                            .iter()
+                            .map(|v| flat_tuple_of(v).expect("typed pairs are flat"))
+                            .fold(Relation::empty(2), |mut rel, t| {
+                                rel.insert(t);
+                                rel
+                            });
+                        let (next, rounds) =
+                            seminaive_from(closure.clone(), &delta, |total, delta| {
+                                let mut out = compose(delta, total);
+                                out.absorb(&compose(total, delta));
+                                out
+                            });
+                        *closure = next;
+                        view.outcome = Ok(closure.to_instance());
+                        (RefreshPath::DeltaSeminaive, rounds)
+                    } else {
+                        let edges = self
+                            .relation_as_flat(p)
+                            .expect("strategy only chosen over flat relations");
+                        *closure = transitive_closure_seminaive(&edges);
+                        view.outcome = Ok(closure.to_instance());
+                        (RefreshPath::Recomputed, 0)
+                    }
+                }
+                RefreshStrategy::DeltaRules { program, totals } if touched => {
+                    if removed == 0 {
+                        let width = totals
+                            .get(pred)
+                            .map(Relation::arity)
+                            .expect("support relations are in the totals");
+                        let mut delta_rel = Relation::empty(width);
+                        for v in added {
+                            delta_rel.insert(flat_tuple_of(v).expect("typed flat tuples"));
+                        }
+                        let mut seed = RelationStore::new();
+                        seed.insert(pred.to_string(), delta_rel);
+                        let rounds = program.evaluate_delta(totals, seed);
+                        view.outcome = Ok(totals[VIEW_PRED].to_instance());
+                        (RefreshPath::DeltaRules, rounds)
+                    } else {
+                        let edb = self
+                            .edb_for(program)
+                            .expect("strategy only chosen over flat relations");
+                        *totals = program.evaluate(&edb);
+                        view.outcome = Ok(totals[VIEW_PRED].to_instance());
+                        (RefreshPath::Recomputed, 0)
+                    }
+                }
+                RefreshStrategy::Reexecute if touched || adom_changed => {
+                    let db = snapshot.get_or_insert_with(|| self.snapshot());
+                    view.outcome = view
+                        .prepared
+                        .execute(db, view.semantics)
+                        .map(|outcome| outcome.result);
+                    (RefreshPath::Reexecuted, 0)
+                }
+                _ => (RefreshPath::SkippedUnchangedSupport, 0),
+            };
+            reports.push(ViewRefresh {
+                name: name.clone(),
+                path,
+                rounds,
+                answers: view.outcome.as_ref().ok().map(Instance::len),
+            });
+        }
+        self.views = views;
+        reports
+    }
+}
+
+/// The width of a flat type: 1 for `U`, `n` for `[U,…,U]`, `None` otherwise.
+fn flat_width(ty: &Type) -> Option<usize> {
+    match ty {
+        Type::Atomic => Some(1),
+        Type::Tuple(components) if components.iter().all(|c| matches!(c, Type::Atomic)) => {
+            Some(components.len())
+        }
+        _ => None,
+    }
+}
+
+/// A flat value as an atom tuple: `a ↦ [a]`, `[a1,…,an] ↦ [a1,…,an]`.
+fn flat_tuple_of(value: &Value) -> Option<Vec<Atom>> {
+    match value {
+        Value::Atom(a) => Some(vec![*a]),
+        Value::Tuple(components) => components.iter().map(Value::as_atom).collect(),
+        Value::Set(_) => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recognisers
+// ---------------------------------------------------------------------------
+
+/// Recognise the Example 3.1 transitive-closure query over some binary
+/// predicate: the body must alpha-match the canonical
+/// [`crate::queries::transitive_closure_query`] with its predicate renamed.
+/// Returns the edge predicate.
+fn recognize_transitive_closure(query: &Query) -> Option<String> {
+    if *query.target_type() != Type::flat_tuple(2) {
+        return None;
+    }
+    let preds: Vec<String> = query.body().predicates().into_iter().collect();
+    let [pred] = preds.as_slice() else {
+        return None;
+    };
+    if query.schema().type_of(pred) != Some(&Type::flat_tuple(2)) {
+        return None;
+    }
+    let reference = crate::queries::transitive_closure_query();
+    let lhs = alpha_canonical(reference.body(), reference.target(), "PAR");
+    let rhs = alpha_canonical(query.body(), query.target(), pred);
+    (lhs == rhs).then(|| pred.clone())
+}
+
+/// Rename the target variable to `t#`, the edge predicate to `P#`, and every
+/// bound variable to `q0, q1, …` in pre-order (scoped, so shadowing is
+/// handled) — two formulas are alpha-equivalent modulo the predicate name
+/// exactly when their canonical forms are equal.
+fn alpha_canonical(formula: &Formula, target: &str, pred: &str) -> Formula {
+    fn lookup(v: &str, target: &str, scope: &[(String, String)]) -> String {
+        for (orig, fresh) in scope.iter().rev() {
+            if orig == v {
+                return fresh.clone();
+            }
+        }
+        if v == target {
+            "t#".to_string()
+        } else {
+            format!("free#{v}")
+        }
+    }
+    fn term(t: &Term, target: &str, scope: &[(String, String)]) -> Term {
+        match t {
+            Term::Const(a) => Term::Const(*a),
+            Term::Var(v) => Term::Var(lookup(v, target, scope)),
+            Term::Proj(v, i) => Term::Proj(lookup(v, target, scope), *i),
+        }
+    }
+    fn go(
+        f: &Formula,
+        target: &str,
+        pred: &str,
+        scope: &mut Vec<(String, String)>,
+        counter: &mut usize,
+    ) -> Formula {
+        match f {
+            Formula::Eq(a, b) => Formula::Eq(term(a, target, scope), term(b, target, scope)),
+            Formula::Member(a, b) => {
+                Formula::Member(term(a, target, scope), term(b, target, scope))
+            }
+            Formula::Pred(name, t) => Formula::Pred(
+                if name == pred {
+                    "P#".to_string()
+                } else {
+                    name.clone()
+                },
+                term(t, target, scope),
+            ),
+            Formula::Not(inner) => Formula::not(go(inner, target, pred, scope, counter)),
+            Formula::And(fs) => Formula::And(
+                fs.iter()
+                    .map(|g| go(g, target, pred, scope, counter))
+                    .collect(),
+            ),
+            Formula::Or(fs) => Formula::Or(
+                fs.iter()
+                    .map(|g| go(g, target, pred, scope, counter))
+                    .collect(),
+            ),
+            Formula::Implies(a, b) => Formula::implies(
+                go(a, target, pred, scope, counter),
+                go(b, target, pred, scope, counter),
+            ),
+            Formula::Iff(a, b) => Formula::iff(
+                go(a, target, pred, scope, counter),
+                go(b, target, pred, scope, counter),
+            ),
+            Formula::Exists(v, ty, body) | Formula::Forall(v, ty, body) => {
+                let fresh = format!("q{counter}");
+                *counter += 1;
+                scope.push((v.clone(), fresh.clone()));
+                let inner = go(body, target, pred, scope, counter);
+                scope.pop();
+                match f {
+                    Formula::Exists(..) => Formula::Exists(fresh, ty.clone(), Box::new(inner)),
+                    _ => Formula::Forall(fresh, ty.clone(), Box::new(inner)),
+                }
+            }
+        }
+    }
+    go(formula, target, pred, &mut Vec::new(), &mut 0)
+}
+
+/// A coordinate of a flat variable, or a constant — the nodes the equality
+/// conjuncts of a conjunctive body merge into classes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum ClassKey {
+    Coord(String, usize),
+    Const(Atom),
+}
+
+#[derive(Default)]
+struct Classes {
+    index: BTreeMap<ClassKey, usize>,
+    parent: Vec<usize>,
+}
+
+impl Classes {
+    fn node(&mut self, key: ClassKey) -> usize {
+        if let Some(&i) = self.index.get(&key) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.index.insert(key, i);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+/// Lower a conjunctive calculus body to a single safe Datalog rule with head
+/// [`VIEW_PRED`], or `None` when the query falls outside the fragment:
+///
+/// * the target type is `U` or `[U,…,U]` with width ≥ 2 (width-1 tuples
+///   cannot round-trip through [`Relation::to_instance`]);
+/// * the body is an ∃-prefix of flat-typed variables over a conjunction of
+///   `P(x)`, `s ≈ t`, and `¬(s ≈ t)` conjuncts;
+/// * the resulting rule has at least one body literal and is range
+///   restricted (so the Datalog answer matches the limited interpretation).
+fn lower_to_datalog(query: &Query) -> Option<Program> {
+    let target = query.target().to_string();
+    let width = flat_width(query.target_type())?;
+    if matches!(query.target_type(), Type::Tuple(c) if c.len() == 1) {
+        return None;
+    }
+    let mut widths: BTreeMap<String, usize> = BTreeMap::new();
+    widths.insert(target.clone(), width);
+
+    let mut body = query.body();
+    while let Formula::Exists(v, ty, inner) = body {
+        if widths.contains_key(v) {
+            return None; // shadowing — stay out of the fragment
+        }
+        widths.insert(v.clone(), flat_width(ty)?);
+        body = inner;
+    }
+    let conjuncts: Vec<&Formula> = match body {
+        Formula::And(fs) => fs.iter().collect(),
+        other => vec![other],
+    };
+
+    let mut classes = Classes::default();
+    // A wide variable (width > 1) only participates through projections or
+    // whole-tuple equality with an equally wide variable.
+    let wide = |t: &Term, widths: &BTreeMap<String, usize>| match t {
+        Term::Var(v) => widths
+            .get(v)
+            .copied()
+            .filter(|&w| w > 1)
+            .map(|w| (v.clone(), w)),
+        _ => None,
+    };
+    let key_of = |t: &Term, widths: &BTreeMap<String, usize>| -> Option<ClassKey> {
+        match t {
+            Term::Const(a) => Some(ClassKey::Const(*a)),
+            Term::Var(v) => (*widths.get(v)? == 1).then(|| ClassKey::Coord(v.clone(), 1)),
+            Term::Proj(v, i) => {
+                (*i >= 1 && *i <= *widths.get(v)?).then(|| ClassKey::Coord(v.clone(), *i))
+            }
+        }
+    };
+
+    let mut literals: Vec<(String, Vec<usize>)> = Vec::new();
+    let mut neqs: Vec<(usize, usize)> = Vec::new();
+    for conjunct in conjuncts {
+        match conjunct {
+            Formula::Pred(name, t) => {
+                let pred_width = flat_width(query.schema().type_of(name)?)?;
+                let keys: Vec<ClassKey> = match t {
+                    Term::Var(v) => {
+                        if widths.get(v) != Some(&pred_width) {
+                            return None;
+                        }
+                        (1..=pred_width)
+                            .map(|i| ClassKey::Coord(v.clone(), i))
+                            .collect()
+                    }
+                    Term::Proj(..) | Term::Const(_) => {
+                        if pred_width != 1 {
+                            return None;
+                        }
+                        vec![key_of(t, &widths)?]
+                    }
+                };
+                let nodes = keys.into_iter().map(|k| classes.node(k)).collect();
+                literals.push((name.clone(), nodes));
+            }
+            Formula::Eq(a, b) => match (wide(a, &widths), wide(b, &widths)) {
+                (Some((va, wa)), Some((vb, wb))) if wa == wb => {
+                    for i in 1..=wa {
+                        let na = classes.node(ClassKey::Coord(va.clone(), i));
+                        let nb = classes.node(ClassKey::Coord(vb.clone(), i));
+                        classes.union(na, nb);
+                    }
+                }
+                (None, None) => {
+                    let na = classes.node(key_of(a, &widths)?);
+                    let nb = classes.node(key_of(b, &widths)?);
+                    classes.union(na, nb);
+                }
+                _ => return None,
+            },
+            Formula::Not(inner) => match inner.as_ref() {
+                Formula::Eq(a, b) => {
+                    let na = classes.node(key_of(a, &widths)?);
+                    let nb = classes.node(key_of(b, &widths)?);
+                    neqs.push((na, nb));
+                }
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+    if literals.is_empty() {
+        return None;
+    }
+
+    // Map each class to its datalog term: the class constant if one exists
+    // (two distinct constants make the body unsatisfiable — out of fragment),
+    // a canonical variable otherwise.
+    let mut class_const: BTreeMap<usize, Atom> = BTreeMap::new();
+    let keyed: Vec<(ClassKey, usize)> =
+        classes.index.iter().map(|(k, &i)| (k.clone(), i)).collect();
+    for (key, node) in &keyed {
+        if let ClassKey::Const(a) = key {
+            let root = classes.find(*node);
+            match class_const.get(&root) {
+                Some(existing) if existing != a => return None,
+                _ => {
+                    class_const.insert(root, *a);
+                }
+            }
+        }
+    }
+    let term_for = |classes: &mut Classes, node: usize| -> TermPattern {
+        let root = classes.find(node);
+        match class_const.get(&root) {
+            Some(a) => TermPattern::Const(*a),
+            None => TermPattern::Var(format!("v{root}")),
+        }
+    };
+
+    let mut head_terms = Vec::with_capacity(width);
+    for i in 1..=width {
+        let key = ClassKey::Coord(target.clone(), i);
+        let &node = classes.index.get(&key)?; // unmentioned output coordinate — unsafe
+        head_terms.push(term_for(&mut classes, node));
+    }
+    let body_atoms: Vec<DatalogAtom> = literals
+        .into_iter()
+        .map(|(name, nodes)| {
+            DatalogAtom::new(
+                &name,
+                nodes
+                    .into_iter()
+                    .map(|n| term_for(&mut classes, n))
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut rule = Rule::new(DatalogAtom::new(VIEW_PRED, head_terms), body_atoms);
+    for (a, b) in neqs {
+        let (ta, tb) = (term_for(&mut classes, a), term_for(&mut classes, b));
+        match (ta, tb) {
+            (TermPattern::Var(va), TermPattern::Var(vb)) => {
+                if va == vb {
+                    return None; // ¬(x ≈ x) — never satisfiable
+                }
+                rule = rule.with_neq(&va, &vb);
+            }
+            // A disequality against a constant (or between two constants)
+            // falls outside the Rule::neq fragment.
+            _ => return None,
+        }
+    }
+    if !rule.is_range_restricted() {
+        return None;
+    }
+    Some(Program::new(vec![rule]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::queries;
+
+    fn a(n: u32) -> Atom {
+        Atom(n)
+    }
+
+    fn db(pairs: &[(Atom, Atom)]) -> IncrementalDb {
+        IncrementalDb::new(queries::parent_schema(), &queries::parent_database(pairs)).unwrap()
+    }
+
+    #[test]
+    fn tiers_commit_and_version() {
+        let mut inc = db(&[(a(0), a(1))]);
+        assert_eq!(inc.version(), 1);
+        assert_eq!(inc.relation_len("PAR"), Some(1));
+        let out = inc
+            .insert(
+                "PAR",
+                vec![Value::pair(a(1), a(2)), Value::pair(a(0), a(1))],
+            )
+            .unwrap();
+        assert_eq!((out.added, out.removed), (1, 0)); // the duplicate is not re-added
+        assert_eq!(out.version, 2);
+        assert_eq!(inc.relation_len("PAR"), Some(2));
+        let out = inc.delete("PAR", vec![Value::pair(a(0), a(1))]).unwrap();
+        assert_eq!((out.added, out.removed), (0, 1));
+        assert_eq!(inc.version(), 3);
+        let snapshot = inc.snapshot();
+        assert_eq!(
+            snapshot.relation("PAR").unwrap(),
+            &Instance::from_pairs(vec![(a(1), a(2))])
+        );
+        // Deleting an absent tuple is a counted no-op.
+        let out = inc.delete("PAR", vec![Value::pair(a(7), a(8))]).unwrap();
+        assert_eq!(out.removed, 0);
+    }
+
+    #[test]
+    fn mutations_are_validated() {
+        let mut inc = db(&[]);
+        let err = inc
+            .insert("NOPE", vec![Value::pair(a(0), a(1))])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            IncrementalError::UnknownRelation {
+                pred: "NOPE".to_string()
+            }
+        );
+        assert!(err.to_string().contains("NOPE"));
+        let err = inc.insert("PAR", vec![Value::atom(a(0))]).unwrap_err();
+        assert!(matches!(err, IncrementalError::TypeMismatch { .. }));
+        assert!(err.to_string().contains("PAR"));
+        // Failed mutations do not bump the version.
+        assert_eq!(inc.version(), 1);
+    }
+
+    #[test]
+    fn transitive_closure_is_recognised_and_delta_maintained() {
+        let mut inc = db(&[(a(0), a(1)), (a(1), a(2))]);
+        let engine = Engine::new();
+        let prepared = engine
+            .prepare(&queries::transitive_closure_query())
+            .unwrap();
+        inc.watch("tc", prepared.clone(), Semantics::Limited);
+        assert_eq!(inc.view("tc").unwrap().strategy_name(), "seminaive-closure");
+
+        let out = inc.insert("PAR", vec![Value::pair(a(2), a(0))]).unwrap();
+        let refresh = &out.refreshed[0];
+        assert_eq!(refresh.path, RefreshPath::DeltaSeminaive);
+        let scratch = prepared
+            .execute(&inc.snapshot(), Semantics::Limited)
+            .unwrap();
+        assert_eq!(inc.view("tc").unwrap().outcome(), &Ok(scratch.result));
+
+        // Deletions recompute the relational fixpoint.
+        let out = inc.delete("PAR", vec![Value::pair(a(1), a(2))]).unwrap();
+        assert_eq!(out.refreshed[0].path, RefreshPath::Recomputed);
+        let scratch = prepared
+            .execute(&inc.snapshot(), Semantics::Limited)
+            .unwrap();
+        assert_eq!(inc.view("tc").unwrap().outcome(), &Ok(scratch.result));
+    }
+
+    #[test]
+    fn conjunctive_views_are_lowered_to_delta_rules() {
+        let mut inc = db(&[(a(0), a(1)), (a(1), a(2))]);
+        let engine = Engine::new();
+        for (name, query) in [
+            ("gp", queries::grandparent_query()),
+            ("sib", queries::sibling_query()),
+        ] {
+            let prepared = engine.prepare(&query).unwrap();
+            inc.watch(name, prepared, Semantics::Limited);
+            assert_eq!(
+                inc.view(name).unwrap().strategy_name(),
+                "delta-rules",
+                "{name}"
+            );
+        }
+        let out = inc.insert("PAR", vec![Value::pair(a(0), a(2))]).unwrap();
+        for refresh in &out.refreshed {
+            assert_eq!(refresh.path, RefreshPath::DeltaRules, "{}", refresh.name);
+        }
+        for (name, query) in [
+            ("gp", queries::grandparent_query()),
+            ("sib", queries::sibling_query()),
+        ] {
+            let scratch = engine
+                .prepare(&query)
+                .unwrap()
+                .execute(&inc.snapshot(), Semantics::Limited)
+                .unwrap();
+            assert_eq!(
+                inc.view(name).unwrap().outcome(),
+                &Ok(scratch.result),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn unwatched_and_unchanged_views_behave() {
+        let mut inc = IncrementalDb::new(
+            Schema::single("PAR", Type::flat_tuple(2)).with("OTHER", Type::flat_tuple(2)),
+            &Database::single("PAR", Instance::from_pairs(vec![(a(0), a(1))]))
+                .with("OTHER", Instance::from_pairs(vec![(a(0), a(1))])),
+        )
+        .unwrap();
+        let engine = Engine::new();
+        let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+        inc.watch("gp", prepared, Semantics::Limited);
+        // A mutation on a relation outside the view's support, over existing
+        // atoms, is skipped entirely.
+        let out = inc.insert("OTHER", vec![Value::pair(a(1), a(0))]).unwrap();
+        assert_eq!(out.refreshed[0].path, RefreshPath::SkippedUnchangedSupport);
+        assert!(inc.unwatch("gp"));
+        assert!(!inc.unwatch("gp"));
+        let out = inc.insert("PAR", vec![Value::pair(a(1), a(2))]).unwrap();
+        assert!(out.refreshed.is_empty());
+    }
+
+    #[test]
+    fn invention_semantics_fall_back_to_reexecution() {
+        let mut inc = db(&[(a(0), a(1))]);
+        let engine = Engine::builder().max_invented(1).build();
+        let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+        inc.watch("gp-fi", prepared.clone(), Semantics::FiniteInvention);
+        assert_eq!(inc.view("gp-fi").unwrap().strategy_name(), "re-execute");
+        let out = inc.insert("PAR", vec![Value::pair(a(1), a(2))]).unwrap();
+        assert_eq!(out.refreshed[0].path, RefreshPath::Reexecuted);
+        let scratch = prepared
+            .execute(&inc.snapshot(), Semantics::FiniteInvention)
+            .unwrap();
+        assert_eq!(inc.view("gp-fi").unwrap().outcome(), &Ok(scratch.result));
+    }
+
+    #[test]
+    fn failed_executions_are_stored_and_refreshed() {
+        use itq_calculus::EvalConfig;
+        let mut inc = db(&[(a(0), a(1)), (a(1), a(2))]);
+        let tiny = Engine::builder()
+            .calc_config(EvalConfig {
+                max_steps: 1,
+                ..EvalConfig::default()
+            })
+            .build();
+        let prepared = tiny.prepare(&queries::grandparent_query()).unwrap();
+        inc.watch("starved", prepared.clone(), Semantics::Limited);
+        let view = inc.view("starved").unwrap();
+        assert_eq!(view.strategy_name(), "re-execute");
+        let stored = view.outcome().clone().unwrap_err();
+        let scratch = prepared
+            .execute(&inc.snapshot(), Semantics::Limited)
+            .unwrap_err();
+        assert_eq!(stored.to_string(), scratch.to_string());
+        // The error stays byte-identical through a refresh.
+        inc.insert("PAR", vec![Value::pair(a(2), a(3))]).unwrap();
+        let stored = inc.view("starved").unwrap().outcome().clone().unwrap_err();
+        let scratch = prepared
+            .execute(&inc.snapshot(), Semantics::Limited)
+            .unwrap_err();
+        assert_eq!(stored.to_string(), scratch.to_string());
+    }
+
+    #[test]
+    fn non_default_budgets_stay_on_the_reexecution_path() {
+        use itq_calculus::EvalConfig;
+        // Generous enough to succeed on the seed database, but tightened: a
+        // delta strategy would stop exercising the budget, so the view must
+        // keep re-executing to reproduce a later starvation exactly.
+        let mut inc = db(&[(a(0), a(1)), (a(1), a(2))]);
+        let capped = Engine::builder()
+            .calc_config(EvalConfig {
+                max_steps: 100_000,
+                ..EvalConfig::default()
+            })
+            .build();
+        let prepared = capped.prepare(&queries::grandparent_query()).unwrap();
+        inc.watch("capped", prepared, Semantics::Limited);
+        let view = inc.view("capped").unwrap();
+        assert!(view.outcome().is_ok());
+        assert_eq!(view.strategy_name(), "re-execute");
+    }
+
+    #[test]
+    fn lowering_covers_the_genealogy_shapes_and_rejects_the_rest() {
+        let gp = lower_to_datalog(&queries::grandparent_query()).unwrap();
+        assert!(gp.is_safe());
+        assert_eq!(gp.rules.len(), 1);
+        assert_eq!(gp.rules[0].head.pred, VIEW_PRED);
+        assert_eq!(gp.rules[0].body.len(), 2);
+
+        let sib = lower_to_datalog(&queries::sibling_query()).unwrap();
+        assert_eq!(sib.rules[0].neq.len(), 1);
+
+        // The TC query quantifies over a set type — out of the fragment.
+        assert!(lower_to_datalog(&queries::transitive_closure_query()).is_none());
+    }
+
+    #[test]
+    fn tc_recognition_is_alpha_and_predicate_insensitive() {
+        assert_eq!(
+            recognize_transitive_closure(&queries::transitive_closure_query()),
+            Some("PAR".to_string())
+        );
+        // The grandparent query is not the TC shape.
+        assert_eq!(
+            recognize_transitive_closure(&queries::grandparent_query()),
+            None
+        );
+    }
+}

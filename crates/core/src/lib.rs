@@ -21,7 +21,12 @@
 //!   exactly once, and the resulting [`Prepared`](pipeline::Prepared) handle
 //!   executes on any database under the limited interpretation or the
 //!   invented-value semantics of Section 6, returning one unified
-//!   [`QueryOutcome`](pipeline::QueryOutcome) with execution statistics.
+//!   [`QueryOutcome`](pipeline::QueryOutcome) with execution statistics;
+//! * a **mutable, versioned database** with watched queries ([`incremental`]):
+//!   inserts and deletes commit datafrog-style stable/recent/to-add tiers in
+//!   interned-value space, and registered views stay warm — refreshed by
+//!   semi-naive delta rules where the query shape allows, by guarded
+//!   re-execution elsewhere.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +53,7 @@
 pub mod complexity;
 pub mod engine;
 pub mod hierarchy;
+pub mod incremental;
 pub mod pipeline;
 pub mod queries;
 pub mod report;
@@ -55,6 +61,9 @@ pub mod report;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::engine::{Engine, Semantics};
+    pub use crate::incremental::{
+        IncrementalDb, IncrementalError, MutationOutcome, RefreshPath, ViewRefresh, WatchedView,
+    };
     pub use crate::pipeline::{EngineBuilder, ExecStats, Prepared, QueryOutcome};
     pub use crate::queries;
     pub use itq_algebra::{AlgExpr, PhysicalPlan, SelFormula};

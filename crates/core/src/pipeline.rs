@@ -569,6 +569,15 @@ impl Prepared {
         &self.query
     }
 
+    /// True when the execution budgets snapshotted into this handle are all
+    /// at their defaults.  The incremental engine only trusts a delta
+    /// strategy under default budgets: a handle with tightened budgets must
+    /// keep *failing* exactly as a from-scratch execution would, so its
+    /// watched views always re-execute.
+    pub(crate) fn budgets_are_default(&self) -> bool {
+        self.calc_config == EvalConfig::default() && self.alg_config == AlgConfig::default()
+    }
+
     /// The cached `CALC_{k,i}` classification, identical to
     /// [`Query::classification`] on [`Prepared::query`].
     ///

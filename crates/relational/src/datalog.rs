@@ -72,32 +72,51 @@ impl fmt::Display for Atom {
     }
 }
 
-/// A Datalog rule `head :- body1, …, bodyn`.
+/// A Datalog rule `head :- body1, …, bodyn[, x != y, …]`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rule {
     /// The head literal (an IDB predicate).
     pub head: Atom,
     /// The body literals.
     pub body: Vec<Atom>,
+    /// Disequality constraints `x != y` between body-bound variables — the
+    /// fragment needed to lower calculus conjuncts like `¬(x ≈ y)` into a rule.
+    pub neq: Vec<(String, String)>,
 }
 
 impl Rule {
-    /// Build a rule.
+    /// Build a rule without disequality constraints.
     pub fn new(head: Atom, body: Vec<Atom>) -> Rule {
-        Rule { head, body }
+        Rule {
+            head,
+            body,
+            neq: Vec::new(),
+        }
     }
 
-    /// True if every head variable occurs in the body (range restriction — needed
-    /// for the bottom-up evaluation to be safe).
+    /// Add a disequality constraint `left != right` to the rule.
+    pub fn with_neq(mut self, left: &str, right: &str) -> Rule {
+        self.neq.push((left.to_string(), right.to_string()));
+        self
+    }
+
+    /// True if every head and disequality variable occurs in the body (range
+    /// restriction — needed for the bottom-up evaluation to be safe).
     pub fn is_range_restricted(&self) -> bool {
-        self.head.terms.iter().all(|t| match t {
-            TermPattern::Const(_) => true,
-            TermPattern::Var(v) => self.body.iter().any(|b| {
+        let body_binds = |v: &str| {
+            self.body.iter().any(|b| {
                 b.terms
                     .iter()
                     .any(|bt| matches!(bt, TermPattern::Var(w) if w == v))
-            }),
-        })
+            })
+        };
+        self.head.terms.iter().all(|t| match t {
+            TermPattern::Const(_) => true,
+            TermPattern::Var(v) => body_binds(v),
+        }) && self
+            .neq
+            .iter()
+            .all(|(left, right)| body_binds(left) && body_binds(right))
     }
 }
 
@@ -109,6 +128,9 @@ impl fmt::Display for Rule {
                 write!(f, ", ")?;
             }
             write!(f, "{b}")?;
+        }
+        for (left, right) in &self.neq {
+            write!(f, ", {left} != {right}")?;
         }
         Ok(())
     }
@@ -135,48 +157,56 @@ impl Program {
     /// Evaluate the program bottom-up (semi-naive) over the given EDB relations,
     /// returning all IDB (and EDB) relations at the least fixpoint.
     pub fn evaluate(&self, edb: &BTreeMap<String, Relation>) -> BTreeMap<String, Relation> {
-        let mut total: BTreeMap<String, Relation> = edb.clone();
-        let mut delta: BTreeMap<String, Relation> = edb.clone();
-
-        // Make sure every head predicate exists in the store.
+        let mut total: BTreeMap<String, Relation> = BTreeMap::new();
+        // Make sure every head predicate exists in the store, with its declared
+        // arity, even if no facts are ever derived for it.
         for rule in &self.rules {
             total
                 .entry(rule.head.pred.clone())
                 .or_insert_with(|| Relation::empty(rule.head.terms.len()));
         }
+        self.evaluate_delta(&mut total, edb.clone());
+        total
+    }
 
-        loop {
-            let mut new_delta: BTreeMap<String, Relation> = BTreeMap::new();
-            for rule in &self.rules {
-                // Semi-naive: require at least one body literal to match against
-                // the delta from the previous round (on the first round delta is
-                // the EDB itself, so every rule fires).
-                for delta_position in 0..rule.body.len() {
-                    let derived = fire_rule(rule, &total, &delta, delta_position);
-                    for tuple in derived.iter() {
-                        let existing = total
-                            .entry(rule.head.pred.clone())
-                            .or_insert_with(|| Relation::empty(tuple.len()));
-                        if !existing.contains(tuple) {
-                            new_delta
-                                .entry(rule.head.pred.clone())
-                                .or_insert_with(|| Relation::empty(tuple.len()))
-                                .insert(tuple.clone());
-                        }
-                    }
-                }
+    /// Maintain an existing fixpoint under insertion: `total` holds the current
+    /// fixpoint (EDB and IDB) and `delta` the freshly inserted facts.  Runs the
+    /// shared semi-naive driver until quiescence, absorbing everything newly
+    /// derivable into `total`, and returns the number of productive rounds.
+    ///
+    /// With an empty `total` this *is* from-scratch evaluation; the delta seed
+    /// then plays the role of the EDB.  Sound for insertions only — positive
+    /// Datalog is monotone, so deletions require re-evaluation.
+    pub fn evaluate_delta(
+        &self,
+        total: &mut BTreeMap<String, Relation>,
+        delta: BTreeMap<String, Relation>,
+    ) -> u64 {
+        crate::fixpoint::seminaive_store(total, delta, |total, delta| self.fire_all(total, delta))
+    }
+
+    /// Fire every rule at every delta position once, collecting the derived
+    /// facts per head predicate.  Candidates may repeat facts already in
+    /// `total`; the fixpoint driver filters them.
+    fn fire_all(
+        &self,
+        total: &BTreeMap<String, Relation>,
+        delta: &BTreeMap<String, Relation>,
+    ) -> BTreeMap<String, Relation> {
+        let mut derived: BTreeMap<String, Relation> = BTreeMap::new();
+        for rule in &self.rules {
+            // Semi-naive: require at least one body literal to match against
+            // the delta from the previous round (on the first round delta is
+            // the seed itself, so every rule fires).
+            for delta_position in 0..rule.body.len() {
+                let out = fire_rule(rule, total, delta, delta_position);
+                derived
+                    .entry(rule.head.pred.clone())
+                    .or_insert_with(|| Relation::empty(rule.head.terms.len()))
+                    .absorb(&out);
             }
-            if new_delta.is_empty() {
-                return total;
-            }
-            for (pred, rel) in &new_delta {
-                total
-                    .entry(pred.clone())
-                    .or_insert_with(|| Relation::empty(rel.arity()))
-                    .absorb(rel);
-            }
-            delta = new_delta;
         }
+        derived
     }
 }
 
@@ -190,8 +220,10 @@ fn fire_rule(
     delta: &BTreeMap<String, Relation>,
     delta_position: usize,
 ) -> Relation {
+    // Nullary heads are legitimate boolean predicates: the 0-ary relation is
+    // either empty (false) or contains the single empty tuple (true).
     let arity = rule.head.terms.len();
-    let mut out = Relation::empty(arity.max(1));
+    let mut out = Relation::empty(arity);
     let mut sub = Substitution::new();
     fire_rec(rule, total, delta, delta_position, 0, &mut sub, &mut out);
     out
@@ -207,6 +239,14 @@ fn fire_rec(
     out: &mut Relation,
 ) {
     if body_index == rule.body.len() {
+        // Disequality constraints apply once all body variables are bound; an
+        // unbound side (unsafe rule) simply never derives.
+        for (left, right) in &rule.neq {
+            match (sub.get(left), sub.get(right)) {
+                (Some(l), Some(r)) if l != r => {}
+                _ => return,
+            }
+        }
         if let Some(tuple) = instantiate(&rule.head, sub) {
             out.insert(tuple);
         }
@@ -379,6 +419,79 @@ mod tests {
         edb.insert("E".to_string(), Relation::empty(2));
         let result = tc_program().evaluate(&edb);
         assert!(result["T"].is_empty());
+    }
+
+    #[test]
+    fn nullary_heads_act_as_boolean_predicates() {
+        // NonEmpty() :- E(x, y): true exactly when E holds at least one tuple.
+        // Regression: this used to panic on an arity mismatch because the rule
+        // output was forced to arity >= 1.
+        let program = Program::new(vec![Rule::new(
+            Atom::new("NonEmpty", vec![]),
+            vec![Atom::vars("E", &["x", "y"])],
+        )]);
+        assert!(program.is_safe());
+        let mut edb = BTreeMap::new();
+        edb.insert("E".to_string(), Relation::from_pairs(vec![(a(0), a(1))]));
+        let result = program.evaluate(&edb);
+        assert_eq!(result["NonEmpty"].arity(), 0);
+        assert_eq!(result["NonEmpty"].len(), 1);
+        assert!(result["NonEmpty"].contains(&[]));
+
+        let mut empty = BTreeMap::new();
+        empty.insert("E".to_string(), Relation::empty(2));
+        let result = program.evaluate(&empty);
+        assert!(result["NonEmpty"].is_empty());
+    }
+
+    #[test]
+    fn disequality_constraints_filter_derivations() {
+        // P(x, y) :- E(x, y), x != y.
+        let rule = Rule::new(
+            Atom::vars("P", &["x", "y"]),
+            vec![Atom::vars("E", &["x", "y"])],
+        )
+        .with_neq("x", "y");
+        assert!(rule.is_range_restricted());
+        assert_eq!(rule.to_string(), "P(x, y) :- E(x, y), x != y");
+        let program = Program::new(vec![rule]);
+        let mut edb = BTreeMap::new();
+        edb.insert(
+            "E".to_string(),
+            Relation::from_pairs(vec![(a(0), a(0)), (a(0), a(1))]),
+        );
+        let result = program.evaluate(&edb);
+        assert_eq!(result["P"].len(), 1);
+        assert!(result["P"].contains(&[a(0), a(1)]));
+
+        // A disequality over a variable the body never binds is unsafe.
+        let dangling = Rule::new(
+            Atom::vars("P", &["x", "y"]),
+            vec![Atom::vars("E", &["x", "y"])],
+        )
+        .with_neq("x", "z");
+        assert!(!dangling.is_range_restricted());
+    }
+
+    #[test]
+    fn evaluate_delta_maintains_the_fixpoint_under_insertion() {
+        let program = tc_program();
+        let edges = Relation::from_pairs(vec![(a(0), a(1)), (a(1), a(2))]);
+        let mut total = BTreeMap::new();
+        total.insert("T".to_string(), Relation::empty(2));
+        let mut seed = BTreeMap::new();
+        seed.insert("E".to_string(), edges.clone());
+        program.evaluate_delta(&mut total, seed);
+        assert_eq!(total["T"], transitive_closure_seminaive(&edges));
+
+        // Insert one edge and maintain the warm fixpoint instead of rerunning.
+        let mut delta = BTreeMap::new();
+        delta.insert("E".to_string(), Relation::from_pairs(vec![(a(2), a(3))]));
+        let rounds = program.evaluate_delta(&mut total, delta);
+        assert!(rounds >= 1);
+        let mut new_edges = edges.clone();
+        new_edges.insert(vec![a(2), a(3)]);
+        assert_eq!(total["T"], transitive_closure_seminaive(&new_edges));
     }
 
     #[test]

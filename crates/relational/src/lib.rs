@@ -12,6 +12,9 @@
 //!   product);
 //! * [`datalog`]: positive Datalog programs with semi-naive (differential)
 //!   evaluation — the fixpoint baseline referenced in Remark 3.6;
+//! * [`fixpoint`]: the shared semi-naive loop drivers (from-scratch, warm-start,
+//!   and store-wide) that [`tc`], [`datalog`], [`while_loop`], and the engine's
+//!   incremental view-refresh path all call;
 //! * [`tc`]: three transitive-closure baselines (naive iteration, semi-naive
 //!   iteration, Floyd–Warshall) used by experiment E2 against the CALC_{0,1}
 //!   powerset query;
@@ -20,12 +23,14 @@
 //!   connection the paper cites.
 
 pub mod datalog;
+pub mod fixpoint;
 pub mod ops;
 pub mod relation;
 pub mod tc;
 pub mod while_loop;
 
 pub use datalog::{Atom as DatalogAtom, Program, Rule, TermPattern};
+pub use fixpoint::{bounded_loop, seminaive, seminaive_from, seminaive_store, RelationStore};
 pub use relation::Relation;
 pub use tc::{transitive_closure_naive, transitive_closure_seminaive, transitive_closure_warshall};
 pub use while_loop::{RaExpr, Statement, WhileProgram};

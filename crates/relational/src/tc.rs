@@ -27,18 +27,12 @@ pub fn transitive_closure_naive(edges: &Relation) -> Relation {
 }
 
 /// Semi-naive (differential) iteration: only join the *new* pairs discovered in
-/// the previous round against the base relation.
+/// the previous round against the base relation.  The delta loop itself lives
+/// in [`crate::fixpoint::seminaive`], shared with the Datalog engine and the
+/// incremental view-refresh path.
 pub fn transitive_closure_seminaive(edges: &Relation) -> Relation {
     assert_eq!(edges.arity(), 2);
-    let mut closure = edges.clone();
-    let mut delta = edges.clone();
-    while !delta.is_empty() {
-        let candidate = compose(&delta, edges);
-        let new = candidate.difference(&closure);
-        closure.absorb(&new);
-        delta = new;
-    }
-    closure
+    crate::fixpoint::seminaive(edges, |_, delta| compose(delta, edges))
 }
 
 /// Floyd–Warshall-style closure over the active domain.

@@ -156,45 +156,40 @@ impl WhileProgram {
                 Ok(())
             }
             Statement::WhileChanges { watched, body } => {
-                let mut iterations = 0u64;
-                loop {
-                    let before = env.get(watched).cloned();
-                    for s in body {
-                        self.run_statement(s, env)?;
-                    }
-                    let after = env.get(watched).cloned();
-                    if before == after {
-                        return Ok(());
-                    }
-                    iterations += 1;
-                    if iterations >= self.max_iterations {
-                        return Err(WhileError::IterationBudget {
-                            limit: self.max_iterations,
-                        });
-                    }
-                }
+                crate::fixpoint::bounded_loop(
+                    self.max_iterations,
+                    || {
+                        let before = env.get(watched).cloned();
+                        for s in body {
+                            self.run_statement(s, env)?;
+                        }
+                        Ok(before.as_ref() != env.get(watched))
+                    },
+                    |limit| WhileError::IterationBudget { limit },
+                )?;
+                Ok(())
             }
             Statement::WhileNonempty { watched, body } => {
-                let mut iterations = 0u64;
-                loop {
-                    let watched_rel =
-                        env.get(watched)
+                crate::fixpoint::bounded_loop(
+                    self.max_iterations,
+                    || {
+                        let drained = env
+                            .get(watched)
                             .ok_or_else(|| WhileError::UnknownRelation {
                                 name: watched.clone(),
-                            })?;
-                    if watched_rel.is_empty() {
-                        return Ok(());
-                    }
-                    for s in body {
-                        self.run_statement(s, env)?;
-                    }
-                    iterations += 1;
-                    if iterations >= self.max_iterations {
-                        return Err(WhileError::IterationBudget {
-                            limit: self.max_iterations,
-                        });
-                    }
-                }
+                            })?
+                            .is_empty();
+                        if drained {
+                            return Ok(false);
+                        }
+                        for s in body {
+                            self.run_statement(s, env)?;
+                        }
+                        Ok(true)
+                    },
+                    |limit| WhileError::IterationBudget { limit },
+                )?;
+                Ok(())
             }
         }
     }

@@ -212,6 +212,11 @@ impl<'u> Parser<'u> {
         self.eat(&Tok::Minus)
     }
 
+    /// Expect a `.` (the `DB.PRED` form of mutation statements).
+    pub fn expect_dot(&mut self) -> Result<()> {
+        self.expect(Tok::Dot).map(|_| ())
+    }
+
     fn intern(&mut self, name: &str, pos: Pos) -> Result<Atom> {
         if is_atom_shape(name) {
             return name.parse::<Atom>().map_err(|e| ParseError::new(e, pos));

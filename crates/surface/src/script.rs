@@ -13,6 +13,10 @@
 //! eval gp on d with finite-invention;           # Section 6 semantics
 //! eval gp on d under ti;                        # `under` ≡ `with`; fi/ti aliases
 //! compile ga as gc;                             # algebra -> calculus (Thm 3.8)
+//! insert into d.PAR {[Sue, Ann]};               # mutate a database in place
+//! delete from d.PAR {[Tom, Mary]};
+//! watch gp on d;                                # keep the answer warm under mutation
+//! unwatch gp;                                   # (or `unwatch gp on d;`)
 //! show gc;  list;  help;  quit;
 //! ```
 //!
@@ -31,7 +35,7 @@ use crate::parser::Parser;
 use itq_algebra::AlgExpr;
 use itq_calculus::Query;
 use itq_core::engine::Semantics;
-use itq_object::{Database, Schema, Universe};
+use itq_object::{Database, Schema, Universe, Value};
 use std::collections::BTreeMap;
 
 /// A parsed statement.
@@ -103,6 +107,42 @@ pub enum Stmt {
         database: String,
         /// Which semantics to use (default [`Semantics::Limited`]).
         semantics: Semantics,
+    },
+    /// `insert into DB.PRED {v, …};` — add tuples to a relation; watched
+    /// views on `DB` refresh.
+    Insert {
+        /// The mutated database.
+        database: String,
+        /// The mutated relation.
+        pred: String,
+        /// The tuples to add (a set literal, or one bare value).
+        values: Vec<Value>,
+    },
+    /// `delete from DB.PRED {v, …};` — remove tuples from a relation.
+    Delete {
+        /// The mutated database.
+        database: String,
+        /// The mutated relation.
+        pred: String,
+        /// The tuples to remove.
+        values: Vec<Value>,
+    },
+    /// `watch NAME on DB [with SEMANTICS];` — keep a query's answer warm
+    /// under mutation of `DB`.
+    Watch {
+        /// A query or algebra name.
+        name: String,
+        /// The database to watch it on.
+        database: String,
+        /// Which semantics to watch under (default [`Semantics::Limited`]).
+        semantics: Semantics,
+    },
+    /// `unwatch NAME [on DB];` — stop watching (everywhere if no `on`).
+    Unwatch {
+        /// The watched query's name.
+        name: String,
+        /// Restrict to one database.
+        database: Option<String>,
     },
     /// `compile NAME [as NEW];` — translate between the languages.
     Compile {
@@ -322,6 +362,80 @@ pub fn parse_stmt(
                 semantics,
             }
         }
+        "insert" | "delete" => {
+            let inserting = head == "insert";
+            let joiner = if inserting { "into" } else { "from" };
+            let (kw, kw_pos) = named(&mut p, &format!("`{joiner}`"))?;
+            if kw != joiner {
+                return Err(ParseError::new(
+                    format!("expected `{joiner} DB.PRED` after `{head}`"),
+                    kw_pos,
+                ));
+            }
+            let (database, _) = named(&mut p, "a database name")?;
+            p.expect_dot()?;
+            let (pred, _) = named(&mut p, "a relation name")?;
+            let values = match p.value()? {
+                // A set literal is the bulk form; a bare value mutates one tuple.
+                Value::Set(items) => items.into_iter().collect(),
+                single => vec![single],
+            };
+            if inserting {
+                Stmt::Insert {
+                    database,
+                    pred,
+                    values,
+                }
+            } else {
+                Stmt::Delete {
+                    database,
+                    pred,
+                    values,
+                }
+            }
+        }
+        "watch" => {
+            let (name, _) = named(&mut p, "a query or algebra name")?;
+            let (on, on_pos) = named(&mut p, "`on`")?;
+            if on != "on" {
+                return Err(ParseError::new(
+                    "expected `on` after the query name",
+                    on_pos,
+                ));
+            }
+            let (database, _) = named(&mut p, "a database name")?;
+            let semantics = if p.at_end() {
+                Semantics::Limited
+            } else {
+                let (with, with_pos) = named(&mut p, "`with` or `under`")?;
+                if with != "with" && with != "under" {
+                    return Err(ParseError::new(
+                        "expected `with <semantics>` or `under <semantics>` after the \
+                         database name",
+                        with_pos,
+                    ));
+                }
+                semantics_name(&mut p)?
+            };
+            Stmt::Watch {
+                name,
+                database,
+                semantics,
+            }
+        }
+        "unwatch" => {
+            let (name, _) = named(&mut p, "a watched query name")?;
+            let database = if p.at_end() {
+                None
+            } else {
+                let (on, on_pos) = named(&mut p, "`on`")?;
+                if on != "on" {
+                    return Err(ParseError::new("expected `on <database>`", on_pos));
+                }
+                Some(named(&mut p, "a database name")?.0)
+            };
+            Stmt::Unwatch { name, database }
+        }
         "compile" => {
             let (name, _) = named(&mut p, "a query or algebra name")?;
             let target = if p.at_end() {
@@ -341,7 +455,8 @@ pub fn parse_stmt(
             return Err(ParseError::new(
                 format!(
                     "unknown statement `{other}`; expected one of schema, database, query, \
-                     algebra, show, list, classify, typecheck, plan, eval, compile, help, quit"
+                     algebra, show, list, classify, typecheck, plan, eval, insert, delete, \
+                     watch, unwatch, compile, help, quit"
                 ),
                 head_pos,
             ));
@@ -503,6 +618,36 @@ mod tests {
         // A bogus joiner and a bogus semantics keyword both fail cleanly.
         assert!(parse_script("eval q on d using limited", &mut u).is_err());
         assert!(parse_script("eval q on d under naive", &mut u).is_err());
+    }
+
+    #[test]
+    fn mutation_and_watch_statements_parse() {
+        let mut u = Universe::new();
+        let stmts = parse_script(
+            "insert into d.PAR {[Tom, Mary], [Mary, Sue]};\n\
+             delete from d.PAR [Tom, Mary];\n\
+             watch gp on d;\n\
+             watch gp on d under fi;\n\
+             unwatch gp;\n\
+             unwatch gp on d",
+            &mut u,
+        )
+        .unwrap();
+        assert!(matches!(&stmts[0], Stmt::Insert { database, pred, values }
+            if database == "d" && pred == "PAR" && values.len() == 2));
+        assert!(matches!(&stmts[1], Stmt::Delete { values, .. } if values.len() == 1));
+        assert!(matches!(&stmts[2], Stmt::Watch { semantics, .. }
+            if *semantics == Semantics::Limited));
+        assert!(matches!(&stmts[3], Stmt::Watch { semantics, .. }
+            if *semantics == Semantics::FiniteInvention));
+        assert!(matches!(&stmts[4], Stmt::Unwatch { database: None, .. }));
+        assert!(matches!(&stmts[5], Stmt::Unwatch { database: Some(db), .. } if db == "d"));
+        // The joiner keywords are checked, and `DB.PRED` needs its dot.
+        assert!(parse_script("insert from d.PAR {[a0, a1]}", &mut u).is_err());
+        assert!(parse_script("delete into d.PAR {[a0, a1]}", &mut u).is_err());
+        assert!(parse_script("insert into d PAR {[a0, a1]}", &mut u).is_err());
+        assert!(parse_script("watch gp at d", &mut u).is_err());
+        assert!(parse_script("unwatch gp from d", &mut u).is_err());
     }
 
     #[test]

@@ -16,8 +16,9 @@ use crate::script::{offset_error, parse_stmt, split_statements, Stmt};
 use itq_algebra::{classify_expr, infer_type, AlgExpr};
 use itq_calculus::Query;
 use itq_core::engine::{Engine, Semantics};
+use itq_core::incremental::{IncrementalDb, ViewRefresh};
 use itq_core::pipeline::Prepared;
-use itq_object::{Database, Instance, Schema};
+use itq_object::{Database, Instance, Schema, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -81,6 +82,9 @@ pub struct Session {
     queries: BTreeMap<String, (String, Query)>,
     algebras: BTreeMap<String, (String, AlgExpr)>,
     prepared: BTreeMap<String, Prepared>,
+    /// Per-database incremental state, created lazily by the first mutation
+    /// or `watch` on a database; holds that database's watched views.
+    incremental: BTreeMap<String, IncrementalDb>,
 }
 
 impl Default for Session {
@@ -99,6 +103,7 @@ impl Session {
             queries: BTreeMap::new(),
             algebras: BTreeMap::new(),
             prepared: BTreeMap::new(),
+            incremental: BTreeMap::new(),
         }
     }
 
@@ -197,7 +202,16 @@ impl Session {
                     plural(database.len()),
                     database.active_domain().len(),
                 ));
-                self.databases.insert(name, (schema, database));
+                self.databases.insert(name.clone(), (schema, database));
+                // A redefined database restarts its incremental state; views
+                // watched on the old contents re-register against the new.
+                if let Some(old) = self.incremental.remove(&name) {
+                    let watched: Vec<(String, Semantics)> = old
+                        .views()
+                        .map(|(view_name, view)| (view_name.to_string(), view.semantics()))
+                        .collect();
+                    self.rewatch(&name, watched, &mut lines);
+                }
             }
             Stmt::DefQuery {
                 name,
@@ -210,7 +224,8 @@ impl Session {
                     query.body().quantifier_count(),
                 ));
                 self.prepared.remove(&name);
-                self.queries.insert(name, (schema, query));
+                self.queries.insert(name.clone(), (schema, query));
+                self.rewatch_by_name(&name, &mut lines);
             }
             Stmt::DefAlgebra { name, schema, expr } => {
                 let schema_decl = self.schema_or_err(&schema)?;
@@ -218,7 +233,8 @@ impl Session {
                     .map_err(|e| SessionError::Exec(format!("algebra `{name}`: {e}")))?;
                 lines.push(format!("algebra {name} : {schema} → {ty}"));
                 self.prepared.remove(&name);
-                self.algebras.insert(name, (schema, expr));
+                self.algebras.insert(name.clone(), (schema, expr));
+                self.rewatch_by_name(&name, &mut lines);
             }
             Stmt::Show { name } => lines.extend(self.show(&name)?),
             Stmt::List => lines.extend(self.list()),
@@ -230,6 +246,24 @@ impl Session {
                 database,
                 semantics,
             } => lines.extend(self.eval(&name, &database, semantics)?),
+            Stmt::Insert {
+                database,
+                pred,
+                values,
+            } => lines.extend(self.mutate(&database, &pred, values, true)?),
+            Stmt::Delete {
+                database,
+                pred,
+                values,
+            } => lines.extend(self.mutate(&database, &pred, values, false)?),
+            Stmt::Watch {
+                name,
+                database,
+                semantics,
+            } => lines.extend(self.watch(&name, &database, semantics)?),
+            Stmt::Unwatch { name, database } => {
+                lines.extend(self.unwatch(&name, database.as_deref())?)
+            }
             Stmt::Compile { name, target } => lines.extend(self.compile(&name, target)?),
             Stmt::Help => lines.extend(help_text()),
             Stmt::Quit => {
@@ -287,6 +321,17 @@ impl Session {
                 let names: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
                 lines.push(format!("{what}: {}", names.join(", ")));
             }
+        }
+        let watches: Vec<String> = self
+            .incremental
+            .iter()
+            .flat_map(|(db, inc)| {
+                inc.views()
+                    .map(move |(view_name, _)| format!("{view_name} on {db}"))
+            })
+            .collect();
+        if !watches.is_empty() {
+            lines.push(format!("watches: {}", watches.join(", ")));
         }
         if lines.is_empty() {
             lines.push("nothing declared yet".to_string());
@@ -460,6 +505,157 @@ impl Session {
         Ok(lines)
     }
 
+    /// Get-or-create the incremental state for a named database, seeded from
+    /// its current contents.
+    fn incremental_for(&mut self, database: &str) -> Result<(), SessionError> {
+        if !self.incremental.contains_key(database) {
+            let (schema_name, db) = self
+                .databases
+                .get(database)
+                .ok_or_else(|| SessionError::Exec(format!("unknown database `{database}`")))?
+                .clone();
+            let schema = self.schema_or_err(&schema_name)?.clone();
+            let inc = IncrementalDb::new(schema, &db)
+                .map_err(|e| SessionError::Exec(format!("database `{database}`: {e}")))?;
+            self.incremental.insert(database.to_string(), inc);
+        }
+        Ok(())
+    }
+
+    /// `insert into DB.P {…};` / `delete from DB.P {…};` — mutate through the
+    /// incremental state, refresh its watched views, and write the snapshot
+    /// back so `eval`/`show` on the database name see the new contents.
+    fn mutate(
+        &mut self,
+        database: &str,
+        pred: &str,
+        values: Vec<Value>,
+        inserting: bool,
+    ) -> Result<Vec<String>, SessionError> {
+        self.incremental_for(database)?;
+        let verb = if inserting {
+            "insert into"
+        } else {
+            "delete from"
+        };
+        let inc = self
+            .incremental
+            .get_mut(database)
+            .expect("incremental_for just created it");
+        let outcome = if inserting {
+            inc.insert(pred, values)
+        } else {
+            inc.delete(pred, values)
+        }
+        .map_err(|e| SessionError::Exec(format!("{verb} {database}.{pred}: {e}")))?;
+        let snapshot = inc.snapshot();
+        let changed = if inserting {
+            format!("{} added", outcome.added)
+        } else {
+            format!("{} removed", outcome.removed)
+        };
+        let mut lines = vec![format!(
+            "{verb} {database}.{pred}: {changed} (version {})",
+            outcome.version
+        )];
+        lines.extend(outcome.refreshed.iter().map(render_refresh));
+        if let Some((_, db)) = self.databases.get_mut(database) {
+            *db = snapshot;
+        }
+        Ok(lines)
+    }
+
+    /// `watch NAME on DB [with SEMANTICS];` — register the query's prepared
+    /// handle as a watched view of the database's incremental state.
+    fn watch(
+        &mut self,
+        name: &str,
+        database: &str,
+        semantics: Semantics,
+    ) -> Result<Vec<String>, SessionError> {
+        self.ensure_prepared(name)?;
+        let prepared = self.prepared[name].clone();
+        self.incremental_for(database)?;
+        let inc = self
+            .incremental
+            .get_mut(database)
+            .expect("incremental_for just created it");
+        inc.watch(name, prepared, semantics);
+        let view = inc.view(name).expect("watch registers the view");
+        let header = format!("watch {name} on {database} with {semantics}");
+        let line = match view.outcome() {
+            Ok(answer) => format!(
+                "{header}: {} answer{}, strategy {}",
+                answer.len(),
+                plural(answer.len()),
+                view.strategy_name()
+            ),
+            Err(e) => format!("{header}: error stored ({e}), strategy re-execute"),
+        };
+        Ok(vec![line])
+    }
+
+    /// `unwatch NAME [on DB];` — drop a watched view from one database, or
+    /// from every database when no `on` clause is given.
+    fn unwatch(&mut self, name: &str, database: Option<&str>) -> Result<Vec<String>, SessionError> {
+        let mut dropped = Vec::new();
+        match database {
+            Some(db) => {
+                if let Some(inc) = self.incremental.get_mut(db) {
+                    if inc.unwatch(name) {
+                        dropped.push(db.to_string());
+                    }
+                }
+            }
+            None => {
+                for (db, inc) in self.incremental.iter_mut() {
+                    if inc.unwatch(name) {
+                        dropped.push(db.clone());
+                    }
+                }
+            }
+        }
+        if dropped.is_empty() {
+            return Err(SessionError::Exec(match database {
+                Some(db) => format!("no watch named `{name}` on `{db}`"),
+                None => format!("no watch named `{name}`"),
+            }));
+        }
+        Ok(dropped
+            .into_iter()
+            .map(|db| format!("unwatch {name} on {db}"))
+            .collect())
+    }
+
+    /// Re-register the given views on a database whose incremental state was
+    /// rebuilt; a view whose query no longer prepares is dropped with a note.
+    fn rewatch(
+        &mut self,
+        database: &str,
+        watched: Vec<(String, Semantics)>,
+        lines: &mut Vec<String>,
+    ) {
+        for (view_name, semantics) in watched {
+            match self.watch(&view_name, database, semantics) {
+                Ok(out) => lines.extend(out),
+                Err(e) => lines.push(format!("watch {view_name} on {database} dropped: {e}")),
+            }
+        }
+    }
+
+    /// Re-register every watched view named `name` (after a query or algebra
+    /// redefinition), so no view keeps serving answers of the old definition.
+    fn rewatch_by_name(&mut self, name: &str, lines: &mut Vec<String>) {
+        let affected: Vec<(String, Semantics)> = self
+            .incremental
+            .iter()
+            .filter_map(|(db, inc)| inc.view(name).map(|v| (db.clone(), v.semantics())))
+            .collect();
+        for (db, semantics) in affected {
+            self.rewatch(&db, vec![(name.to_string(), semantics)], lines);
+        }
+    }
+
     fn compile(&mut self, name: &str, target: Option<String>) -> Result<Vec<String>, SessionError> {
         if let Some((schema_name, expr)) = self.algebras.get(name).cloned() {
             let schema = self.schema_or_err(&schema_name)?.clone();
@@ -505,6 +701,14 @@ impl Session {
     }
 }
 
+fn render_refresh(refresh: &ViewRefresh) -> String {
+    let answers = match refresh.answers {
+        Some(n) => format!("{n} answer{}", plural(n)),
+        None => "error".to_string(),
+    };
+    format!("  watch {}: {answers} via {}", refresh.name, refresh.path)
+}
+
 fn render_schema(schema: &Schema) -> String {
     let entries: Vec<String> = schema.iter().map(|(n, t)| format!("{n} : {t}")).collect();
     format!("{{{}}}", entries.join(", "))
@@ -531,6 +735,10 @@ fn help_text() -> Vec<String> {
         "  eval NAME on DB [with SEMANTICS]     semantics: limited (default),",
         "    (`under` ≡ `with`)                 finite-invention (fi), terminal-invention (ti)",
         "  compile NAME [as NEW]                algebra → calculus (Theorem 3.8)",
+        "  insert into DB.P {v, ...}            add tuples; watched views refresh",
+        "  delete from DB.P {v, ...}            remove tuples; watched views refresh",
+        "  watch NAME on DB [with SEMANTICS]    keep a query's answer warm under mutation",
+        "  unwatch NAME [on DB]                 stop watching (everywhere without `on`)",
         "  show NAME | list | help | quit",
         "syntax: Unicode (∃x/[U, U] (PAR(x) ∧ x.1 ≈ t.1)) or ASCII",
         "        (exists x/[U, U] (PAR(x) and x.1 == t.1)); atoms: a7, 'Tom'",
@@ -680,6 +888,80 @@ mod tests {
     }
 
     #[test]
+    fn mutation_refreshes_watched_views_and_eval_sees_new_data() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        let out = run(&mut s, "watch gp on d;");
+        assert_eq!(
+            out[0],
+            "watch gp on d with limited: 1 answer, strategy delta-rules"
+        );
+        // An insert refreshes the view and updates what `eval` sees.
+        let out = run(&mut s, "insert into d.PAR {[Sue, Ann]};");
+        assert_eq!(out[0], "insert into d.PAR: 1 added (version 2)");
+        assert_eq!(out[1], "  watch gp: 2 answers via delta (datalog rule)");
+        let out = run(&mut s, "eval gp on d;");
+        assert_eq!(out[0], "eval gp on d with limited: 2 objects");
+        // The watched answer matches a from-scratch eval after a delete too.
+        let out = run(&mut s, "delete from d.PAR [Tom, Mary];");
+        assert_eq!(out[0], "delete from d.PAR: 1 removed (version 3)");
+        assert!(out[1].contains("1 answer"), "{out:?}");
+        let out = run(&mut s, "eval gp on d; show d; list;");
+        assert_eq!(out[0], "eval gp on d with limited: 1 object");
+        assert!(out.iter().any(|l| l.contains("[Sue, Ann]")), "{out:?}");
+        assert!(out.iter().any(|l| l == "watches: gp on d"), "{out:?}");
+        // Unwatch drops the view; a second unwatch reports the absence.
+        let out = run(&mut s, "unwatch gp;");
+        assert_eq!(out[0], "unwatch gp on d");
+        assert!(s.run_source("unwatch gp;").is_err());
+    }
+
+    #[test]
+    fn mutation_errors_are_reported_not_panicked() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        for bad in [
+            "insert into nope.PAR {[Tom, Mary]};",
+            "insert into d.NOPE {[Tom, Mary]};",
+            "insert into d.PAR {Tom};",
+            "delete from d.PAR {{Tom}};",
+            "watch gp on nope;",
+            "watch nope on d;",
+            "unwatch gp on d;",
+        ] {
+            assert!(s.run_source(bad).is_err(), "`{bad}` should fail");
+        }
+        // Failed mutations leave the database untouched.
+        let out = run(&mut s, "eval gp on d;");
+        assert_eq!(out[0], "eval gp on d with limited: 1 object");
+    }
+
+    #[test]
+    fn redefinitions_rewatch_affected_views() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        run(&mut s, "watch gp on d;");
+        // Redefining the watched query re-registers the view over the new
+        // definition (PAR(t) has 2 answers, the grandparent join had 1).
+        let out = run(&mut s, "query gp : Gen {t/[U, U] | PAR(t)};");
+        assert!(
+            out.iter()
+                .any(|l| l == "watch gp on d with limited: 2 answers, strategy delta-rules"),
+            "{out:?}"
+        );
+        // Redefining the database restarts its incremental state and
+        // re-watches the view against the new contents.
+        let out = run(&mut s, "database d : Gen {PAR = {[Tom, Mary]}};");
+        assert!(
+            out.iter()
+                .any(|l| l == "watch gp on d with limited: 1 answer, strategy delta-rules"),
+            "{out:?}"
+        );
+        let out = run(&mut s, "insert into d.PAR {[Mary, Sue]};");
+        assert!(out.iter().any(|l| l.contains("2 answers")), "{out:?}");
+    }
+
+    #[test]
     fn redefining_a_schema_invalidates_prepared_algebra_handles() {
         // An algebra handle compiled against the old schema must not survive a
         // schema redefinition: the stale compiled form would silently type the
@@ -707,6 +989,24 @@ mod tests {
         assert!(out
             .iter()
             .any(|l| l == "eval ga on d3 with finite-invention: 1 object"));
+        // Database mutation must flow through the same cache correctly: the
+        // still-cached handle serves the mutated contents, not a stale copy.
+        assert!(s.prepared("ga").is_some());
+        run(&mut s, "insert into d3.PAR {[Sue, Tom, Mary]};");
+        let out = run(&mut s, "eval ga on d3;");
+        assert!(
+            out.iter().any(|l| l == "eval ga on d3: 2 objects"),
+            "{out:?}"
+        );
+        run(
+            &mut s,
+            "delete from d3.PAR {[Tom, Mary, Sue], [Sue, Tom, Mary]};",
+        );
+        let out = run(&mut s, "eval ga on d3;");
+        assert!(
+            out.iter().any(|l| l == "eval ga on d3: 0 objects"),
+            "{out:?}"
+        );
     }
 
     #[test]

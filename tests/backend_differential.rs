@@ -126,13 +126,17 @@ fn expr_from_recipe(recipe: &[(usize, usize)]) -> AlgExpr {
             2 => stack.push(AlgExpr::singleton(Atom((arg % 3) as u32))),
             3..=5 => {
                 // σ over the top (well-typed by construction; op 5 keeps ⊤
-                // selections too, covering the vacuous-selection edge case).
+                // selections over tuples too, covering the vacuous-selection
+                // edge case).  Selections over non-tuple operands are rejected
+                // at plan time now, so the generator never produces them.
                 let top = stack.pop().expect("stack never empties");
-                let formula = match itq_algebra::infer_type(&top, &schema) {
-                    Ok(Type::Tuple(components)) => selection_for(&components, arg + op),
-                    _ => SelFormula::all(vec![]),
-                };
-                stack.push(top.select(formula));
+                match itq_algebra::infer_type(&top, &schema) {
+                    Ok(Type::Tuple(components)) => {
+                        let formula = selection_for(&components, arg + op);
+                        stack.push(top.select(formula));
+                    }
+                    _ => stack.push(top),
+                }
             }
             6 => {
                 // π over the top: a deterministic coordinate multiset.
