@@ -1,17 +1,17 @@
 #!/usr/bin/env python3
 """Diff two BENCH_*.json trajectory files on their stable keys.
 
-Wall-clock fields (any key containing "micros", plus the derived "speedup")
-vary per runner, so they are stripped before comparison; everything else —
-experiment coordinates, answer sizes, deterministic evaluator counters like
-steps / domain sizes / join probes — must be identical between the committed
-file and the freshly regenerated one.
+Wall-clock fields (any key containing "micros", plus the derived "speedup"
+and "overhead" ratios) vary per runner, so they are stripped before
+comparison; everything else — experiment coordinates, answer sizes,
+deterministic evaluator counters like steps / domain sizes / join probes —
+must be identical between the committed file and the freshly regenerated one.
 """
 
 import json
 import sys
 
-VOLATILE = ("micros", "speedup")
+VOLATILE = ("micros", "speedup", "overhead")
 
 
 def stable(node):

@@ -22,7 +22,9 @@ use crate::eval::EvalConfig;
 use crate::expr::{SelFormula, SelTerm};
 use crate::plan::{JoinStrategy, PhysNode, PhysicalPlan};
 use itq_object::{Atom, Database, Instance, ValueId, ValueStore};
+use itq_trace::Span;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 /// Counters accumulated while executing a physical plan.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -66,6 +68,36 @@ impl PhysicalPlan {
         db: &Database,
         config: &EvalConfig,
     ) -> Result<(Instance, PlanStats), AlgError> {
+        let (result, stats, _) = self.run(db, config, false)?;
+        Ok((result, stats))
+    }
+
+    /// [`PhysicalPlan::execute`] with per-operator tracing: the returned
+    /// [`Span`] tree is isomorphic to the plan (one span per operator, named
+    /// by [`PhysNode::label`]) and carries `rows_in` / `rows_out`, the
+    /// operator's *own* `join_probes` / `tuples_materialised` (children
+    /// excluded, so [`Span::subtree_total`] reproduces the [`PlanStats`]
+    /// totals), and inclusive wall time.  Answers, statistics, and errors are
+    /// byte-identical to the untraced path.
+    pub fn execute_traced(
+        &self,
+        db: &Database,
+        config: &EvalConfig,
+    ) -> Result<(Instance, PlanStats, Span), AlgError> {
+        let (result, stats, trace) = self.run(db, config, true)?;
+        Ok((
+            result,
+            stats,
+            trace.expect("traced run produces a root span"),
+        ))
+    }
+
+    fn run(
+        &self,
+        db: &Database,
+        config: &EvalConfig,
+        traced: bool,
+    ) -> Result<(Instance, PlanStats, Option<Span>), AlgError> {
         let mut ctx = Ctx {
             db,
             config,
@@ -73,6 +105,7 @@ impl PhysicalPlan {
             scans: HashMap::new(),
             consts: HashMap::new(),
             stats: PlanStats::default(),
+            trace: traced.then(Vec::new),
         };
         for atom in self.constants() {
             let id = ctx.store.intern_atom(atom);
@@ -81,7 +114,8 @@ impl PhysicalPlan {
         let rows = ctx.eval(self.root())?;
         let result = Instance::from_values(rows.iter().map(|&id| ctx.store.resolve(id)));
         ctx.stats.interned_values = ctx.store.len() as u64;
-        Ok((result, ctx.stats))
+        let root = ctx.trace.and_then(|mut spans| spans.pop());
+        Ok((result, ctx.stats, root))
     }
 }
 
@@ -94,6 +128,9 @@ struct Ctx<'a> {
     scans: HashMap<String, Vec<ValueId>>,
     consts: HashMap<Atom, ValueId>,
     stats: PlanStats,
+    /// Completed spans of already-evaluated siblings, innermost last; `None`
+    /// on the untraced path, which therefore pays one branch per operator.
+    trace: Option<Vec<Span>>,
 }
 
 /// Deduplicating row collector: preserves first-seen order, which keeps every
@@ -113,11 +150,56 @@ impl RowSet {
 }
 
 impl Ctx<'_> {
+    /// Evaluate one operator, wrapping it in a span when tracing.  Children
+    /// are evaluated (and their spans pushed) before any operator does its
+    /// own work, so the counter deltas attributable to *this* operator are
+    /// the inclusive deltas minus the freshly completed child subtrees.
+    fn eval(&mut self, node: &PhysNode) -> Result<Vec<ValueId>, AlgError> {
+        if self.trace.is_none() {
+            return self.eval_node(node);
+        }
+        let probes_before = self.stats.join_probes;
+        let mat_before = self.stats.tuples_materialised;
+        let mark = self.trace.as_ref().map_or(0, Vec::len);
+        let start = Instant::now();
+        let rows = self.eval_node(node)?;
+        let wall_micros = start.elapsed().as_micros() as u64;
+        let trace = self.trace.as_mut().expect("tracing checked above");
+        let children = trace.split_off(mark);
+        let rows_in: u64 = children
+            .iter()
+            .map(|c| c.field("rows_out").unwrap_or(0))
+            .sum();
+        let child_probes: u64 = children
+            .iter()
+            .map(|c| c.subtree_total("join_probes"))
+            .sum();
+        let child_mat: u64 = children
+            .iter()
+            .map(|c| c.subtree_total("tuples_materialised"))
+            .sum();
+        let mut span = Span::new(node.label());
+        span.push_field("rows_in", rows_in);
+        span.push_field("rows_out", rows.len() as u64);
+        span.push_field(
+            "join_probes",
+            self.stats.join_probes - probes_before - child_probes,
+        );
+        span.push_field(
+            "tuples_materialised",
+            self.stats.tuples_materialised - mat_before - child_mat,
+        );
+        span.wall_micros = wall_micros;
+        span.children = children;
+        trace.push(span);
+        Ok(rows)
+    }
+
     /// Evaluate one operator to its deduplicated row set.  Operands are
     /// evaluated left-to-right, depth-first — the same order the
     /// tuple-at-a-time evaluator visits subexpressions, so the first budget
     /// or missing-relation error is the same one it would report.
-    fn eval(&mut self, node: &PhysNode) -> Result<Vec<ValueId>, AlgError> {
+    fn eval_node(&mut self, node: &PhysNode) -> Result<Vec<ValueId>, AlgError> {
         match node {
             PhysNode::Scan { pred } => {
                 if let Some(rows) = self.scans.get(pred) {
@@ -553,6 +635,41 @@ mod tests {
         assert_eq!(stats.join_probes, 3);
         assert_eq!(stats.tuples_materialised, 1);
         assert!(stats.interned_values > 0);
+    }
+
+    #[test]
+    fn traced_execution_is_identical_and_its_span_tree_mirrors_the_plan() {
+        let expr = AlgExpr::pred("PAR")
+            .product(AlgExpr::pred("PAR"))
+            .select(SelFormula::coords_eq(2, 3))
+            .project(vec![1, 4]);
+        let physical = plan(&expr, &schema()).unwrap();
+        let (plain_answer, plain_stats) = physical.execute(&db(), &EvalConfig::default()).unwrap();
+        let (answer, stats, trace) = physical
+            .execute_traced(&db(), &EvalConfig::default())
+            .unwrap();
+        assert_eq!(answer, plain_answer);
+        assert_eq!(stats, plain_stats);
+        // One span per operator: the fused hash-join root over two scans.
+        assert_eq!(trace.len(), 3);
+        assert!(trace.name.starts_with("hash-join"), "{}", trace.name);
+        assert_eq!(trace.field("rows_in"), Some(4));
+        assert_eq!(trace.field("rows_out"), Some(1));
+        assert_eq!(trace.children[0].field("rows_out"), Some(2));
+        // Exclusive per-operator counters sum back to the PlanStats totals.
+        assert_eq!(trace.subtree_total("join_probes"), stats.join_probes);
+        assert_eq!(
+            trace.subtree_total("tuples_materialised"),
+            stats.tuples_materialised
+        );
+        // Errors stay byte-identical on the traced path.
+        let tiny = EvalConfig { max_instance: 4 };
+        let wide = AlgExpr::pred("PERSON").product(AlgExpr::pred("PERSON"));
+        let physical = plan(&wide, &schema()).unwrap();
+        assert_eq!(
+            physical.execute_traced(&db(), &tiny).unwrap_err(),
+            physical.execute(&db(), &tiny).unwrap_err()
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! cargo run --release -p itq-bench --bin report -- --script exp.itq
 //! cargo run --release -p itq-bench --bin report -- --stats-json BENCH_execstats.json
 //! cargo run --release -p itq-bench --bin report -- --incremental-json BENCH_incremental_delta.json
+//! cargo run --release -p itq-bench --bin report -- --trace-json -
+//! cargo run --release -p itq-bench --bin report -- --trace-overhead-json BENCH_trace_overhead.json
 //! ```
 //!
 //! The tables are the source of the numbers recorded in `EXPERIMENTS.md`.
@@ -94,6 +96,14 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("--incremental-json") {
         emit_incremental_json(raw.get(1).map(String::as_str).unwrap_or("-"));
+        return;
+    }
+    if raw.first().map(String::as_str) == Some("--trace-json") {
+        emit_trace_json(raw.get(1).map(String::as_str).unwrap_or("-"));
+        return;
+    }
+    if raw.first().map(String::as_str) == Some("--trace-overhead-json") {
+        emit_trace_overhead_json(raw.get(1).map(String::as_str).unwrap_or("-"));
         return;
     }
     let requested: Vec<String> = raw.iter().map(|s| s.to_uppercase()).collect();
@@ -425,6 +435,138 @@ fn emit_incremental_json(target: &str) {
     } else {
         println!(
             "wrote {} incremental-vs-scratch records to {target}",
+            records.len()
+        );
+    }
+}
+
+/// `--trace-json [FILE|-]`: execute the canonical workloads (plus the
+/// transitive-closure chain) under every semantics with tracing on and
+/// serialize each execution's annotated [`itq_trace::Span`] tree as a JSON
+/// array — one record per (experiment, semantics) pair.  This is the
+/// machine-readable twin of the session's `explain analyze` statement.
+fn emit_trace_json(target: &str) {
+    let engine = Engine::builder().max_invented(1).build();
+    let mut grid = queries::exemplar_workloads();
+    grid.push((
+        "genealogy/transitive-closure",
+        queries::transitive_closure_query(),
+        queries::parent_database(&chain_edges(3)),
+    ));
+    let mut records: Vec<String> = Vec::new();
+    for (name, query, db) in grid {
+        let prepared = engine.prepare(&query).unwrap_or_else(|e| {
+            eprintln!("error: prepare `{name}`: {e}");
+            std::process::exit(1);
+        });
+        for semantics in Semantics::ALL {
+            match prepared.execute_traced(&db, semantics) {
+                Ok((outcome, span)) => records.push(format!(
+                    "{{\"experiment\":\"{name}\",\"semantics\":\"{semantics}\",\
+                     \"result_size\":{},\"span\":{}}}",
+                    outcome.result.len(),
+                    span.to_json()
+                )),
+                Err(e) => {
+                    eprintln!("error: execute `{name}` under {semantics}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    if target == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(target, &json) {
+        eprintln!("error: cannot write `{target}`: {e}");
+        std::process::exit(1);
+    } else {
+        println!("wrote {} trace-span records to {target}", records.len());
+    }
+}
+
+/// `--trace-overhead-json [FILE|-]`: measure the cost of the
+/// zero-cost-when-off tracing seam.  Every workload in the E13 calculus grid
+/// and the E14 algebra grid is executed both through the plain
+/// `Prepared::execute` path and through `execute_with_sink(&NoopSink)` (the
+/// path every session eval takes when no `--trace` sink is installed), taking
+/// the min-of-5 wall time per arm.  The aggregate overhead across the whole
+/// grid must stay under 2% — asserted here, so a regression fails the run
+/// before any JSON is written (`BENCH_trace_overhead.json` in CI).
+fn emit_trace_overhead_json(target: &str) {
+    let engine = Engine::builder().max_invented(1).build();
+    let sink = itq_trace::NoopSink;
+    let mut records: Vec<String> = Vec::new();
+    let mut plain_total: u64 = 0;
+    let mut noop_total: u64 = 0;
+    let mut calculus_grid = queries::exemplar_workloads();
+    calculus_grid.push((
+        "genealogy/transitive-closure",
+        queries::transitive_closure_query(),
+        queries::parent_database(&chain_edges(3)),
+    ));
+    let mut prepared_grid = Vec::new();
+    for (name, query, db) in calculus_grid {
+        let prepared = engine.prepare(&query).unwrap_or_else(|e| {
+            eprintln!("error: prepare `{name}`: {e}");
+            std::process::exit(1);
+        });
+        prepared_grid.push((name, prepared, db));
+    }
+    for (name, expr, schema, db) in itq_bench::algebra_exec_workloads() {
+        let prepared = engine.prepare_algebra(&expr, &schema).unwrap_or_else(|e| {
+            eprintln!("error: prepare `{name}`: {e}");
+            std::process::exit(1);
+        });
+        prepared_grid.push((name, prepared, db));
+    }
+    for (name, prepared, db) in prepared_grid {
+        // Min-of-5 per arm: the off-path difference is a single virtual
+        // `is_enabled` call, far below scheduler noise on any one run.
+        let mut plain_micros = u64::MAX;
+        let mut noop_micros = u64::MAX;
+        for _ in 0..5 {
+            let plain = prepared.execute(&db, Semantics::Limited).unwrap();
+            plain_micros = plain_micros.min(plain.stats.wall_micros);
+            let noop = prepared
+                .execute_with_sink(&db, Semantics::Limited, &sink)
+                .unwrap();
+            noop_micros = noop_micros.min(noop.stats.wall_micros);
+            assert_eq!(
+                plain.result, noop.result,
+                "noop-sink and plain answers must agree on `{name}`"
+            );
+        }
+        plain_total += plain_micros;
+        noop_total += noop_micros;
+        let overhead =
+            (noop_micros as f64 - plain_micros as f64) / plain_micros.max(1) as f64 * 100.0;
+        records.push(format!(
+            "{{\"experiment\":\"{name}\",\"semantics\":\"limited\",\
+             \"plain_micros\":{plain_micros},\"noop_sink_micros\":{noop_micros},\
+             \"overhead_pct\":{overhead:.2}}}"
+        ));
+    }
+    let aggregate = (noop_total as f64 - plain_total as f64) / plain_total.max(1) as f64 * 100.0;
+    assert!(
+        aggregate < 2.0,
+        "tracing-off overhead must stay under 2% across the grid \
+         (got {aggregate:.2}%: plain {plain_total} µs, noop {noop_total} µs)"
+    );
+    records.push(format!(
+        "{{\"experiment\":\"aggregate\",\"semantics\":\"limited\",\
+         \"plain_micros\":{plain_total},\"noop_sink_micros\":{noop_total},\
+         \"overhead_pct\":{aggregate:.2}}}"
+    ));
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    if target == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(target, &json) {
+        eprintln!("error: cannot write `{target}`: {e}");
+        std::process::exit(1);
+    } else {
+        println!(
+            "wrote {} trace-overhead records to {target} (aggregate {aggregate:.2}%)",
             records.len()
         );
     }

@@ -32,7 +32,9 @@ use crate::term::{Term, Var};
 use itq_object::cons::cons_cardinality;
 use itq_object::store::{DomainCache, DomainHandle, ValueId, ValueStore};
 use itq_object::{Atom, Database, Instance, PredName, Type};
+use itq_trace::Span;
 use std::collections::{BTreeSet, HashSet};
+use std::time::Instant;
 
 /// A compiled term: constant/variable references resolved to dense handles.
 ///
@@ -172,15 +174,55 @@ impl CompiledQuery {
     pub fn eval_full(&self, db: &Database, config: &EvalConfig) -> Result<Evaluation, CalcError> {
         Evaluable::eval_with_extra(self, db, &[], config)
     }
-}
 
-impl Evaluable for CompiledQuery {
-    fn eval_with_extra(
+    /// [`Evaluable::eval_with_extra`] with quantifier-nest tracing: the
+    /// returned [`Span`] carries the whole-evaluation counters as fields and
+    /// one child span per environment slot recording how many values that
+    /// slot's quantifier nest drew (sibling quantifiers share a slot, so the
+    /// per-slot counts are per nesting depth), plus the domain-cache
+    /// activity.  The evaluation itself — answers, statistics, errors — is
+    /// byte-identical to the untraced path: the tracer is a monomorphized
+    /// type parameter whose untraced instantiation compiles to nothing.
+    pub fn eval_traced(
         &self,
         db: &Database,
         extra: &[Atom],
         config: &EvalConfig,
-    ) -> Result<Evaluation, CalcError> {
+    ) -> Result<(Evaluation, Span), CalcError> {
+        let start = Instant::now();
+        let (evaluation, tracer) = self.eval_inner(
+            db,
+            extra,
+            config,
+            SlotDraws {
+                draws: vec![0; self.slot_count],
+            },
+        )?;
+        let stats = &evaluation.stats;
+        let mut span = Span::new("compiled-eval");
+        span.push_field("candidates_checked", stats.candidates_checked);
+        span.push_field("quantifier_values", stats.quantifier_values);
+        span.push_field("steps", stats.steps);
+        span.push_field("max_domain_seen", stats.max_domain_seen);
+        span.push_field("domain_cache_hits", stats.domain_cache_hits);
+        span.push_field("domain_cache_misses", stats.domain_cache_misses);
+        span.push_field("interned_values", stats.interned_values);
+        for (slot, &draws) in tracer.draws.iter().enumerate().skip(1) {
+            let mut child = Span::new(format!("quantifier slot {slot}"));
+            child.push_field("draws", draws);
+            span.push_child(child);
+        }
+        span.wall_micros = start.elapsed().as_micros() as u64;
+        Ok((evaluation, span))
+    }
+
+    fn eval_inner<T: QuantTracer>(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+        tracer: T,
+    ) -> Result<(Evaluation, T), CalcError> {
         let mut atom_set = Evaluable::evaluation_domain(self, db);
         atom_set.extend(extra.iter().copied());
         let atoms: Vec<Atom> = atom_set.into_iter().collect();
@@ -208,6 +250,7 @@ impl Evaluable for CompiledQuery {
             const_ids: Vec::with_capacity(self.consts.len()),
             relations: vec![None; self.preds.len()],
             stats: EvalStats::default(),
+            tracer,
         };
         exec.domain_handles = self
             .domain_types
@@ -237,10 +280,25 @@ impl Evaluable for CompiledQuery {
         exec.stats.domain_cache_hits = exec.domains.hits();
         exec.stats.domain_cache_misses = exec.domains.misses();
         exec.stats.interned_values = exec.store.len() as u64;
-        Ok(Evaluation {
-            result,
-            stats: exec.stats,
-        })
+        Ok((
+            Evaluation {
+                result,
+                stats: exec.stats,
+            },
+            exec.tracer,
+        ))
+    }
+}
+
+impl Evaluable for CompiledQuery {
+    fn eval_with_extra(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+    ) -> Result<Evaluation, CalcError> {
+        self.eval_inner(db, extra, config, NoTrace)
+            .map(|(evaluation, NoTrace)| evaluation)
     }
 
     fn evaluation_domain(&self, db: &Database) -> BTreeSet<Atom> {
@@ -394,9 +452,37 @@ impl Lowering {
     }
 }
 
+/// A hook called once per quantifier draw, resolved statically so the
+/// untraced instantiation ([`NoTrace`]) monomorphizes to nothing — the
+/// compiled evaluator's hot loops stay byte-for-byte on their untraced path.
+trait QuantTracer {
+    fn draw(&mut self, slot: u32);
+}
+
+/// The untraced instantiation: every hook is an inlined no-op.
+struct NoTrace;
+
+impl QuantTracer for NoTrace {
+    #[inline(always)]
+    fn draw(&mut self, _slot: u32) {}
+}
+
+/// The traced instantiation: per-slot draw counters (slot 0, the candidate
+/// loop, is never drawn by a quantifier and stays at zero).
+struct SlotDraws {
+    draws: Vec<u64>,
+}
+
+impl QuantTracer for SlotDraws {
+    #[inline]
+    fn draw(&mut self, slot: u32) {
+        self.draws[slot as usize] += 1;
+    }
+}
+
 /// Execution-time state of one compiled evaluation: the interner, the domain
 /// memo, the flat environment, and the resolved handle tables.
-struct Exec<'a> {
+struct Exec<'a, T: QuantTracer> {
     db: &'a Database,
     config: &'a EvalConfig,
     compiled: &'a CompiledQuery,
@@ -421,9 +507,10 @@ struct Exec<'a> {
     /// walker (which looks relations up per `P(t)` node).
     relations: Vec<Option<HashSet<ValueId>>>,
     stats: EvalStats,
+    tracer: T,
 }
 
-impl Exec<'_> {
+impl<T: QuantTracer> Exec<'_, T> {
     fn bump(&mut self) -> Result<(), CalcError> {
         self.stats.steps += 1;
         if self.stats.steps > self.config.max_steps {
@@ -571,6 +658,7 @@ impl Exec<'_> {
                 let mut found = false;
                 for rank in 0..size {
                     self.stats.quantifier_values += 1;
+                    self.tracer.draw(*slot);
                     let value = self.domains.nth(handle, rank as u128, &mut self.store)?;
                     self.env[*slot as usize] = Some(value);
                     let holds = self.satisfies(f)?;
@@ -589,6 +677,7 @@ impl Exec<'_> {
                 let mut all = true;
                 for rank in 0..size {
                     self.stats.quantifier_values += 1;
+                    self.tracer.draw(*slot);
                     let value = self.domains.nth(handle, rank as u128, &mut self.store)?;
                     self.env[*slot as usize] = Some(value);
                     let holds = self.satisfies(f)?;
@@ -825,6 +914,39 @@ mod tests {
         assert_eq!(slow.stats.domain_cache_hits, 0);
         assert_eq!(slow.stats.domain_cache_misses, 0);
         assert_eq!(slow.stats.interned_values, 0);
+    }
+
+    #[test]
+    fn traced_evaluation_is_identical_and_counts_per_slot_draws() {
+        let mut u = Universe::new();
+        let db = par_db(&mut u, &[("Tom", "Mary"), ("Mary", "Sue"), ("Sue", "Ann")]);
+        let q = grandparent_query();
+        let compiled = compile(&q).unwrap();
+        let plain = compiled.eval_full(&db, &EvalConfig::default()).unwrap();
+        let (traced, span) = compiled
+            .eval_traced(&db, &[], &EvalConfig::default())
+            .unwrap();
+        assert_eq!(plain.result, traced.result);
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(span.name, "compiled-eval");
+        assert_eq!(
+            span.field("candidates_checked"),
+            Some(traced.stats.candidates_checked)
+        );
+        // One child per quantifier slot (t is slot 0, x and y are 1 and 2),
+        // and their draws sum to the shared quantifier_values counter.
+        assert_eq!(span.children.len(), 2);
+        assert_eq!(span.subtree_total("draws"), traced.stats.quantifier_values);
+        assert!(span.children.iter().all(|c| c.field("draws").unwrap() > 0));
+        // Budget errors classify identically on the traced path.
+        let starved = EvalConfig {
+            max_steps: 5,
+            ..EvalConfig::default()
+        };
+        assert_eq!(
+            compiled.eval_traced(&db, &[], &starved).unwrap_err(),
+            compiled.eval_full(&db, &starved).unwrap_err()
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! maintained differentially.
 
 use crate::engine::{EngineError, Semantics};
-use crate::pipeline::Prepared;
+use crate::pipeline::{ExecStats, Prepared};
 use itq_calculus::{Formula, Query, Term};
 use itq_object::{Atom, Database, Instance, Schema, Type, Value, ValueId, ValueStore};
 use itq_relational::fixpoint::{seminaive_from, RelationStore};
@@ -42,8 +42,10 @@ use itq_relational::ops::compose;
 use itq_relational::{
     transitive_closure_seminaive, DatalogAtom, Program, Relation, Rule, TermPattern,
 };
+use itq_trace::Span;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::time::Instant;
 
 /// The reserved head predicate of lowered view rules.
 const VIEW_PRED: &str = "__view__";
@@ -162,6 +164,9 @@ pub struct ViewRefresh {
     pub rounds: u64,
     /// The refreshed answer size, when the view holds an answer.
     pub answers: Option<usize>,
+    /// Wall-clock cost of bringing this view up to date, in microseconds
+    /// (a skipped view costs only its guard check).
+    pub wall_micros: u64,
 }
 
 /// The result of one committed mutation epoch.
@@ -177,6 +182,44 @@ pub struct MutationOutcome {
     pub version: u64,
     /// Per-view refresh reports, in view-name order.
     pub refreshed: Vec<ViewRefresh>,
+}
+
+impl MutationOutcome {
+    /// Render the committed epoch as a trace [`Span`]: an `epoch v<version>`
+    /// root carrying the delta sizes, with one child per watched view naming
+    /// the refresh path taken and its cost.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    ///
+    /// let schema = queries::parent_schema();
+    /// let db = queries::parent_database(&[(Atom(0), Atom(1))]);
+    /// let mut inc = IncrementalDb::new(schema, &db).unwrap();
+    /// let prepared = Engine::new().prepare(&queries::transitive_closure_query()).unwrap();
+    /// inc.watch("tc", prepared, Semantics::Limited);
+    /// let outcome = inc.insert("PAR", vec![Value::pair(Atom(1), Atom(2))]).unwrap();
+    /// let span = outcome.to_span();
+    /// assert_eq!(span.name, "epoch v2");
+    /// assert_eq!(span.field("added"), Some(1));
+    /// assert_eq!(span.children[0].name, "view tc: delta (semi-naive closure)");
+    /// ```
+    pub fn to_span(&self) -> Span {
+        let mut root = Span::new(format!("epoch v{}", self.version));
+        root.push_field("added", self.added as u64);
+        root.push_field("removed", self.removed as u64);
+        for refresh in &self.refreshed {
+            let mut child = Span::new(format!("view {}: {}", refresh.name, refresh.path));
+            child.push_field("rounds", refresh.rounds);
+            if let Some(answers) = refresh.answers {
+                child.push_field("answers", answers as u64);
+            }
+            child.wall_micros = refresh.wall_micros;
+            root.wall_micros += refresh.wall_micros;
+            root.push_child(child);
+        }
+        root
+    }
 }
 
 /// The maintenance strategy chosen for a watched view at watch time.
@@ -204,6 +247,10 @@ pub struct WatchedView {
     strategy: RefreshStrategy,
     outcome: Result<Instance, EngineError>,
     support: BTreeSet<String>,
+    /// Cost of the most recent execution or refresh of this view.  Delta and
+    /// skipped refreshes never run the calculus, so only `wall_micros` is
+    /// meaningful there; a re-executed view carries the full counters.
+    stats: ExecStats,
 }
 
 impl WatchedView {
@@ -225,6 +272,13 @@ impl WatchedView {
     /// The relations the view reads.
     pub fn support(&self) -> &BTreeSet<String> {
         &self.support
+    }
+
+    /// Execution statistics of the most recent refresh: full counters after a
+    /// re-execution, just the measured `wall_micros` after a delta or skipped
+    /// refresh (no formula is evaluated on those paths).
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
     }
 
     /// A short label for the chosen maintenance strategy.
@@ -407,9 +461,17 @@ impl IncrementalDb {
     /// initial refresh report.
     pub fn watch(&mut self, name: &str, prepared: Prepared, semantics: Semantics) -> ViewRefresh {
         let snapshot = self.snapshot();
-        let outcome = prepared
-            .execute(&snapshot, semantics)
-            .map(|outcome| outcome.result);
+        let start = Instant::now();
+        let (outcome, stats) = match prepared.execute(&snapshot, semantics) {
+            Ok(outcome) => (Ok(outcome.result), outcome.stats),
+            Err(err) => (
+                Err(err),
+                ExecStats {
+                    wall_micros: start.elapsed().as_micros() as u64,
+                    ..ExecStats::default()
+                },
+            ),
+        };
         let support = prepared.query().body().predicates();
         let strategy = self.choose_strategy(&prepared, semantics, &outcome);
         let report = ViewRefresh {
@@ -417,6 +479,7 @@ impl IncrementalDb {
             path: RefreshPath::Reexecuted,
             rounds: 0,
             answers: outcome.as_ref().ok().map(Instance::len),
+            wall_micros: stats.wall_micros,
         };
         self.views.insert(
             name.to_string(),
@@ -426,6 +489,7 @@ impl IncrementalDb {
                 strategy,
                 outcome,
                 support,
+                stats,
             },
         );
         report
@@ -542,6 +606,11 @@ impl IncrementalDb {
         let mut reports = Vec::with_capacity(views.len());
         for (name, view) in views.iter_mut() {
             let touched = view.support.contains(pred);
+            let refresh_start = Instant::now();
+            // Full counters when the refresh actually re-executes; the delta
+            // and skip paths never run the calculus, so they stamp only the
+            // measured wall time below.
+            let mut exec_stats: Option<ExecStats> = None;
             let (path, rounds) = match &mut view.strategy {
                 // The delta strategies maintain answers that depend only on
                 // the view's own relations, so an untouched support set means
@@ -599,19 +668,24 @@ impl IncrementalDb {
                 }
                 RefreshStrategy::Reexecute if touched || adom_changed => {
                     let db = snapshot.get_or_insert_with(|| self.snapshot());
-                    view.outcome = view
-                        .prepared
-                        .execute(db, view.semantics)
-                        .map(|outcome| outcome.result);
+                    view.outcome = view.prepared.execute(db, view.semantics).map(|outcome| {
+                        exec_stats = Some(outcome.stats);
+                        outcome.result
+                    });
                     (RefreshPath::Reexecuted, 0)
                 }
                 _ => (RefreshPath::SkippedUnchangedSupport, 0),
             };
+            view.stats = exec_stats.unwrap_or(ExecStats {
+                wall_micros: refresh_start.elapsed().as_micros() as u64,
+                ..ExecStats::default()
+            });
             reports.push(ViewRefresh {
                 name: name.clone(),
                 path,
                 rounds,
                 answers: view.outcome.as_ref().ok().map(Instance::len),
+                wall_micros: view.stats.wall_micros,
             });
         }
         self.views = views;
@@ -1177,6 +1251,48 @@ mod tests {
 
         // The TC query quantifies over a set type — out of the fragment.
         assert!(lower_to_datalog(&queries::transitive_closure_query()).is_none());
+    }
+
+    #[test]
+    fn refreshes_record_their_cost_and_epochs_render_as_spans() {
+        let mut inc = db(&[(a(0), a(1))]);
+        let engine = Engine::new();
+        let tc = engine
+            .prepare(&queries::transitive_closure_query())
+            .unwrap();
+        let watched = inc.watch("tc", tc, Semantics::Limited);
+        // The initial watch is a full execution: calculus counters are live.
+        assert!(watched.wall_micros == inc.view("tc").unwrap().stats().wall_micros);
+        assert!(inc.view("tc").unwrap().stats().steps > 0);
+
+        let gp = engine.prepare(&queries::grandparent_query()).unwrap();
+        inc.watch("gp", gp, Semantics::Limited);
+
+        let out = inc.insert("PAR", vec![Value::pair(a(1), a(2))]).unwrap();
+        for refresh in &out.refreshed {
+            // Every refresh path stamps its wall-clock cost on the report and
+            // on the warm view (this used to be silently dropped).
+            assert_eq!(
+                refresh.wall_micros,
+                inc.view(&refresh.name).unwrap().stats().wall_micros
+            );
+        }
+        let tc_view = inc.view("tc").unwrap();
+        // The delta path never runs the calculus: counters stay zero, only
+        // the measured refresh wall time is stamped.
+        assert_eq!(tc_view.stats().steps, 0);
+        assert_eq!(tc_view.stats().deterministic(), ExecStats::default());
+        // The grandparent view re-executed (delta-rules path also possible
+        // depending on recognition) — either way its stats were refreshed.
+        let span = out.to_span();
+        assert_eq!(span.name, "epoch v2");
+        assert_eq!(span.field("added"), Some(1));
+        assert_eq!(span.children.len(), 2);
+        assert!(span.children.iter().any(|c| c.name.starts_with("view tc:")));
+        assert_eq!(
+            span.wall_micros,
+            out.refreshed.iter().map(|r| r.wall_micros).sum::<u64>()
+        );
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod prelude {
     pub use crate::incremental::{
         IncrementalDb, IncrementalError, MutationOutcome, RefreshPath, ViewRefresh, WatchedView,
     };
-    pub use crate::pipeline::{EngineBuilder, ExecStats, Prepared, QueryOutcome};
+    pub use crate::pipeline::{EngineBuilder, ExecStats, PrepareStats, Prepared, QueryOutcome};
     pub use crate::queries;
     pub use itq_algebra::{AlgExpr, PhysicalPlan, SelFormula};
     pub use itq_calculus::{CalcClass, CompiledQuery, EvalConfig, Evaluable, Formula, Query, Term};

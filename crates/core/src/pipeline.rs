@@ -41,9 +41,11 @@ use itq_calculus::eval::{EvalConfig, EvalStats, Evaluable};
 use itq_calculus::normal::{sf_classification, to_prenex, PrenexForm, SfClassification};
 use itq_calculus::{CompiledQuery, Query, QueryClassification};
 use itq_invention::{
-    finite_invention_with_stats, terminal_invention_with_stats, InventionConfig, TerminalOutcome,
+    finite_invention_traced, finite_invention_with_stats, terminal_invention_traced,
+    terminal_invention_with_stats, InventionConfig, TerminalOutcome,
 };
 use itq_object::{Database, Instance, Schema, Universe};
+use itq_trace::{Span, TraceSink};
 use std::time::Instant;
 
 /// Configures and builds an [`Engine`]: evaluation budgets, invention bounds,
@@ -246,6 +248,72 @@ impl EngineBuilder {
     }
 }
 
+/// Wall-clock timings of the *static* (prepare-time) phases, recorded once
+/// per [`Engine::prepare`] / [`Engine::prepare_algebra`] call and cached on
+/// the [`Prepared`] handle — the observability counterpart to [`ExecStats`]
+/// for the other half of the prepare-once / execute-many split.
+///
+/// ```
+/// use itq_core::prelude::*;
+/// use itq_core::queries;
+///
+/// let prepared = Engine::new().prepare(&queries::grandparent_query()).unwrap();
+/// let stats = prepared.prepare_stats();
+/// // Calculus handles are never planned; every other phase ran exactly once.
+/// assert_eq!(stats.plan_micros, 0);
+/// let span = stats.to_span();
+/// assert_eq!(span.name, "prepare");
+/// assert_eq!(span.children.len(), 5);
+/// assert_eq!(span.wall_micros, stats.total_micros());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepareStats {
+    /// Semantic re-validation of the query body (for algebra handles: type
+    /// inference plus the Theorem 3.8 translation into the calculus).
+    pub typecheck_micros: u64,
+    /// Algebra handles only: building the set-at-a-time physical plan
+    /// (join extraction, selection pushdown, projection fusion).  Always 0
+    /// for calculus handles.
+    pub plan_micros: u64,
+    /// The `CALC_{k,i}` classification (Section 3).
+    pub classify_micros: u64,
+    /// Normal forms: the existential-fragment analysis and the prenex form
+    /// (Section 4).
+    pub normalize_micros: u64,
+    /// Lowering into the slot-based compiled evaluator.
+    pub compile_micros: u64,
+}
+
+impl PrepareStats {
+    /// Total prepare-time wall clock: the sum of every phase.
+    pub fn total_micros(&self) -> u64 {
+        self.typecheck_micros
+            + self.plan_micros
+            + self.classify_micros
+            + self.normalize_micros
+            + self.compile_micros
+    }
+
+    /// Render as a trace [`Span`]: a `prepare` root with one child per phase,
+    /// in execution order.
+    pub fn to_span(&self) -> Span {
+        let mut root = Span::new("prepare");
+        root.wall_micros = self.total_micros();
+        for (name, micros) in [
+            ("typecheck", self.typecheck_micros),
+            ("plan", self.plan_micros),
+            ("classify", self.classify_micros),
+            ("normalize", self.normalize_micros),
+            ("compile", self.compile_micros),
+        ] {
+            let mut child = Span::new(name);
+            child.wall_micros = micros;
+            root.push_child(child);
+        }
+        root
+    }
+}
+
 /// Counters and timings accumulated while executing a prepared query — the
 /// dynamic half of the pipeline, designed to be serialized (see
 /// [`ExecStats::to_json`]) so benchmark trajectories can be recorded across
@@ -327,6 +395,26 @@ impl ExecStats {
             join_probes: stats.join_probes,
             tuples_materialised: stats.tuples_materialised,
             ..ExecStats::default()
+        }
+    }
+
+    /// The statistics with the wall-clock field zeroed.  Every remaining
+    /// counter is a deterministic function of (query, database, semantics,
+    /// backend), so two executions can be compared with `==` without tripping
+    /// over timing noise — `ExecStats` derives `Eq` *including*
+    /// `wall_micros`, which is almost never what a differential test wants.
+    ///
+    /// ```
+    /// use itq_core::pipeline::ExecStats;
+    /// let a = ExecStats { steps: 7, wall_micros: 12, ..Default::default() };
+    /// let b = ExecStats { steps: 7, wall_micros: 99, ..Default::default() };
+    /// assert_ne!(a, b); // timing noise trips whole-struct equality...
+    /// assert_eq!(a.deterministic(), b.deterministic()); // ...but not this.
+    /// ```
+    pub fn deterministic(&self) -> ExecStats {
+        ExecStats {
+            wall_micros: 0,
+            ..*self
         }
     }
 
@@ -454,6 +542,8 @@ enum PreparedSource {
 pub struct Prepared {
     source: PreparedSource,
     query: Query,
+    /// Wall-clock timings of the prepare phases that built this handle.
+    prepare_stats: PrepareStats,
     /// The slot-based lowering of `query` (the compiled evaluation backend),
     /// produced once at prepare time and reused by every execution — and,
     /// under the invention semantics, by every invention level.
@@ -488,8 +578,10 @@ impl Engine {
         // Prepare-time semantic type-checking: `Query` values are validated at
         // construction, but a handle must stand on its own, so re-derive the
         // full typing here (this is where an invalid body is rejected).
+        let typecheck = Instant::now();
         let validated = query.with_body(query.body().clone())?;
-        Ok(self.prepared_from(PreparedSource::Calculus, validated))
+        let typecheck_micros = typecheck.elapsed().as_micros() as u64;
+        Ok(self.prepared_from(PreparedSource::Calculus, validated, typecheck_micros, 0))
     }
 
     /// Prepare an algebra expression: infer its output type, compile it into
@@ -518,8 +610,12 @@ impl Engine {
     ) -> Result<Prepared, EngineError> {
         // Planning type-checks the expression and lowers it into the
         // set-at-a-time physical plan — both exactly once, here.
+        let planning = Instant::now();
         let plan = Box::new(itq_algebra::plan(expr, schema)?);
+        let plan_micros = planning.elapsed().as_micros() as u64;
+        let typecheck = Instant::now();
         let query = to_calculus_query(expr, schema)?;
+        let typecheck_micros = typecheck.elapsed().as_micros() as u64;
         Ok(self.prepared_from(
             PreparedSource::Algebra {
                 expr: expr.clone(),
@@ -527,17 +623,39 @@ impl Engine {
                 plan,
             },
             query,
+            typecheck_micros,
+            plan_micros,
         ))
     }
 
     /// Cache the static artifacts and configuration snapshot into a handle.
-    fn prepared_from(&self, source: PreparedSource, query: Query) -> Prepared {
+    fn prepared_from(
+        &self,
+        source: PreparedSource,
+        query: Query,
+        typecheck_micros: u64,
+        plan_micros: u64,
+    ) -> Prepared {
+        let phase = Instant::now();
         let classification = query.classification();
+        let classify_micros = phase.elapsed().as_micros() as u64;
+        let phase = Instant::now();
         let sf = sf_classification(&query);
         let prenex = to_prenex(query.body());
+        let normalize_micros = phase.elapsed().as_micros() as u64;
+        let phase = Instant::now();
         let compiled = itq_calculus::compile::compile(&query)
             .expect("a validated query always lowers to its compiled form");
+        let compile_micros = phase.elapsed().as_micros() as u64;
+        let prepare_stats = PrepareStats {
+            typecheck_micros,
+            plan_micros,
+            classify_micros,
+            normalize_micros,
+            compile_micros,
+        };
         Prepared {
+            prepare_stats,
             source,
             query,
             compiled,
@@ -567,6 +685,24 @@ impl Prepared {
     /// ```
     pub fn query(&self) -> &Query {
         &self.query
+    }
+
+    /// Wall-clock timings of the static phases that built this handle
+    /// (type-checking, planning, classification, normal forms, compilation).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let engine = Engine::new();
+    /// let expr = AlgExpr::pred("PAR").powerset();
+    /// let algebra = engine.prepare_algebra(&expr, &queries::parent_schema()).unwrap();
+    /// let calculus = engine.prepare(&queries::grandparent_query()).unwrap();
+    /// // Only algebra handles go through the planner.
+    /// assert_eq!(calculus.prepare_stats().plan_micros, 0);
+    /// assert_eq!(algebra.prepare_stats().to_span().children.len(), 5);
+    /// ```
+    pub fn prepare_stats(&self) -> &PrepareStats {
+        &self.prepare_stats
     }
 
     /// True when the execution budgets snapshotted into this handle are all
@@ -728,38 +864,154 @@ impl Prepared {
         db: &Database,
         semantics: Semantics,
     ) -> Result<QueryOutcome, EngineError> {
+        self.run(db, semantics, false).map(|(outcome, _)| outcome)
+    }
+
+    /// [`Prepared::execute`] plus a trace: the identical [`QueryOutcome`]
+    /// together with a [`Span`] tree describing where the execution spent its
+    /// work — one operator span per physical-plan node on the planned-algebra
+    /// path, per-quantifier-slot draw counts on the compiled-calculus path,
+    /// and one `Q|_n[d]` span per level under the invention semantics.  The
+    /// root span's `wall_micros` equals the outcome's
+    /// [`ExecStats::wall_micros`].
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    ///
+    /// let engine = Engine::new();
+    /// let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+    /// let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+    /// let (outcome, span) = prepared.execute_traced(&db, Semantics::Limited).unwrap();
+    /// assert_eq!(span.name, "compiled-eval");
+    /// assert_eq!(span.wall_micros, outcome.stats.wall_micros);
+    /// assert_eq!(span.subtree_total("draws"), outcome.stats.quantifier_values);
+    /// ```
+    pub fn execute_traced(
+        &self,
+        db: &Database,
+        semantics: Semantics,
+    ) -> Result<(QueryOutcome, Span), EngineError> {
+        self.run(db, semantics, true).map(|(outcome, span)| {
+            let span = span.expect("traced runs always produce a span");
+            (outcome, span)
+        })
+    }
+
+    /// Execute, recording the trace into `sink` when it is enabled.  With a
+    /// disabled sink (e.g. [`itq_trace::NoopSink`]) this short-circuits to
+    /// the plain untraced [`Prepared::execute`] path — tracing costs nothing
+    /// when it is off.
+    pub fn execute_with_sink(
+        &self,
+        db: &Database,
+        semantics: Semantics,
+        sink: &dyn TraceSink,
+    ) -> Result<QueryOutcome, EngineError> {
+        if !sink.is_enabled() {
+            return self.execute(db, semantics);
+        }
+        let (outcome, span) = self.execute_traced(db, semantics)?;
+        sink.record(span);
+        Ok(outcome)
+    }
+
+    /// The shared execute body: `traced` selects between the plain backends
+    /// and their span-producing variants.  Answers, flags, and every counter
+    /// are byte-identical between the two modes; only the trace differs.
+    fn run(
+        &self,
+        db: &Database,
+        semantics: Semantics,
+        traced: bool,
+    ) -> Result<(QueryOutcome, Option<Span>), EngineError> {
         let start = Instant::now();
-        let mut outcome = match semantics {
+        let (mut outcome, mut span) = match semantics {
             Semantics::Limited => match &self.source {
                 PreparedSource::Algebra { expr, schema, plan } => {
-                    let (result, stats) = if self.use_algebra_planner {
-                        let (result, plan_stats) = plan.execute(db, &self.alg_config)?;
-                        (result, ExecStats::from_plan(plan_stats))
-                    } else {
+                    if self.use_algebra_planner {
+                        let (result, plan_stats, op_span) = if traced {
+                            let (result, plan_stats, op) =
+                                plan.execute_traced(db, &self.alg_config)?;
+                            (result, plan_stats, Some(op))
+                        } else {
+                            let (result, plan_stats) = plan.execute(db, &self.alg_config)?;
+                            (result, plan_stats, None)
+                        };
+                        let span = op_span.map(|op| {
+                            let mut root = Span::new("planned-algebra");
+                            root.push_field("rows_out", result.len() as u64);
+                            root.push_child(op);
+                            root
+                        });
                         (
-                            expr.eval(db, schema, &self.alg_config)?,
-                            ExecStats::default(),
+                            QueryOutcome {
+                                result,
+                                semantics,
+                                bounded_approximation: false,
+                                defined_at: None,
+                                stabilised_at: None,
+                                stats: ExecStats::from_plan(plan_stats),
+                            },
+                            span,
                         )
-                    };
-                    QueryOutcome {
-                        result,
-                        semantics,
-                        bounded_approximation: false,
-                        defined_at: None,
-                        stabilised_at: None,
-                        stats,
+                    } else {
+                        let result = expr.eval(db, schema, &self.alg_config)?;
+                        let span = traced.then(|| {
+                            let mut root = Span::new("tuple-algebra");
+                            root.push_field("rows_out", result.len() as u64);
+                            root
+                        });
+                        (
+                            QueryOutcome {
+                                result,
+                                semantics,
+                                bounded_approximation: false,
+                                defined_at: None,
+                                stabilised_at: None,
+                                stats: ExecStats::default(),
+                            },
+                            span,
+                        )
                     }
                 }
                 PreparedSource::Calculus => {
-                    let evaluation = self.backend().eval_with_extra(db, &[], &self.calc_config)?;
-                    QueryOutcome {
-                        result: evaluation.result,
-                        semantics,
-                        bounded_approximation: false,
-                        defined_at: None,
-                        stabilised_at: None,
-                        stats: ExecStats::from_eval(evaluation.stats, 0),
-                    }
+                    let (evaluation, span) = if traced && self.use_compiled {
+                        let (evaluation, span) =
+                            self.compiled.eval_traced(db, &[], &self.calc_config)?;
+                        (evaluation, Some(span))
+                    } else {
+                        let evaluation =
+                            self.backend().eval_with_extra(db, &[], &self.calc_config)?;
+                        let span = traced.then(|| {
+                            // The tree walker has no per-slot hooks; trace the
+                            // whole evaluation as one span.
+                            let mut root = Span::new("tree-walk");
+                            root.push_field("rows_out", evaluation.result.len() as u64);
+                            root.push_field("steps", evaluation.stats.steps);
+                            root.push_field(
+                                "quantifier_values",
+                                evaluation.stats.quantifier_values,
+                            );
+                            root.push_field(
+                                "candidates_checked",
+                                evaluation.stats.candidates_checked,
+                            );
+                            root
+                        });
+                        (evaluation, span)
+                    };
+                    (
+                        QueryOutcome {
+                            result: evaluation.result,
+                            semantics,
+                            bounded_approximation: false,
+                            defined_at: None,
+                            stabilised_at: None,
+                            stats: ExecStats::from_eval(evaluation.stats, 0),
+                        },
+                        span,
+                    )
                 }
             },
             Semantics::FiniteInvention => {
@@ -768,30 +1020,64 @@ impl Prepared {
                 // happened once at prepare time, so each invention level only
                 // pays for execution (with its own atom-set-specific domain
                 // cache, since a changed atom set changes every cons_X).
-                let (report, stats) = finite_invention_with_stats(
-                    self.backend(),
-                    db,
-                    &mut scratch,
-                    &self.invention_config,
-                )?;
-                QueryOutcome {
-                    bounded_approximation: report.stabilised_at.is_none(),
-                    stabilised_at: report.stabilised_at,
-                    defined_at: None,
-                    semantics,
-                    stats: ExecStats::from_eval(stats, report.levels() as u64),
-                    result: report.union,
-                }
+                let (report, stats, levels) = if traced {
+                    let (report, stats, levels) = finite_invention_traced(
+                        self.backend(),
+                        db,
+                        &mut scratch,
+                        &self.invention_config,
+                    )?;
+                    (report, stats, Some(levels))
+                } else {
+                    let (report, stats) = finite_invention_with_stats(
+                        self.backend(),
+                        db,
+                        &mut scratch,
+                        &self.invention_config,
+                    )?;
+                    (report, stats, None)
+                };
+                let span = levels.map(|levels| {
+                    let mut root = Span::new("finite-invention");
+                    root.push_field("invention_levels", report.levels() as u64);
+                    root.push_field("rows_out", report.union.len() as u64);
+                    for level in levels {
+                        root.push_child(level);
+                    }
+                    root
+                });
+                (
+                    QueryOutcome {
+                        bounded_approximation: report.stabilised_at.is_none(),
+                        stabilised_at: report.stabilised_at,
+                        defined_at: None,
+                        semantics,
+                        stats: ExecStats::from_eval(stats, report.levels() as u64),
+                        result: report.union,
+                    },
+                    span,
+                )
             }
             Semantics::TerminalInvention => {
                 let mut scratch = self.universe_seed.clone();
-                let (terminal, stats) = terminal_invention_with_stats(
-                    self.backend(),
-                    db,
-                    &mut scratch,
-                    &self.invention_config,
-                )?;
-                match terminal {
+                let (terminal, stats, levels) = if traced {
+                    let (terminal, stats, levels) = terminal_invention_traced(
+                        self.backend(),
+                        db,
+                        &mut scratch,
+                        &self.invention_config,
+                    )?;
+                    (terminal, stats, Some(levels))
+                } else {
+                    let (terminal, stats) = terminal_invention_with_stats(
+                        self.backend(),
+                        db,
+                        &mut scratch,
+                        &self.invention_config,
+                    )?;
+                    (terminal, stats, None)
+                };
+                let outcome = match terminal {
                     TerminalOutcome::Defined { n, answer } => QueryOutcome {
                         result: answer,
                         semantics,
@@ -808,11 +1094,24 @@ impl Prepared {
                         stabilised_at: None,
                         stats: ExecStats::from_eval(stats, tried as u64),
                     },
-                }
+                };
+                let span = levels.map(|levels| {
+                    let mut root = Span::new("terminal-invention");
+                    root.push_field("invention_levels", outcome.stats.invention_levels);
+                    root.push_field("rows_out", outcome.result.len() as u64);
+                    for level in levels {
+                        root.push_child(level);
+                    }
+                    root
+                });
+                (outcome, span)
             }
         };
         outcome.stats.wall_micros = start.elapsed().as_micros() as u64;
-        Ok(outcome)
+        if let Some(span) = span.as_mut() {
+            span.wall_micros = outcome.stats.wall_micros;
+        }
+        Ok((outcome, span))
     }
 }
 
@@ -1052,6 +1351,120 @@ mod tests {
         // Neither algebra path touches the calculus counters.
         assert_eq!(planned.stats.steps, 0);
         assert_eq!(tuple.stats.steps, 0);
+    }
+
+    #[test]
+    fn traced_execution_matches_plain_on_every_path() {
+        let db = db();
+        let engine = Engine::new();
+
+        // Compiled calculus: root span with per-slot children.
+        let prepared = engine.prepare(&grandparent_query()).unwrap();
+        for semantics in Semantics::ALL {
+            let plain = prepared.execute(&db, semantics).unwrap();
+            let (traced, span) = prepared.execute_traced(&db, semantics).unwrap();
+            assert_eq!(plain.result, traced.result);
+            assert_eq!(plain.bounded_approximation, traced.bounded_approximation);
+            assert_eq!(plain.defined_at, traced.defined_at);
+            assert_eq!(plain.stabilised_at, traced.stabilised_at);
+            assert_eq!(plain.stats.deterministic(), traced.stats.deterministic());
+            assert_eq!(span.wall_micros, traced.stats.wall_micros);
+            assert!(!span.children.is_empty());
+        }
+        let (limited, span) = prepared.execute_traced(&db, Semantics::Limited).unwrap();
+        assert_eq!(span.name, "compiled-eval");
+        assert_eq!(span.subtree_total("draws"), limited.stats.quantifier_values);
+        let (finite, span) = prepared
+            .execute_traced(&db, Semantics::FiniteInvention)
+            .unwrap();
+        assert_eq!(span.name, "finite-invention");
+        assert_eq!(span.children.len(), finite.stats.invention_levels as usize);
+        assert_eq!(span.children[0].name, "Q|_0[d]");
+
+        // Planned algebra: the operator tree hangs off the root span, and the
+        // span subtree totals reproduce the ExecStats counters.
+        let expr = AlgExpr::pred("PAR")
+            .product(AlgExpr::pred("PAR"))
+            .select(SelFormula::coords_eq(2, 3))
+            .project(vec![1, 4]);
+        let algebra = engine.prepare_algebra(&expr, &parent_schema()).unwrap();
+        let plain = algebra.execute(&db, Semantics::Limited).unwrap();
+        let (traced, span) = algebra.execute_traced(&db, Semantics::Limited).unwrap();
+        assert_eq!(plain.result, traced.result);
+        assert_eq!(plain.stats.deterministic(), traced.stats.deterministic());
+        assert_eq!(span.name, "planned-algebra");
+        assert_eq!(span.field("rows_out"), Some(1));
+        assert!(span.children[0].name.starts_with("hash-join"));
+        assert_eq!(span.subtree_total("join_probes"), traced.stats.join_probes);
+        assert_eq!(
+            span.subtree_total("tuples_materialised"),
+            traced.stats.tuples_materialised
+        );
+
+        // Tree walker and tuple-at-a-time algebra: whole-evaluation spans.
+        let legacy = Engine::builder()
+            .use_compiled(false)
+            .use_algebra_planner(false)
+            .build();
+        let (_, span) = legacy
+            .prepare(&grandparent_query())
+            .unwrap()
+            .execute_traced(&db, Semantics::Limited)
+            .unwrap();
+        assert_eq!(span.name, "tree-walk");
+        let (_, span) = legacy
+            .prepare_algebra(&expr, &parent_schema())
+            .unwrap()
+            .execute_traced(&db, Semantics::Limited)
+            .unwrap();
+        assert_eq!(span.name, "tuple-algebra");
+        assert_eq!(span.field("rows_out"), Some(1));
+    }
+
+    #[test]
+    fn execute_with_sink_short_circuits_when_disabled() {
+        use itq_trace::{CollectingSink, NoopSink, TraceSink};
+        let engine = Engine::new();
+        let prepared = engine.prepare(&grandparent_query()).unwrap();
+        let db = db();
+
+        let noop = NoopSink;
+        assert!(!noop.is_enabled());
+        let quiet = prepared
+            .execute_with_sink(&db, Semantics::Limited, &noop)
+            .unwrap();
+
+        let collecting = CollectingSink::new();
+        let loud = prepared
+            .execute_with_sink(&db, Semantics::Limited, &collecting)
+            .unwrap();
+        assert_eq!(quiet.result, loud.result);
+        assert_eq!(quiet.stats.deterministic(), loud.stats.deterministic());
+        let spans = collecting.take();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "compiled-eval");
+    }
+
+    #[test]
+    fn prepare_stats_time_every_phase() {
+        let engine = Engine::new();
+        let calculus = engine.prepare(&grandparent_query()).unwrap();
+        assert_eq!(calculus.prepare_stats().plan_micros, 0);
+        let expr = AlgExpr::pred("PAR")
+            .product(AlgExpr::pred("PAR"))
+            .select(SelFormula::coords_eq(2, 3))
+            .project(vec![1, 4]);
+        let algebra = engine.prepare_algebra(&expr, &parent_schema()).unwrap();
+        let span = algebra.prepare_stats().to_span();
+        assert_eq!(span.name, "prepare");
+        assert_eq!(
+            span.children
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>(),
+            ["typecheck", "plan", "classify", "normalize", "compile"]
+        );
+        assert_eq!(span.wall_micros, algebra.prepare_stats().total_micros());
     }
 
     #[test]

@@ -21,7 +21,46 @@
 use crate::error::InventionError;
 use itq_calculus::eval::{EvalConfig, EvalStats, Evaluable, Evaluation};
 use itq_object::{Atom, Database, Instance, Universe, Value};
+use itq_trace::Span;
 use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// A per-level observation hook, monomorphized so the untraced loops pay
+/// nothing — [`NoHook`] skips even the timing call.
+trait LevelHook {
+    const ENABLED: bool;
+    fn level(&mut self, n: usize, restricted: &Instance, unrestricted: &Evaluation, micros: u64);
+}
+
+/// The untraced instantiation.
+struct NoHook;
+
+impl LevelHook for NoHook {
+    const ENABLED: bool = false;
+    #[inline(always)]
+    fn level(&mut self, _n: usize, _r: &Instance, _u: &Evaluation, _micros: u64) {}
+}
+
+/// The traced instantiation: one span per `Q|_n[d]` level.
+#[derive(Default)]
+struct SpanHook {
+    spans: Vec<Span>,
+}
+
+impl LevelHook for SpanHook {
+    const ENABLED: bool = true;
+    fn level(&mut self, n: usize, restricted: &Instance, unrestricted: &Evaluation, micros: u64) {
+        let mut span = Span::new(format!("Q|_{n}[d]"));
+        span.push_field("invented", n as u64);
+        span.push_field("answers", restricted.len() as u64);
+        span.push_field("unrestricted_answers", unrestricted.result.len() as u64);
+        span.push_field("steps", unrestricted.stats.steps);
+        span.push_field("quantifier_values", unrestricted.stats.quantifier_values);
+        span.push_field("candidates_checked", unrestricted.stats.candidates_checked);
+        span.wall_micros = micros;
+        self.spans.push(span);
+    }
+}
 
 /// Configuration for the bounded searches that approximate the non-recursive
 /// semantics.
@@ -142,12 +181,46 @@ pub fn finite_invention_with_stats<Q: Evaluable + ?Sized>(
     universe: &mut Universe,
     config: &InventionConfig,
 ) -> Result<(FiniteInventionReport, EvalStats), InventionError> {
+    finite_invention_inner(query, db, universe, config, &mut NoHook)
+}
+
+/// [`finite_invention_with_stats`] with per-level tracing: one [`Span`] per
+/// `Q|_n[d]` level, carrying the level's answer sizes and evaluation
+/// counters.  The report and statistics are byte-identical to the untraced
+/// variant.
+pub fn finite_invention_traced<Q: Evaluable + ?Sized>(
+    query: &Q,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+) -> Result<(FiniteInventionReport, EvalStats, Vec<Span>), InventionError> {
+    let mut hook = SpanHook::default();
+    let (report, stats) = finite_invention_inner(query, db, universe, config, &mut hook)?;
+    Ok((report, stats, hook.spans))
+}
+
+fn finite_invention_inner<Q: Evaluable + ?Sized, H: LevelHook>(
+    query: &Q,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+    hook: &mut H,
+) -> Result<(FiniteInventionReport, EvalStats), InventionError> {
     let mut answers = Vec::new();
     let mut union = Instance::empty();
     let mut stabilised_at = None;
     let mut stats = EvalStats::default();
     for n in 0..=config.max_invented {
+        let start = H::ENABLED.then(Instant::now);
         let (restricted, evaluation) = eval_with_invented(query, db, universe, n, &config.eval)?;
+        if let Some(start) = start {
+            hook.level(
+                n,
+                &restricted,
+                &evaluation,
+                start.elapsed().as_micros() as u64,
+            );
+        }
         stats.merge(&evaluation.stats);
         let before = union.len();
         for v in restricted.iter() {
@@ -246,10 +319,44 @@ pub fn terminal_invention_with_stats<Q: Evaluable + ?Sized>(
     universe: &mut Universe,
     config: &InventionConfig,
 ) -> Result<(TerminalOutcome, EvalStats), InventionError> {
+    terminal_invention_inner(query, db, universe, config, &mut NoHook)
+}
+
+/// [`terminal_invention_with_stats`] with per-level tracing: one [`Span`] per
+/// `Q|_n[d]` level searched (the search stops at the defining level, so a
+/// defined outcome at `n` yields `n + 1` spans).  The outcome and statistics
+/// are byte-identical to the untraced variant.
+pub fn terminal_invention_traced<Q: Evaluable + ?Sized>(
+    query: &Q,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+) -> Result<(TerminalOutcome, EvalStats, Vec<Span>), InventionError> {
+    let mut hook = SpanHook::default();
+    let (outcome, stats) = terminal_invention_inner(query, db, universe, config, &mut hook)?;
+    Ok((outcome, stats, hook.spans))
+}
+
+fn terminal_invention_inner<Q: Evaluable + ?Sized, H: LevelHook>(
+    query: &Q,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+    hook: &mut H,
+) -> Result<(TerminalOutcome, EvalStats), InventionError> {
     let original_domain: BTreeSet<Atom> = query.evaluation_domain(db);
     let mut stats = EvalStats::default();
     for n in 0..=config.max_invented {
+        let start = H::ENABLED.then(Instant::now);
         let (restricted, unrestricted) = eval_with_invented(query, db, universe, n, &config.eval)?;
+        if let Some(start) = start {
+            hook.level(
+                n,
+                &restricted,
+                &unrestricted,
+                start.elapsed().as_micros() as u64,
+            );
+        }
         stats.merge(&unrestricted.stats);
         let contains_invented = unrestricted.result.iter().any(|v| {
             v.active_domain()
@@ -454,5 +561,48 @@ mod tests {
                 assert!(v.active_domain().iter().all(|a| original.contains(a)));
             }
         }
+    }
+
+    #[test]
+    fn traced_invention_is_identical_and_records_one_span_per_level() {
+        let q = needs_external_witness();
+        let db = unary_db(2);
+        let config = InventionConfig {
+            max_invented: 3,
+            ..Default::default()
+        };
+
+        let mut u1 = Universe::new();
+        u1.atoms(["a", "b"]);
+        let (plain_report, plain_stats) =
+            finite_invention_with_stats(&q, &db, &mut u1, &config).unwrap();
+        let mut u2 = Universe::new();
+        u2.atoms(["a", "b"]);
+        let (traced_report, traced_stats, spans) =
+            finite_invention_traced(&q, &db, &mut u2, &config).unwrap();
+        assert_eq!(plain_report, traced_report);
+        assert_eq!(plain_stats, traced_stats);
+        assert_eq!(spans.len(), 4, "one span per level 0..=3");
+        assert_eq!(spans[0].name, "Q|_0[d]");
+        assert_eq!(spans[0].field("answers"), Some(0));
+        assert_eq!(spans[1].field("invented"), Some(1));
+        assert_eq!(spans[1].field("answers"), Some(2));
+        let span_steps: u64 = spans.iter().map(|s| s.field("steps").unwrap()).sum();
+        assert_eq!(
+            span_steps, traced_stats.steps,
+            "level spans cover all steps"
+        );
+
+        let mut u3 = Universe::new();
+        u3.atoms(["a", "b"]);
+        let (plain_outcome, plain_term_stats) =
+            terminal_invention_with_stats(&q, &db, &mut u3, &config).unwrap();
+        let mut u4 = Universe::new();
+        u4.atoms(["a", "b"]);
+        let (traced_outcome, traced_term_stats, term_spans) =
+            terminal_invention_traced(&q, &db, &mut u4, &config).unwrap();
+        assert_eq!(plain_outcome, traced_outcome);
+        assert_eq!(plain_term_stats, traced_term_stats);
+        assert_eq!(term_spans.len(), 4, "undefined search visits every level");
     }
 }

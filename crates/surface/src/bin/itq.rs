@@ -4,6 +4,8 @@
 //! itq                      # REPL on stdin (statements end with `;`)
 //! itq --script FILE.itq    # batch mode: run a script, stop at the first error
 //! itq -e 'STATEMENTS'      # one-shot: run statements from the command line
+//! itq --quiet ...          # suppress answer-object lines (headers still print)
+//! itq --trace FILE ...     # append one JSON trace span per traced event
 //! ```
 //!
 //! The REPL keeps going after an error; batch and one-shot modes exit with
@@ -11,30 +13,76 @@
 
 use itq_surface::script::split_statements;
 use itq_surface::session::{Control, Session};
+use itq_trace::JsonLinesSink;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
+/// What to run (after flags are stripped from the command line); `None` in
+/// `main` means the interactive REPL.
+enum Mode {
+    Script(String),
+    Eval(String),
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
-        [] => repl(),
-        [flag, file] if flag == "--script" => batch(&file_contents(file), Some(file)),
-        [flag, stmts] if flag == "-e" || flag == "--eval" => batch(stmts, None),
-        [flag] if flag == "--help" || flag == "-h" => {
-            print_usage();
-            ExitCode::SUCCESS
+    let mut quiet = false;
+    let mut trace: Option<String> = None;
+    let mut mode: Option<Mode> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--trace" => match args.next() {
+                Some(path) => trace = Some(path),
+                None => return usage_error("--trace needs a file argument"),
+            },
+            "--script" => match (mode.is_none(), args.next()) {
+                (true, Some(path)) => mode = Some(Mode::Script(path)),
+                (true, None) => return usage_error("--script needs a file argument"),
+                (false, _) => return usage_error("more than one mode given"),
+            },
+            "-e" | "--eval" => match (mode.is_none(), args.next()) {
+                (true, Some(stmts)) => mode = Some(Mode::Eval(stmts)),
+                (true, None) => return usage_error("-e needs a statement argument"),
+                (false, _) => return usage_error("more than one mode given"),
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unrecognised argument `{other}`")),
         }
-        _ => {
-            eprintln!("error: unrecognised arguments {args:?}");
-            print_usage();
-            ExitCode::from(2)
+    }
+
+    let mut session = Session::new();
+    session.set_quiet(quiet);
+    if let Some(path) = trace {
+        match std::fs::File::create(&path) {
+            Ok(file) => session.set_trace_sink(Box::new(JsonLinesSink::new(file))),
+            Err(e) => {
+                eprintln!("error: cannot open trace file `{path}`: {e}");
+                return ExitCode::from(2);
+            }
         }
+    }
+    match mode {
+        None => repl(session),
+        Some(Mode::Script(path)) => batch(&mut session, &file_contents(&path), Some(&path)),
+        Some(Mode::Eval(stmts)) => batch(&mut session, &stmts, None),
     }
 }
 
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    print_usage();
+    ExitCode::from(2)
+}
+
 fn print_usage() {
-    println!("usage: itq [--script FILE.itq | -e 'STATEMENTS' | --help]");
-    println!("With no arguments, reads `;`-terminated statements from stdin.");
+    println!("usage: itq [--quiet] [--trace FILE] [--script FILE.itq | -e 'STATEMENTS' | --help]");
+    println!("With no mode argument, reads `;`-terminated statements from stdin.");
+    println!("  --quiet        print result headers only, not the answer objects");
+    println!("  --trace FILE   write one JSON span per eval/epoch to FILE (JSON lines)");
     println!("Type `help;` inside the session for the statement reference.");
 }
 
@@ -49,8 +97,7 @@ fn file_contents(path: &str) -> String {
 }
 
 /// Batch mode: run every statement, stop (exit 1) at the first error.
-fn batch(src: &str, origin: Option<&str>) -> ExitCode {
-    let mut session = Session::new();
+fn batch(session: &mut Session, src: &str, origin: Option<&str>) -> ExitCode {
     for (chunk, base) in split_statements(src) {
         match session.run_statement(&chunk, base) {
             Ok(output) => {
@@ -75,10 +122,9 @@ fn batch(src: &str, origin: Option<&str>) -> ExitCode {
 
 /// Interactive mode: prompt, accumulate input until a `;` completes at least
 /// one statement, execute, report errors, continue.
-fn repl() -> ExitCode {
+fn repl(mut session: Session) -> ExitCode {
     println!("itq — intermediate-type queries (type `help;`, quit with `quit;`)");
     let stdin = std::io::stdin();
-    let mut session = Session::new();
     let mut pending = String::new();
     let mut prompt;
     print!("itq> ");

@@ -12,6 +12,7 @@
 //! eval gp on d;                                 # limited interpretation
 //! eval gp on d with finite-invention;           # Section 6 semantics
 //! eval gp on d under ti;                        # `under` ≡ `with`; fi/ti aliases
+//! explain analyze gp on d;                      # execute + annotated trace tree
 //! compile ga as gc;                             # algebra -> calculus (Thm 3.8)
 //! insert into d.PAR {[Sue, Ann]};               # mutate a database in place
 //! delete from d.PAR {[Tom, Mary]};
@@ -104,6 +105,17 @@ pub enum Stmt {
         /// A query or algebra name.
         name: String,
         /// The database to evaluate on.
+        database: String,
+        /// Which semantics to use (default [`Semantics::Limited`]).
+        semantics: Semantics,
+    },
+    /// `explain analyze NAME on DB [with SEMANTICS];` — execute and print
+    /// the plan/evaluation tree annotated with actual per-operator row counts
+    /// and timings.
+    ExplainAnalyze {
+        /// A query or algebra name.
+        name: String,
+        /// The database to execute on.
         database: String,
         /// Which semantics to use (default [`Semantics::Limited`]).
         semantics: Semantics,
@@ -334,29 +346,24 @@ pub fn parse_stmt(
             name: named(&mut p, "an algebra expression name")?.0,
         },
         "eval" => {
-            let (name, _) = named(&mut p, "a query or algebra name")?;
-            let (on, on_pos) = named(&mut p, "`on`")?;
-            if on != "on" {
+            let (name, database, semantics) = query_on_database(&mut p)?;
+            Stmt::Eval {
+                name,
+                database,
+                semantics,
+            }
+        }
+        "explain" => {
+            let (kw, kw_pos) = named(&mut p, "`analyze`")?;
+            if kw != "analyze" {
                 return Err(ParseError::new(
-                    "expected `on` after the query name",
-                    on_pos,
+                    "expected `analyze` after `explain` (as in \
+                     `explain analyze NAME on DB [with SEMANTICS]`)",
+                    kw_pos,
                 ));
             }
-            let (database, _) = named(&mut p, "a database name")?;
-            let semantics = if p.at_end() {
-                Semantics::Limited
-            } else {
-                let (with, with_pos) = named(&mut p, "`with` or `under`")?;
-                if with != "with" && with != "under" {
-                    return Err(ParseError::new(
-                        "expected `with <semantics>` or `under <semantics>` after the \
-                         database name",
-                        with_pos,
-                    ));
-                }
-                semantics_name(&mut p)?
-            };
-            Stmt::Eval {
+            let (name, database, semantics) = query_on_database(&mut p)?;
+            Stmt::ExplainAnalyze {
                 name,
                 database,
                 semantics,
@@ -395,28 +402,7 @@ pub fn parse_stmt(
             }
         }
         "watch" => {
-            let (name, _) = named(&mut p, "a query or algebra name")?;
-            let (on, on_pos) = named(&mut p, "`on`")?;
-            if on != "on" {
-                return Err(ParseError::new(
-                    "expected `on` after the query name",
-                    on_pos,
-                ));
-            }
-            let (database, _) = named(&mut p, "a database name")?;
-            let semantics = if p.at_end() {
-                Semantics::Limited
-            } else {
-                let (with, with_pos) = named(&mut p, "`with` or `under`")?;
-                if with != "with" && with != "under" {
-                    return Err(ParseError::new(
-                        "expected `with <semantics>` or `under <semantics>` after the \
-                         database name",
-                        with_pos,
-                    ));
-                }
-                semantics_name(&mut p)?
-            };
+            let (name, database, semantics) = query_on_database(&mut p)?;
             Stmt::Watch {
                 name,
                 database,
@@ -455,8 +441,8 @@ pub fn parse_stmt(
             return Err(ParseError::new(
                 format!(
                     "unknown statement `{other}`; expected one of schema, database, query, \
-                     algebra, show, list, classify, typecheck, plan, eval, insert, delete, \
-                     watch, unwatch, compile, help, quit"
+                     algebra, show, list, classify, typecheck, plan, eval, explain, insert, \
+                     delete, watch, unwatch, compile, help, quit"
                 ),
                 head_pos,
             ));
@@ -485,6 +471,34 @@ fn named(p: &mut Parser<'_>, what: &str) -> Result<(String, Pos)> {
         Some(name) => Ok((name, pos)),
         None => Err(ParseError::new(format!("expected {what}"), pos)),
     }
+}
+
+/// Parse the `NAME on DB [with|under SEMANTICS]` tail shared by `eval`,
+/// `watch`, and `explain analyze`.
+fn query_on_database(p: &mut Parser<'_>) -> Result<(String, String, Semantics)> {
+    let (name, _) = named(p, "a query or algebra name")?;
+    let (on, on_pos) = named(p, "`on`")?;
+    if on != "on" {
+        return Err(ParseError::new(
+            "expected `on` after the query name",
+            on_pos,
+        ));
+    }
+    let (database, _) = named(p, "a database name")?;
+    let semantics = if p.at_end() {
+        Semantics::Limited
+    } else {
+        let (with, with_pos) = named(p, "`with` or `under`")?;
+        if with != "with" && with != "under" {
+            return Err(ParseError::new(
+                "expected `with <semantics>` or `under <semantics>` after the \
+                 database name",
+                with_pos,
+            ));
+        }
+        semantics_name(p)?
+    };
+    Ok((name, database, semantics))
 }
 
 fn schema_ref(p: &mut Parser<'_>, schemas: &BTreeMap<String, Schema>) -> Result<(String, Schema)> {
@@ -618,6 +632,29 @@ mod tests {
         // A bogus joiner and a bogus semantics keyword both fail cleanly.
         assert!(parse_script("eval q on d using limited", &mut u).is_err());
         assert!(parse_script("eval q on d under naive", &mut u).is_err());
+    }
+
+    #[test]
+    fn explain_analyze_parses_like_eval() {
+        let mut u = Universe::new();
+        let stmts = parse_script(
+            "explain analyze gp on d;\n\
+             explain analyze gp on d with finite-invention;\n\
+             explain analyze gp on d under ti",
+            &mut u,
+        )
+        .unwrap();
+        assert!(
+            matches!(&stmts[0], Stmt::ExplainAnalyze { name, database, semantics }
+            if name == "gp" && database == "d" && *semantics == Semantics::Limited)
+        );
+        assert!(matches!(&stmts[1], Stmt::ExplainAnalyze { semantics, .. }
+            if *semantics == Semantics::FiniteInvention));
+        assert!(matches!(&stmts[2], Stmt::ExplainAnalyze { semantics, .. }
+            if *semantics == Semantics::TerminalInvention));
+        // `explain` alone is not a statement; `analyze` is required.
+        assert!(parse_script("explain gp on d", &mut u).is_err());
+        assert!(parse_script("explain analyze gp at d", &mut u).is_err());
     }
 
     #[test]

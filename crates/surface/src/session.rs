@@ -19,6 +19,7 @@ use itq_core::engine::{Engine, Semantics};
 use itq_core::incremental::{IncrementalDb, ViewRefresh};
 use itq_core::pipeline::Prepared;
 use itq_object::{Database, Instance, Schema, Value};
+use itq_trace::{MetricsRegistry, NoopSink, TraceSink};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -85,6 +86,14 @@ pub struct Session {
     /// Per-database incremental state, created lazily by the first mutation
     /// or `watch` on a database; holds that database's watched views.
     incremental: BTreeMap<String, IncrementalDb>,
+    /// Where execution and epoch spans go; [`NoopSink`] (tracing off) by
+    /// default, so plain sessions never build a span.
+    sink: Box<dyn TraceSink>,
+    /// Session-wide monotonic counters, updated by every statement that
+    /// executes or mutates.
+    metrics: MetricsRegistry,
+    /// Suppress per-answer output lines (`--quiet`).
+    quiet: bool,
 }
 
 impl Default for Session {
@@ -104,6 +113,9 @@ impl Session {
             algebras: BTreeMap::new(),
             prepared: BTreeMap::new(),
             incremental: BTreeMap::new(),
+            sink: Box::new(NoopSink),
+            metrics: MetricsRegistry::new(),
+            quiet: false,
         }
     }
 
@@ -128,6 +140,26 @@ impl Session {
     pub fn engine_mut(&mut self) -> &mut Engine {
         self.prepared.clear();
         &mut self.engine
+    }
+
+    /// Install a trace sink: while it reports
+    /// [`enabled`](TraceSink::is_enabled), every `eval` records its execution
+    /// span tree and every mutation records its epoch span.  The default is
+    /// [`NoopSink`] — tracing off, executions run the plain untraced path.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// Session-wide monotonic counters: statements executed, objects
+    /// returned, mutation epochs committed.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Suppress per-answer output lines; headers, reports, and errors still
+    /// print (`itq --quiet`).
+    pub fn set_quiet(&mut self, quiet: bool) {
+        self.quiet = quiet;
     }
 
     /// Look up a declared schema.
@@ -246,6 +278,11 @@ impl Session {
                 database,
                 semantics,
             } => lines.extend(self.eval(&name, &database, semantics)?),
+            Stmt::ExplainAnalyze {
+                name,
+                database,
+                semantics,
+            } => lines.extend(self.explain_analyze(&name, &database, semantics)?),
             Stmt::Insert {
                 database,
                 pred,
@@ -468,8 +505,11 @@ impl Session {
             format!("eval {name} on {database} with {semantics}")
         };
         let outcome = prepared
-            .execute(&db, semantics)
+            .execute_with_sink(&db, semantics, self.sink.as_ref())
             .map_err(|e| SessionError::Exec(format!("{header}: {e}")))?;
+        self.metrics.incr("evals", 1);
+        self.metrics
+            .incr("objects_returned", outcome.result.len() as u64);
         // Terminal invention deserves its level report, not just the answer.
         if semantics == Semantics::TerminalInvention {
             return Ok(match outcome.defined_at {
@@ -559,8 +599,55 @@ impl Session {
             outcome.version
         )];
         lines.extend(outcome.refreshed.iter().map(render_refresh));
+        self.metrics.incr("epochs_committed", 1);
+        if self.sink.is_enabled() {
+            self.sink.record(outcome.to_span());
+        }
         if let Some((_, db)) = self.databases.get_mut(database) {
             *db = snapshot;
+        }
+        Ok(lines)
+    }
+
+    /// `explain analyze NAME on DB [with SEMANTICS];` — execute through the
+    /// traced pipeline and print the span tree: the physical plan annotated
+    /// with actual per-operator row counts and timings for planned algebra,
+    /// per-quantifier-slot draw counts for compiled calculus, and one
+    /// `Q|_n[d]` line per level under the invention semantics.
+    fn explain_analyze(
+        &mut self,
+        name: &str,
+        database: &str,
+        semantics: Semantics,
+    ) -> Result<Vec<String>, SessionError> {
+        let (_, db) = self
+            .databases
+            .get(database)
+            .ok_or_else(|| SessionError::Exec(format!("unknown database `{database}`")))?
+            .clone();
+        self.ensure_prepared(name)?;
+        let prepared = &self.prepared[name];
+        let header = format!("explain analyze {name} on {database} with {semantics}");
+        let (outcome, span) = prepared
+            .execute_traced(&db, semantics)
+            .map_err(|e| SessionError::Exec(format!("{header}: {e}")))?;
+        self.metrics.incr("evals", 1);
+        self.metrics
+            .incr("objects_returned", outcome.result.len() as u64);
+        let qualifier = if outcome.bounded_approximation {
+            " (bounded approximation)"
+        } else {
+            ""
+        };
+        let mut lines = vec![format!(
+            "{header}: {} object{}{qualifier}, {} µs",
+            outcome.result.len(),
+            plural(outcome.result.len()),
+            outcome.stats.wall_micros,
+        )];
+        lines.extend(span.to_string().lines().map(|l| format!("  {l}")));
+        if self.sink.is_enabled() {
+            self.sink.record(span);
         }
         Ok(lines)
     }
@@ -686,6 +773,9 @@ impl Session {
     // ----- rendering -----------------------------------------------------------
 
     fn render_values(&self, instance: &Instance) -> Vec<String> {
+        if self.quiet {
+            return Vec::new();
+        }
         instance
             .iter()
             .map(|v| format!("  {}", v.display_with(self.engine.universe())))
@@ -734,6 +824,7 @@ fn help_text() -> Vec<String> {
         "  plan NAME                            print an algebra expression's physical plan",
         "  eval NAME on DB [with SEMANTICS]     semantics: limited (default),",
         "    (`under` ≡ `with`)                 finite-invention (fi), terminal-invention (ti)",
+        "  explain analyze NAME on DB [...]     execute + print the trace tree (actual rows, µs)",
         "  compile NAME [as NEW]                algebra → calculus (Theorem 3.8)",
         "  insert into DB.P {v, ...}            add tuples; watched views refresh",
         "  delete from DB.P {v, ...}            remove tuples; watched views refresh",
@@ -1035,6 +1126,87 @@ mod tests {
             .iter()
             .any(|l| l == "eval gu on d with finite-invention: 2 objects"));
         assert_eq!(out.iter().filter(|l| l.ends_with("[Tom, Mary]")).count(), 2);
+    }
+
+    #[test]
+    fn explain_analyze_renders_annotated_trees_for_every_backend() {
+        let mut s = Session::with_engine(Engine::builder().max_invented(1).build());
+        genealogy(&mut s);
+        // Planned algebra: the physical plan with actual per-operator rows.
+        let out = run(
+            &mut s,
+            "algebra ga : Gen π_{1,4}(σ_{$2 = $3}(PAR × PAR));\nexplain analyze ga on d;",
+        );
+        assert!(
+            out.iter()
+                .any(|l| l.starts_with("explain analyze ga on d with limited: 1 object")),
+            "{out:?}"
+        );
+        assert!(out.iter().any(|l| l.contains("planned-algebra")), "{out:?}");
+        let join = out
+            .iter()
+            .find(|l| l.contains("hash-join"))
+            .expect("an annotated join operator line");
+        for needle in ["rows_in", "rows_out", "join_probes", "µs"] {
+            assert!(join.contains(needle), "missing {needle} in {join}");
+        }
+        assert_eq!(out.iter().filter(|l| l.contains("scan PAR")).count(), 2);
+
+        // Compiled calculus: per-quantifier-slot draw counts.
+        let out = run(&mut s, "explain analyze gp on d;");
+        assert!(out.iter().any(|l| l.contains("compiled-eval")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("quantifier slot")), "{out:?}");
+
+        // Invention semantics: one line per Q|_n[d] level.
+        let out = run(&mut s, "explain analyze gp on d under fi;");
+        assert!(
+            out.iter().any(|l| l.contains("finite-invention")),
+            "{out:?}"
+        );
+        assert!(out.iter().any(|l| l.contains("Q|_0[d]")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("Q|_1[d]")), "{out:?}");
+
+        assert!(s.run_source("explain analyze nope on d;").is_err());
+        assert!(s.run_source("explain analyze gp on nope;").is_err());
+    }
+
+    #[test]
+    fn trace_sink_collects_eval_and_epoch_spans() {
+        use std::sync::Arc;
+        let mut s = Session::new();
+        genealogy(&mut s);
+        // With the default NoopSink nothing is recorded and eval output is
+        // unchanged.
+        let plain = run(&mut s, "eval gp on d;");
+        let sink = Arc::new(itq_trace::CollectingSink::new());
+        s.set_trace_sink(Box::new(Arc::clone(&sink)));
+        let traced = run(&mut s, "eval gp on d;");
+        assert_eq!(plain, traced, "tracing must not change output");
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "compiled-eval");
+        // Mutations record their epoch span.
+        run(&mut s, "watch gp on d;\ninsert into d.PAR {[Sue, Ann]};");
+        let spans = sink.take();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].name.starts_with("epoch v"), "{}", spans[0].name);
+        assert!(spans[0].children[0].name.starts_with("view gp:"));
+        // Metrics accumulated across the session.
+        assert_eq!(s.metrics().get("evals"), 2);
+        assert_eq!(s.metrics().get("epochs_committed"), 1);
+    }
+
+    #[test]
+    fn quiet_mode_suppresses_answer_lines_only() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        s.set_quiet(true);
+        let out = run(&mut s, "eval gp on d;");
+        assert_eq!(out, vec!["eval gp on d with limited: 1 object"]);
+        s.set_quiet(false);
+        let out = run(&mut s, "eval gp on d;");
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1], "  [Tom, Sue]");
     }
 
     #[test]

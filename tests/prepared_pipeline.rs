@@ -104,6 +104,13 @@ fn prepare_once_execute_many_is_stable_across_repetition_and_databases() {
                 first.bounded_approximation, again.bounded_approximation,
                 "{semantics}"
             );
+            // Whole-stats equality modulo wall clock: every deterministic
+            // evaluator counter must be reproduced run over run.
+            assert_eq!(
+                first.stats.deterministic(),
+                again.stats.deterministic(),
+                "{semantics}"
+            );
         }
     }
     // One handle, many databases: identical to a freshly prepared handle each
@@ -118,6 +125,11 @@ fn prepare_once_execute_many_is_stable_across_repetition_and_databases() {
             .execute(&db, Semantics::Limited)
             .unwrap();
         assert_eq!(reused.result, fresh.result, "n = {n}");
+        assert_eq!(
+            reused.stats.deterministic(),
+            fresh.stats.deterministic(),
+            "n = {n}"
+        );
     }
 }
 

@@ -1,0 +1,253 @@
+//! Tracing is observation, not interference: running a query with a
+//! [`CollectingSink`] attached must be byte-identical — same answers, same
+//! boundedness flags, same deterministic evaluator counters — to running it
+//! plain or through the [`NoopSink`] short-circuit, on every backend and
+//! under every semantics.  The collected span tree is then checked against
+//! the [`ExecStats`] it claims to annotate: the root's wall clock is the
+//! execution's wall clock, and the counter fields tile the stats totals.
+
+use itq_core::prelude::*;
+use itq_core::queries;
+use itq_trace::{CollectingSink, NoopSink, Span, TraceSink};
+use proptest::prelude::*;
+
+/// Parent databases over a handful of atoms: enough to join, small enough
+/// for the tree walker and the invention ladder.
+fn small_db() -> BoxedStrategy<Database> {
+    proptest::collection::vec((0u32..3, 0u32..3), 0..5)
+        .prop_map(|edges| {
+            let pairs: Vec<(Atom, Atom)> =
+                edges.into_iter().map(|(a, b)| (Atom(a), Atom(b))).collect();
+            queries::parent_database(&pairs)
+        })
+        .boxed()
+}
+
+/// One of the canonical genealogy queries (all over the PAR schema).
+fn query() -> BoxedStrategy<itq_calculus::Query> {
+    (0usize..3)
+        .prop_map(|i| match i {
+            0 => queries::grandparent_query(),
+            1 => queries::sibling_query(),
+            _ => queries::transitive_closure_query(),
+        })
+        .boxed()
+}
+
+/// The compiled slot evaluator (default) and the legacy tree walker, both
+/// with a tight invention bound and a capped step budget so pathological
+/// draws die on a classified error instead of burning minutes.
+fn engines() -> [(&'static str, Engine); 2] {
+    let capped = EvalConfig {
+        max_steps: 500_000,
+        ..EvalConfig::default()
+    };
+    let invention = InventionConfig {
+        max_invented: 1,
+        eval: capped,
+    };
+    [
+        (
+            "compiled",
+            Engine::builder()
+                .calc_config(capped)
+                .invention_config(invention)
+                .build(),
+        ),
+        (
+            "tree-walk",
+            Engine::builder()
+                .calc_config(capped)
+                .invention_config(invention)
+                .use_compiled(false)
+                .build(),
+        ),
+    ]
+}
+
+/// Execute `prepared` three ways — plain, noop-sink, collecting-sink — and
+/// assert the outcomes are byte-identical modulo wall clock (errors
+/// included: a budget the plain path exhausts must be exhausted identically
+/// under tracing).  On success, returns the single span the collecting sink
+/// captured, paired with the traced outcome.
+fn execute_three_ways(
+    prepared: &Prepared,
+    db: &Database,
+    semantics: Semantics,
+    label: &str,
+) -> Option<(QueryOutcome, Span)> {
+    let plain = prepared.execute(db, semantics);
+    let noop = prepared.execute_with_sink(db, semantics, &NoopSink);
+    let sink = CollectingSink::new();
+    let traced = prepared.execute_with_sink(db, semantics, &sink);
+    match (plain, noop, traced) {
+        (Ok(plain), Ok(noop), Ok(traced)) => {
+            for (arm, other) in [("noop", &noop), ("collecting", &traced)] {
+                assert_eq!(plain.result, other.result, "{label}/{semantics}/{arm}");
+                assert_eq!(
+                    plain.bounded_approximation, other.bounded_approximation,
+                    "{label}/{semantics}/{arm}"
+                );
+                assert_eq!(
+                    plain.defined_at, other.defined_at,
+                    "{label}/{semantics}/{arm}"
+                );
+                assert_eq!(
+                    plain.stabilised_at, other.stabilised_at,
+                    "{label}/{semantics}/{arm}"
+                );
+                assert_eq!(
+                    plain.stats.deterministic(),
+                    other.stats.deterministic(),
+                    "{label}/{semantics}/{arm}"
+                );
+            }
+            let mut spans = sink.take();
+            assert_eq!(
+                spans.len(),
+                1,
+                "{label}/{semantics}: one root span per execution"
+            );
+            Some((traced, spans.pop().unwrap()))
+        }
+        (Err(plain), Err(noop), Err(traced)) => {
+            assert_eq!(plain, noop, "{label}/{semantics}: noop error");
+            assert_eq!(plain, traced, "{label}/{semantics}: collecting error");
+            None
+        }
+        (plain, noop, traced) => panic!(
+            "{label}/{semantics}: sinks disagree on success: \
+             plain {plain:?} vs noop {noop:?} vs collecting {traced:?}"
+        ),
+    }
+}
+
+/// The span tree must agree with the stats block it annotates.
+fn assert_span_matches_stats(outcome: &QueryOutcome, span: &Span, label: &str) {
+    let stats = &outcome.stats;
+    assert_eq!(span.wall_micros, stats.wall_micros, "{label}: root wall");
+    match span.name.as_str() {
+        "compiled-eval" => {
+            assert_eq!(
+                span.subtree_total("draws"),
+                stats.quantifier_values,
+                "{label}: per-slot draws tile the quantifier total"
+            );
+            assert_eq!(span.field("steps"), Some(stats.steps), "{label}");
+        }
+        "tree-walk" => {
+            assert_eq!(span.field("steps"), Some(stats.steps), "{label}");
+            assert_eq!(
+                span.field("rows_out"),
+                Some(outcome.result.len() as u64),
+                "{label}"
+            );
+        }
+        "finite-invention" | "terminal-invention" => {
+            assert_eq!(
+                span.children.len(),
+                stats.invention_levels as usize,
+                "{label}: one child span per invention level"
+            );
+            assert_eq!(
+                span.subtree_total("steps"),
+                stats.steps,
+                "{label}: per-level steps tile the total"
+            );
+        }
+        other => panic!("{label}: unexpected root span `{other}`"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Collecting vs Noop vs plain on both calculus backends, all semantics.
+    #[test]
+    fn tracing_never_changes_calculus_outcomes(q in query(), db in small_db()) {
+        for (label, engine) in engines() {
+            let prepared = engine.prepare(&q).unwrap();
+            for semantics in Semantics::ALL {
+                if let Some((outcome, span)) = execute_three_ways(&prepared, &db, semantics, label) {
+                    assert_span_matches_stats(&outcome, &span, label);
+                }
+            }
+        }
+    }
+}
+
+/// The algebra backends through the same three-way harness: the planned
+/// executor's operator tree and the tuple-at-a-time root span both annotate
+/// the identical answer, and the planned tree's counter fields tile the
+/// planner stats.
+#[test]
+fn tracing_never_changes_algebra_outcomes() {
+    let expr = itq_algebra::AlgExpr::pred("PAR")
+        .product(itq_algebra::AlgExpr::pred("PAR"))
+        .select(itq_algebra::SelFormula::coords_eq(2, 3))
+        .project(vec![1, 4]);
+    let schema = queries::parent_schema();
+    let edges: Vec<(Atom, Atom)> = (0..12).map(|i| (Atom(i), Atom(i + 1))).collect();
+    let db = queries::parent_database(&edges);
+    for (label, engine) in [
+        ("planner", Engine::new()),
+        (
+            "tuple",
+            Engine::builder().use_algebra_planner(false).build(),
+        ),
+    ] {
+        let prepared = engine.prepare_algebra(&expr, &schema).unwrap();
+        let (outcome, span) =
+            execute_three_ways(&prepared, &db, Semantics::Limited, label).expect("in budget");
+        assert_eq!(outcome.result.len(), 11, "{label}");
+        assert_eq!(
+            span.field("rows_out"),
+            Some(outcome.result.len() as u64),
+            "{label}"
+        );
+        match span.name.as_str() {
+            "planned-algebra" => {
+                assert_eq!(
+                    span.subtree_total("join_probes"),
+                    outcome.stats.join_probes,
+                    "per-operator probes tile the planner total"
+                );
+                assert_eq!(
+                    span.subtree_total("tuples_materialised"),
+                    outcome.stats.tuples_materialised,
+                    "per-operator materialisation tiles the planner total"
+                );
+                assert!(
+                    span.children[0].name.starts_with("hash-join"),
+                    "fused σ∘× renders as a join: {}",
+                    span.children[0].name
+                );
+            }
+            "tuple-algebra" => assert!(span.children.is_empty()),
+            other => panic!("{label}: unexpected root span `{other}`"),
+        }
+    }
+}
+
+/// A sink that claims to be enabled still sees nothing it should not: the
+/// recorded root span renders with the pinned `name (fields, µs)` grammar,
+/// so downstream log scrapers can rely on the format.
+#[test]
+fn recorded_spans_render_with_the_pinned_grammar() {
+    let engine = Engine::new();
+    let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+    let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+    let sink = CollectingSink::new();
+    assert!(sink.is_enabled());
+    prepared
+        .execute_with_sink(&db, Semantics::Limited, &sink)
+        .unwrap();
+    let span = sink.take().pop().unwrap();
+    let rendered = span.to_string();
+    let first = rendered.lines().next().unwrap();
+    assert!(
+        first.starts_with("compiled-eval  (") && first.ends_with("µs)"),
+        "pinned grammar violated: {first}"
+    );
+    assert!(rendered.contains("└─ quantifier slot"), "{rendered}");
+}
