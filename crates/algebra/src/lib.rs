@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-algebra — the complex object algebra
 //!
 //! This crate implements the algebraic query language of Hull & Su (Section 2):

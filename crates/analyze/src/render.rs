@@ -1,0 +1,91 @@
+//! rustc-style caret snippets for located diagnostics.
+//!
+//! The analyzer itself is parser-agnostic: spans arrive from the surface layer
+//! as 1-based `(line, column)` pairs, and this module only does the rendering.
+
+/// A half-open source span: 1-based `(line, column)` start and end positions,
+/// the end pointing just past the last token of the construct.
+pub type Span = ((usize, usize), (usize, usize));
+
+/// Render a caret snippet for `span` against `source`, rustc-style:
+///
+/// ```text
+///  --> 3:14
+///   |
+/// 3 | query q : S {t/U | ∃y/U t ≈ t};
+///   |                    ^^^^^^^^^^
+/// ```
+///
+/// Multi-line spans underline from the start column to the end of the first
+/// line. Returns no lines when the span's line is out of range.
+pub fn render_snippet(source: &str, span: Span) -> Vec<String> {
+    let ((line, col), (end_line, end_col)) = span;
+    let Some(text) = source.lines().nth(line.saturating_sub(1)) else {
+        return Vec::new();
+    };
+    let chars = text.chars().count();
+    let start = col.saturating_sub(1).min(chars);
+    let end = if end_line == line {
+        end_col.saturating_sub(1)
+    } else {
+        chars
+    };
+    // Clamp to the visible line and underline at least one column.
+    let end = end.min(trimmed_len(text)).max(start + 1);
+
+    let gutter = line.to_string();
+    let pad = " ".repeat(gutter.len());
+    vec![
+        format!("{pad}--> {line}:{col}"),
+        format!("{pad} |"),
+        format!("{gutter} | {text}"),
+        format!("{pad} | {}{}", " ".repeat(start), "^".repeat(end - start)),
+    ]
+}
+
+/// Length of `text` in chars without trailing whitespace.
+fn trimmed_len(text: &str) -> usize {
+    text.trim_end().chars().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_span_underlines_the_construct() {
+        let src = "query q : S {t/U | t ≈ t};";
+        let lines = render_snippet(src, ((1, 20), (1, 25)));
+        assert_eq!(lines[0], " --> 1:20");
+        assert_eq!(lines[2], "1 | query q : S {t/U | t ≈ t};");
+        assert_eq!(lines[3], "  |                    ^^^^^");
+    }
+
+    #[test]
+    fn multi_line_span_underlines_to_end_of_first_line() {
+        let src = "abc\ndef ghi\njkl";
+        let lines = render_snippet(src, ((2, 5), (3, 2)));
+        assert_eq!(lines[2], "2 | def ghi");
+        assert_eq!(lines[3], "  |     ^^^");
+    }
+
+    #[test]
+    fn zero_width_span_still_gets_one_caret() {
+        let src = "xy";
+        let lines = render_snippet(src, ((1, 1), (1, 1)));
+        assert_eq!(lines[3], "  | ^");
+    }
+
+    #[test]
+    fn out_of_range_line_renders_nothing() {
+        assert!(render_snippet("one line", ((9, 1), (9, 2))).is_empty());
+    }
+
+    #[test]
+    fn gutter_width_follows_the_line_number() {
+        let src: String = (0..12).map(|i| format!("line {i}\n")).collect();
+        let lines = render_snippet(&src, ((11, 1), (11, 5)));
+        assert_eq!(lines[0], "  --> 11:1");
+        assert!(lines[2].starts_with("11 | "));
+    }
+}

@@ -1,0 +1,146 @@
+//! Pre-order walkers over calculus formulas and algebra expressions.
+//!
+//! Diagnostics point at subterms by **pre-order index** into the lists these
+//! functions produce. The surface crate builds its span tables with the same
+//! ordering, so a `Diagnostic::node` index resolves to a source span without
+//! the analyzer ever depending on the parser.
+
+use itq_algebra::{AlgExpr, SelFormula};
+use itq_calculus::Formula;
+
+/// All subformulas of `f` in pre-order (node before children, children
+/// left-to-right in the order they appear in the concrete syntax).
+pub fn formula_preorder(f: &Formula) -> Vec<&Formula> {
+    let mut out = Vec::new();
+    push_formula(f, &mut out);
+    out
+}
+
+fn push_formula<'a>(f: &'a Formula, out: &mut Vec<&'a Formula>) {
+    out.push(f);
+    match f {
+        Formula::Eq(..) | Formula::Member(..) | Formula::Pred(..) => {}
+        Formula::Not(inner) => push_formula(inner, out),
+        Formula::And(parts) | Formula::Or(parts) => {
+            for part in parts {
+                push_formula(part, out);
+            }
+        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            push_formula(a, out);
+            push_formula(b, out);
+        }
+        Formula::Exists(_, _, body) | Formula::Forall(_, _, body) => push_formula(body, out),
+    }
+}
+
+/// One node of an algebra expression tree: either an operator/operand
+/// expression or a selection subformula nested inside a `σ`.
+#[derive(Clone, Copy, Debug)]
+pub enum AlgNode<'a> {
+    Expr(&'a AlgExpr),
+    Sel(&'a SelFormula),
+}
+
+impl<'a> AlgNode<'a> {
+    /// A stable identity for this node within one expression tree.
+    pub fn key(&self) -> *const () {
+        match self {
+            AlgNode::Expr(e) => *e as *const AlgExpr as *const (),
+            AlgNode::Sel(s) => *s as *const SelFormula as *const (),
+        }
+    }
+}
+
+/// All nodes of `e` in pre-order. For a selection `σ_{φ}(a)` the selection
+/// formula subtree comes before the operand, matching the concrete syntax.
+pub fn algebra_preorder(e: &AlgExpr) -> Vec<AlgNode<'_>> {
+    let mut out = Vec::new();
+    push_alg(e, &mut out);
+    out
+}
+
+fn push_alg<'a>(e: &'a AlgExpr, out: &mut Vec<AlgNode<'a>>) {
+    out.push(AlgNode::Expr(e));
+    match e {
+        AlgExpr::Pred(_) | AlgExpr::Singleton(_) => {}
+        AlgExpr::Union(a, b)
+        | AlgExpr::Intersect(a, b)
+        | AlgExpr::Diff(a, b)
+        | AlgExpr::Product(a, b) => {
+            push_alg(a, out);
+            push_alg(b, out);
+        }
+        AlgExpr::Project(_, a)
+        | AlgExpr::Untuple(a)
+        | AlgExpr::Collapse(a)
+        | AlgExpr::Powerset(a) => push_alg(a, out),
+        AlgExpr::Select(sel, a) => {
+            push_sel(sel, out);
+            push_alg(a, out);
+        }
+    }
+}
+
+fn push_sel<'a>(s: &'a SelFormula, out: &mut Vec<AlgNode<'a>>) {
+    out.push(AlgNode::Sel(s));
+    match s {
+        SelFormula::Eq(..) | SelFormula::In(..) => {}
+        SelFormula::Not(inner) => push_sel(inner, out),
+        SelFormula::And(parts) | SelFormula::Or(parts) => {
+            for part in parts {
+                push_sel(part, out);
+            }
+        }
+        SelFormula::Implies(a, b) => {
+            push_sel(a, out);
+            push_sel(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itq_calculus::Term;
+    use itq_object::{Atom, Type};
+
+    #[test]
+    fn formula_preorder_is_node_then_children() {
+        let eq = Formula::eq(Term::var("x"), Term::var("x"));
+        let f = Formula::exists(
+            "x",
+            Type::Atomic,
+            Formula::and(vec![eq.clone(), Formula::truth()]),
+        );
+        let nodes = formula_preorder(&f);
+        assert_eq!(nodes.len(), 4);
+        assert!(matches!(nodes[0], Formula::Exists(..)));
+        assert!(matches!(nodes[1], Formula::And(..)));
+        assert_eq!(nodes[2], &eq);
+        assert_eq!(nodes[3], &Formula::truth());
+    }
+
+    #[test]
+    fn algebra_preorder_visits_selection_formula_before_operand() {
+        let e = AlgExpr::pred("R").select(SelFormula::coords_eq(1, 2));
+        let nodes = algebra_preorder(&e);
+        assert_eq!(nodes.len(), 3);
+        assert!(matches!(nodes[0], AlgNode::Expr(AlgExpr::Select(..))));
+        assert!(matches!(nodes[1], AlgNode::Sel(SelFormula::Eq(..))));
+        assert!(matches!(nodes[2], AlgNode::Expr(AlgExpr::Pred(_))));
+    }
+
+    #[test]
+    fn nested_selection_formulas_are_flattened_in_syntax_order() {
+        let sel = SelFormula::all(vec![
+            SelFormula::coords_eq(1, 2),
+            SelFormula::coord_is(1, Atom(3)),
+        ]);
+        let e = AlgExpr::pred("R").product(AlgExpr::pred("S")).select(sel);
+        let nodes = algebra_preorder(&e);
+        // Select, And, Eq, Eq, Product, Pred R, Pred S.
+        assert_eq!(nodes.len(), 7);
+        assert!(matches!(nodes[4], AlgNode::Expr(AlgExpr::Product(..))));
+    }
+}

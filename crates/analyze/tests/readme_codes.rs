@@ -1,0 +1,65 @@
+//! The README's "Static analysis" code table must cover the registry.
+//!
+//! Every registered `ITQ####` code — with its kebab-case name, default
+//! severity, and one-line summary — has to appear in the top-level
+//! `README.md` table, so documentation can never drift behind the analyzer.
+
+#![forbid(unsafe_code)]
+
+use itq_analyze::all_codes;
+
+fn readme() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    std::fs::read_to_string(path).expect("README.md at the workspace root")
+}
+
+#[test]
+fn every_registered_code_is_documented_in_the_readme() {
+    let readme = readme();
+    for info in all_codes() {
+        let code = info.code.to_string();
+        assert!(
+            readme.contains(&code),
+            "README.md does not mention {code} ({})",
+            info.name
+        );
+        // The table row carries the code, its stable name, its default
+        // severity, and the registry's one-line summary.
+        let row = readme
+            .lines()
+            .find(|l| l.starts_with(&format!("| `{code}` |")))
+            .unwrap_or_else(|| panic!("README.md has no table row for {code}"));
+        assert!(
+            row.contains(info.name),
+            "README row for {code} does not name `{}`: {row}",
+            info.name
+        );
+        assert!(
+            row.contains(&info.severity.to_string()),
+            "README row for {code} does not state severity `{}`: {row}",
+            info.severity
+        );
+        assert!(
+            row.contains(info.summary),
+            "README row for {code} does not carry the registry summary: {row}"
+        );
+    }
+}
+
+#[test]
+fn the_readme_table_has_no_unregistered_codes() {
+    let readme = readme();
+    let registered: Vec<String> = all_codes().iter().map(|i| i.code.to_string()).collect();
+    for line in readme.lines().filter(|l| l.starts_with("| `ITQ")) {
+        let code = line
+            .trim_start_matches("| `")
+            .split('`')
+            .next()
+            .unwrap()
+            .to_string();
+        assert!(
+            registered.contains(&code),
+            "README documents {code}, which the registry does not define"
+        );
+    }
+}

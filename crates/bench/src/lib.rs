@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-bench — benchmark harness
 //!
 //! The real content of this crate lives in `benches/` (one Criterion bench per

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-calculus — the typed complex object calculus
 //!
 //! This crate implements the query language at the heart of Hull & Su,

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-core — intermediate-type queries as a usable library
 //!
 //! This crate is the front door of the reproduction of Hull & Su,

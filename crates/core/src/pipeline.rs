@@ -263,7 +263,7 @@ impl EngineBuilder {
 /// assert_eq!(stats.plan_micros, 0);
 /// let span = stats.to_span();
 /// assert_eq!(span.name, "prepare");
-/// assert_eq!(span.children.len(), 5);
+/// assert_eq!(span.children.len(), 6);
 /// assert_eq!(span.wall_micros, stats.total_micros());
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -282,6 +282,10 @@ pub struct PrepareStats {
     pub normalize_micros: u64,
     /// Lowering into the slot-based compiled evaluator.
     pub compile_micros: u64,
+    /// The static-analysis pass pipeline ([`itq_analyze`]) over the query or
+    /// algebra expression, whose report is cached on the handle (see
+    /// [`Prepared::diagnostics`]).
+    pub analyze_micros: u64,
 }
 
 impl PrepareStats {
@@ -292,6 +296,7 @@ impl PrepareStats {
             + self.classify_micros
             + self.normalize_micros
             + self.compile_micros
+            + self.analyze_micros
     }
 
     /// Render as a trace [`Span`]: a `prepare` root with one child per phase,
@@ -305,6 +310,7 @@ impl PrepareStats {
             ("classify", self.classify_micros),
             ("normalize", self.normalize_micros),
             ("compile", self.compile_micros),
+            ("analyze", self.analyze_micros),
         ] {
             let mut child = Span::new(name);
             child.wall_micros = micros;
@@ -557,6 +563,10 @@ pub struct Prepared {
     alg_config: AlgConfig,
     invention_config: InventionConfig,
     universe_seed: Universe,
+    /// The static-analysis report computed at prepare time (unused variables,
+    /// foldable subformulas, budget forecasts, stratum report — see
+    /// [`itq_analyze`]).
+    diagnostics: itq_analyze::Report,
 }
 
 impl Engine {
@@ -647,12 +657,25 @@ impl Engine {
         let compiled = itq_calculus::compile::compile(&query)
             .expect("a validated query always lowers to its compiled form");
         let compile_micros = phase.elapsed().as_micros() as u64;
+        let phase = Instant::now();
+        let budgets = itq_analyze::Budgets {
+            max_quantifier_domain: self.calc_config.max_quantifier_domain,
+            max_instance: self.alg_config.max_instance,
+        };
+        let diagnostics = match &source {
+            PreparedSource::Calculus => itq_analyze::analyze_query(&query, &budgets),
+            PreparedSource::Algebra { expr, schema, .. } => {
+                itq_analyze::analyze_algebra(expr, schema, &budgets)
+            }
+        };
+        let analyze_micros = phase.elapsed().as_micros() as u64;
         let prepare_stats = PrepareStats {
             typecheck_micros,
             plan_micros,
             classify_micros,
             normalize_micros,
             compile_micros,
+            analyze_micros,
         };
         Prepared {
             prepare_stats,
@@ -668,6 +691,7 @@ impl Engine {
             alg_config: self.alg_config,
             invention_config: self.invention_config,
             universe_seed: self.universe.clone(),
+            diagnostics,
         }
     }
 }
@@ -699,10 +723,28 @@ impl Prepared {
     /// let calculus = engine.prepare(&queries::grandparent_query()).unwrap();
     /// // Only algebra handles go through the planner.
     /// assert_eq!(calculus.prepare_stats().plan_micros, 0);
-    /// assert_eq!(algebra.prepare_stats().to_span().children.len(), 5);
+    /// assert_eq!(algebra.prepare_stats().to_span().children.len(), 6);
     /// ```
     pub fn prepare_stats(&self) -> &PrepareStats {
         &self.prepare_stats
+    }
+
+    /// The static-analysis report computed once at prepare time: unused or
+    /// shadowed quantified variables, always-true/always-false subformulas,
+    /// budget forecasts, and the `CALC_{k,i}` stratum report.  Analysis is
+    /// purely observational — it never changes what [`Prepared::execute`]
+    /// computes.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let prepared = Engine::new().prepare(&queries::grandparent_query()).unwrap();
+    /// // A clean query still carries its Info-level stratum report.
+    /// let report = prepared.diagnostics();
+    /// assert_eq!(report.max_severity(), Some(itq_analyze::Severity::Info));
+    /// ```
+    pub fn diagnostics(&self) -> &itq_analyze::Report {
+        &self.diagnostics
     }
 
     /// True when the execution budgets snapshotted into this handle are all
@@ -1462,7 +1504,14 @@ mod tests {
                 .iter()
                 .map(|c| c.name.as_str())
                 .collect::<Vec<_>>(),
-            ["typecheck", "plan", "classify", "normalize", "compile"]
+            [
+                "typecheck",
+                "plan",
+                "classify",
+                "normalize",
+                "compile",
+                "analyze"
+            ]
         );
         assert_eq!(span.wall_micros, algebra.prepare_stats().total_micros());
     }

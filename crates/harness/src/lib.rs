@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq — umbrella crate for the Hull–Su reproduction
 //!
 //! This crate re-exports the whole workspace so the cross-crate integration

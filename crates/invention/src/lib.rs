@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-invention — invented-value semantics and the universal type
 //!
 //! Section 6 of the paper re-interprets the very same calculus queries under

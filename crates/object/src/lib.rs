@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-object — the complex object data model
 //!
 //! This crate implements the data model of Hull & Su, *"On the Expressive Power of

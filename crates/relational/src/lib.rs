@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-relational — the flat relational substrate and baseline algorithms
 //!
 //! The paper's primary focus is on queries that map *flat* (relational) databases

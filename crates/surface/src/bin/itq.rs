@@ -3,14 +3,18 @@
 //! ```text
 //! itq                      # REPL on stdin (statements end with `;`)
 //! itq --script FILE.itq    # batch mode: run a script, stop at the first error
+//! itq --check FILE.itq     # static analysis only: never executes anything
 //! itq -e 'STATEMENTS'      # one-shot: run statements from the command line
 //! itq --quiet ...          # suppress answer-object lines (headers still print)
 //! itq --trace FILE ...     # append one JSON trace span per traced event
 //! ```
 //!
 //! The REPL keeps going after an error; batch and one-shot modes exit with
-//! status 1 on the first error so CI pipelines fail loudly.
+//! status 1 on the first error so CI pipelines fail loudly.  `--check` exits
+//! with the script's worst diagnostic severity: 0 for clean or info-only,
+//! 1 when warnings were found, 2 on any error.
 
+use itq_surface::check_script;
 use itq_surface::script::split_statements;
 use itq_surface::session::{Control, Session};
 use itq_trace::JsonLinesSink;
@@ -21,6 +25,7 @@ use std::process::ExitCode;
 /// `main` means the interactive REPL.
 enum Mode {
     Script(String),
+    Check(String),
     Eval(String),
 }
 
@@ -39,6 +44,11 @@ fn main() -> ExitCode {
             "--script" => match (mode.is_none(), args.next()) {
                 (true, Some(path)) => mode = Some(Mode::Script(path)),
                 (true, None) => return usage_error("--script needs a file argument"),
+                (false, _) => return usage_error("more than one mode given"),
+            },
+            "--check" => match (mode.is_none(), args.next()) {
+                (true, Some(path)) => mode = Some(Mode::Check(path)),
+                (true, None) => return usage_error("--check needs a file argument"),
                 (false, _) => return usage_error("more than one mode given"),
             },
             "-e" | "--eval" => match (mode.is_none(), args.next()) {
@@ -68,8 +78,20 @@ fn main() -> ExitCode {
     match mode {
         None => repl(session),
         Some(Mode::Script(path)) => batch(&mut session, &file_contents(&path), Some(&path)),
+        Some(Mode::Check(path)) => check(&path, &file_contents(&path)),
         Some(Mode::Eval(stmts)) => batch(&mut session, &stmts, None),
     }
+}
+
+/// `--check` mode: analyze the whole script statically (never executing a
+/// statement) and exit with its worst severity.
+fn check(path: &str, src: &str) -> ExitCode {
+    let result = check_script(src, &itq_analyze::Budgets::default());
+    for line in &result.lines {
+        println!("{line}");
+    }
+    println!("{path}: {}", result.summary());
+    ExitCode::from(result.exit_code() as u8)
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -79,10 +101,14 @@ fn usage_error(msg: &str) -> ExitCode {
 }
 
 fn print_usage() {
-    println!("usage: itq [--quiet] [--trace FILE] [--script FILE.itq | -e 'STATEMENTS' | --help]");
+    println!(
+        "usage: itq [--quiet] [--trace FILE] \
+         [--script FILE.itq | --check FILE.itq | -e 'STATEMENTS' | --help]"
+    );
     println!("With no mode argument, reads `;`-terminated statements from stdin.");
     println!("  --quiet        print result headers only, not the answer objects");
     println!("  --trace FILE   write one JSON span per eval/epoch to FILE (JSON lines)");
+    println!("  --check FILE   static analysis only; exit 0 clean/info, 1 warnings, 2 errors");
     println!("Type `help;` inside the session for the statement reference.");
 }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-surface — a concrete syntax for intermediate-type queries
 //!
 //! Every other crate in the workspace builds queries as Rust ASTs.  This crate
@@ -43,12 +45,15 @@
 //! assert_eq!((err.line(), err.column()), (1, 4));
 //! ```
 
+pub mod check;
 pub mod error;
 pub mod parser;
 pub mod script;
 pub mod session;
+pub mod spans;
 pub mod token;
 
+pub use check::{check_script, ScriptCheck};
 pub use error::{ParseError, Pos};
 pub use parser::{
     parse_alg_expr, parse_alg_expr_with, parse_database_with, parse_formula, parse_formula_with,

@@ -56,6 +56,10 @@ pub struct Parser<'u> {
     end: Pos,
     depth: usize,
     universe: Option<&'u mut Universe>,
+    /// Span events: one `(start, end)` per formula / algebra / selection node,
+    /// pushed immediately after the node is constructed, so the list is the
+    /// post-order of the final tree (see [`crate::spans`]).
+    events: Vec<(Pos, Pos)>,
 }
 
 /// Hard bound on grammatical nesting: recursive descent uses the call stack,
@@ -75,6 +79,7 @@ impl<'u> Parser<'u> {
             end: end_pos(src),
             depth: 0,
             universe: None,
+            events: Vec::new(),
         })
     }
 
@@ -87,6 +92,7 @@ impl<'u> Parser<'u> {
             end: end_pos(src),
             depth: 0,
             universe: Some(universe),
+            events: Vec::new(),
         })
     }
 
@@ -151,6 +157,21 @@ impl<'u> Parser<'u> {
         } else {
             Err(self.err_here(format!("expected {}", tok.describe())))
         }
+    }
+
+    /// Record a span event for a node the calling production just built:
+    /// `start` is the position of its first token, the end is the position of
+    /// the next unconsumed token (exclusive).
+    fn mark(&mut self, start: Pos) {
+        let end = self.pos();
+        self.events.push((start, end));
+    }
+
+    /// Take the span events accumulated so far (one per formula / algebra /
+    /// selection node, in construction = post-order). The statement layer
+    /// pairs them with the parsed tree via [`crate::spans`].
+    pub fn take_span_events(&mut self) -> Vec<(Pos, Pos)> {
+        std::mem::take(&mut self.events)
     }
 
     /// True if the whole input has been consumed.
@@ -305,24 +326,30 @@ impl<'u> Parser<'u> {
 
     /// Parse a formula at the loosest precedence level.
     pub fn formula(&mut self) -> Result<Formula> {
+        let start = self.pos();
         let mut f = self.formula_imp()?;
         while self.eat(&Tok::Iff) {
             let rhs = self.formula_imp()?;
             f = Formula::iff(f, rhs);
+            self.mark(start);
         }
         Ok(f)
     }
 
     fn formula_imp(&mut self) -> Result<Formula> {
+        let start = self.pos();
         let lhs = self.formula_or()?;
         if self.eat(&Tok::Implies) {
             let rhs = self.formula_imp()?;
-            return Ok(Formula::implies(lhs, rhs));
+            let f = Formula::implies(lhs, rhs);
+            self.mark(start);
+            return Ok(f);
         }
         Ok(lhs)
     }
 
     fn formula_or(&mut self) -> Result<Formula> {
+        let start = self.pos();
         let first = self.formula_and()?;
         if self.peek() != Some(&Tok::Or) {
             return Ok(first);
@@ -331,10 +358,12 @@ impl<'u> Parser<'u> {
         while self.eat(&Tok::Or) {
             parts.push(self.formula_and()?);
         }
+        self.mark(start);
         Ok(Formula::Or(parts))
     }
 
     fn formula_and(&mut self) -> Result<Formula> {
+        let start = self.pos();
         let first = self.formula_unary()?;
         if self.peek() != Some(&Tok::And) {
             return Ok(first);
@@ -343,6 +372,7 @@ impl<'u> Parser<'u> {
         while self.eat(&Tok::And) {
             parts.push(self.formula_unary()?);
         }
+        self.mark(start);
         Ok(Formula::And(parts))
     }
 
@@ -354,10 +384,13 @@ impl<'u> Parser<'u> {
     }
 
     fn formula_unary_inner(&mut self) -> Result<Formula> {
+        let start = self.pos();
         match self.peek() {
             Some(Tok::Not) => {
                 self.advance();
-                Ok(Formula::not(self.formula_unary()?))
+                let f = Formula::not(self.formula_unary()?);
+                self.mark(start);
+                Ok(f)
             }
             Some(Tok::Exists) | Some(Tok::Forall) => {
                 let quantifier = self.advance().map(|t| t.tok);
@@ -365,17 +398,21 @@ impl<'u> Parser<'u> {
                 self.expect(Tok::Slash)?;
                 let ty = self.ty()?;
                 let body = self.formula_unary()?;
-                Ok(match quantifier {
+                let f = match quantifier {
                     Some(Tok::Exists) => Formula::Exists(var, ty, Box::new(body)),
                     _ => Formula::Forall(var, ty, Box::new(body)),
-                })
+                };
+                self.mark(start);
+                Ok(f)
             }
             Some(Tok::Top) => {
                 self.advance();
+                self.mark(start);
                 Ok(Formula::truth())
             }
             Some(Tok::Bottom) => {
                 self.advance();
+                self.mark(start);
                 Ok(Formula::falsity())
             }
             Some(Tok::BigAnd) | Some(Tok::BigOr) => {
@@ -389,15 +426,18 @@ impl<'u> Parser<'u> {
                     }
                 }
                 self.expect(Tok::RParen)?;
-                Ok(match connective {
+                let f = match connective {
                     Some(Tok::BigAnd) => Formula::And(parts),
                     _ => Formula::Or(parts),
-                })
+                };
+                self.mark(start);
+                Ok(f)
             }
             Some(Tok::LParen) => {
                 self.advance();
                 let f = self.formula()?;
                 self.expect(Tok::RParen)?;
+                // Parenthesization creates no node, so no span event.
                 Ok(f)
             }
             // Predicate application `P(t)` — an identifier directly followed by
@@ -407,6 +447,7 @@ impl<'u> Parser<'u> {
                 self.expect(Tok::LParen)?;
                 let arg = self.term()?;
                 self.expect(Tok::RParen)?;
+                self.mark(start);
                 Ok(Formula::Pred(name, arg))
             }
             Some(Tok::Ident(_)) | Some(Tok::SQuoted(_)) => {
@@ -414,11 +455,15 @@ impl<'u> Parser<'u> {
                 match self.peek() {
                     Some(Tok::Approx) => {
                         self.advance();
-                        Ok(Formula::Eq(t1, self.term()?))
+                        let f = Formula::Eq(t1, self.term()?);
+                        self.mark(start);
+                        Ok(f)
                     }
                     Some(Tok::In) => {
                         self.advance();
-                        Ok(Formula::Member(t1, self.term()?))
+                        let f = Formula::Member(t1, self.term()?);
+                        self.mark(start);
+                        Ok(f)
                     }
                     _ => Err(self.err_here("expected `≈` or `∈` after a term")),
                 }
@@ -452,6 +497,7 @@ impl<'u> Parser<'u> {
     /// level and associate to the left; the printers parenthesize fully, so
     /// printed forms never rely on this.
     pub fn alg_expr(&mut self) -> Result<AlgExpr> {
+        let start = self.pos();
         let mut e = self.alg_unary()?;
         loop {
             let op = match self.peek() {
@@ -469,6 +515,7 @@ impl<'u> Parser<'u> {
                 Tok::Minus => e.diff(rhs),
                 _ => e.product(rhs),
             };
+            self.mark(start);
         }
         Ok(e)
     }
@@ -481,6 +528,7 @@ impl<'u> Parser<'u> {
     }
 
     fn alg_unary_inner(&mut self) -> Result<AlgExpr> {
+        let start = self.pos();
         match self.peek() {
             Some(Tok::Pi) => {
                 self.advance();
@@ -497,7 +545,9 @@ impl<'u> Parser<'u> {
                 self.expect(Tok::LParen)?;
                 let e = self.alg_expr()?;
                 self.expect(Tok::RParen)?;
-                Ok(e.project(coords))
+                let e = e.project(coords);
+                self.mark(start);
+                Ok(e)
             }
             Some(Tok::Sigma) => {
                 self.advance();
@@ -508,33 +558,40 @@ impl<'u> Parser<'u> {
                 self.expect(Tok::LParen)?;
                 let e = self.alg_expr()?;
                 self.expect(Tok::RParen)?;
-                Ok(e.select(f))
+                let e = e.select(f);
+                self.mark(start);
+                Ok(e)
             }
             Some(Tok::Mu) | Some(Tok::ScriptC) | Some(Tok::ScriptP) => {
                 let op = self.advance().map(|t| t.tok);
                 self.expect(Tok::LParen)?;
                 let e = self.alg_expr()?;
                 self.expect(Tok::RParen)?;
-                Ok(match op {
+                let e = match op {
                     Some(Tok::Mu) => e.untuple(),
                     Some(Tok::ScriptC) => e.collapse(),
                     _ => e.powerset(),
-                })
+                };
+                self.mark(start);
+                Ok(e)
             }
             Some(Tok::LBrace) => {
                 self.advance();
                 let atom = self.atom_ref()?;
                 self.expect(Tok::RBrace)?;
+                self.mark(start);
                 Ok(AlgExpr::Singleton(atom))
             }
             Some(Tok::LParen) => {
                 self.advance();
                 let e = self.alg_expr()?;
                 self.expect(Tok::RParen)?;
+                // Parenthesization creates no node, so no span event.
                 Ok(e)
             }
             Some(Tok::Ident(_)) => {
                 let (name, _) = self.ident("a predicate name")?;
+                self.mark(start);
                 Ok(AlgExpr::Pred(name))
             }
             _ => Err(self.err_here("expected an algebra expression")),
@@ -560,15 +617,19 @@ impl<'u> Parser<'u> {
 
     /// Parse a selection formula (the `F` of `σ_F`).
     pub fn sel_formula(&mut self) -> Result<SelFormula> {
+        let start = self.pos();
         let lhs = self.sel_or()?;
         if self.eat(&Tok::Implies) {
             let rhs = self.sel_formula()?;
-            return Ok(SelFormula::implies(lhs, rhs));
+            let f = SelFormula::implies(lhs, rhs);
+            self.mark(start);
+            return Ok(f);
         }
         Ok(lhs)
     }
 
     fn sel_or(&mut self) -> Result<SelFormula> {
+        let start = self.pos();
         let first = self.sel_and()?;
         if self.peek() != Some(&Tok::Or) {
             return Ok(first);
@@ -577,10 +638,12 @@ impl<'u> Parser<'u> {
         while self.eat(&Tok::Or) {
             parts.push(self.sel_and()?);
         }
+        self.mark(start);
         Ok(SelFormula::Or(parts))
     }
 
     fn sel_and(&mut self) -> Result<SelFormula> {
+        let start = self.pos();
         let first = self.sel_unary()?;
         if self.peek() != Some(&Tok::And) {
             return Ok(first);
@@ -589,6 +652,7 @@ impl<'u> Parser<'u> {
         while self.eat(&Tok::And) {
             parts.push(self.sel_unary()?);
         }
+        self.mark(start);
         Ok(SelFormula::And(parts))
     }
 
@@ -600,17 +664,22 @@ impl<'u> Parser<'u> {
     }
 
     fn sel_unary_inner(&mut self) -> Result<SelFormula> {
+        let start = self.pos();
         match self.peek() {
             Some(Tok::Not) => {
                 self.advance();
-                Ok(SelFormula::negate(self.sel_unary()?))
+                let f = SelFormula::negate(self.sel_unary()?);
+                self.mark(start);
+                Ok(f)
             }
             Some(Tok::Top) => {
                 self.advance();
+                self.mark(start);
                 Ok(SelFormula::And(vec![]))
             }
             Some(Tok::Bottom) => {
                 self.advance();
+                self.mark(start);
                 Ok(SelFormula::Or(vec![]))
             }
             Some(Tok::BigAnd) | Some(Tok::BigOr) => {
@@ -624,15 +693,18 @@ impl<'u> Parser<'u> {
                     }
                 }
                 self.expect(Tok::RParen)?;
-                Ok(match connective {
+                let f = match connective {
                     Some(Tok::BigAnd) => SelFormula::And(parts),
                     _ => SelFormula::Or(parts),
-                })
+                };
+                self.mark(start);
+                Ok(f)
             }
             Some(Tok::LParen) => {
                 self.advance();
                 let f = self.sel_formula()?;
                 self.expect(Tok::RParen)?;
+                // Parenthesization creates no node, so no span event.
                 Ok(f)
             }
             Some(Tok::Dollar) | Some(Tok::DQuoted(_)) => {
@@ -640,11 +712,15 @@ impl<'u> Parser<'u> {
                 match self.peek() {
                     Some(Tok::Assign) | Some(Tok::Approx) => {
                         self.advance();
-                        Ok(SelFormula::Eq(t1, self.sel_term()?))
+                        let f = SelFormula::Eq(t1, self.sel_term()?);
+                        self.mark(start);
+                        Ok(f)
                     }
                     Some(Tok::In) => {
                         self.advance();
-                        Ok(SelFormula::In(t1, self.sel_term()?))
+                        let f = SelFormula::In(t1, self.sel_term()?);
+                        self.mark(start);
+                        Ok(f)
                     }
                     _ => Err(self.err_here("expected `=` or `∈` after a selection term")),
                 }

@@ -33,6 +33,7 @@
 
 use crate::error::{ParseError, Pos, Result};
 use crate::parser::Parser;
+use crate::spans::{algebra_span_table, formula_span_table, SpanTable};
 use itq_algebra::AlgExpr;
 use itq_calculus::Query;
 use itq_core::engine::Semantics;
@@ -66,6 +67,11 @@ pub enum Stmt {
         schema: String,
         /// The (already validated) query.
         query: Query,
+        /// The statement's source text, for diagnostic snippets.
+        src: String,
+        /// Statement-relative spans of the body's subformulas, indexed like
+        /// [`itq_analyze::formula_preorder`].
+        spans: SpanTable,
     },
     /// `algebra NAME : SCHEMA EXPR;` (alias `alg`).
     DefAlgebra {
@@ -75,6 +81,11 @@ pub enum Stmt {
         schema: String,
         /// The expression (typed at execution time).
         expr: AlgExpr,
+        /// The statement's source text, for diagnostic snippets.
+        src: String,
+        /// Statement-relative spans of the expression's subterms, indexed like
+        /// [`itq_analyze::algebra_preorder`].
+        spans: SpanTable,
     },
     /// `show NAME;` — print a named object.
     Show {
@@ -90,6 +101,12 @@ pub enum Stmt {
     },
     /// `typecheck NAME;` — re-validate and print the typing.
     Typecheck {
+        /// A query or algebra name.
+        name: String,
+    },
+    /// `check NAME;` — run the static analyzer and print every diagnostic
+    /// with caret snippets, without executing anything.
+    Check {
         /// A query or algebra name.
         name: String,
     },
@@ -316,20 +333,26 @@ pub fn parse_stmt(
             let (name, _) = named(&mut p, "a query name")?;
             let (schema_name, schema) = schema_ref(&mut p, schemas)?;
             let query = p.query(&schema)?;
+            let spans = formula_span_table(query.body(), &p.take_span_events());
             Stmt::DefQuery {
                 name,
                 schema: schema_name,
                 query,
+                src: src.to_string(),
+                spans,
             }
         }
         "algebra" | "alg" => {
             let (name, _) = named(&mut p, "an expression name")?;
             let (schema_name, _) = schema_ref(&mut p, schemas)?;
             let expr = p.alg_expr()?;
+            let spans = algebra_span_table(&expr, &p.take_span_events());
             Stmt::DefAlgebra {
                 name,
                 schema: schema_name,
                 expr,
+                src: src.to_string(),
+                spans,
             }
         }
         "show" => Stmt::Show {
@@ -340,6 +363,9 @@ pub fn parse_stmt(
             name: named(&mut p, "a query or algebra name")?.0,
         },
         "typecheck" => Stmt::Typecheck {
+            name: named(&mut p, "a query or algebra name")?.0,
+        },
+        "check" => Stmt::Check {
             name: named(&mut p, "a query or algebra name")?.0,
         },
         "plan" => Stmt::Plan {
@@ -441,8 +467,8 @@ pub fn parse_stmt(
             return Err(ParseError::new(
                 format!(
                     "unknown statement `{other}`; expected one of schema, database, query, \
-                     algebra, show, list, classify, typecheck, plan, eval, explain, insert, \
-                     delete, watch, unwatch, compile, help, quit"
+                     algebra, show, list, classify, typecheck, check, plan, eval, explain, \
+                     insert, delete, watch, unwatch, compile, help, quit"
                 ),
                 head_pos,
             ));

@@ -13,7 +13,9 @@
 
 use crate::error::{ParseError, Pos};
 use crate::script::{offset_error, parse_stmt, split_statements, Stmt};
+use crate::spans::SpanTable;
 use itq_algebra::{classify_expr, infer_type, AlgExpr};
+use itq_analyze::{analyze_algebra, analyze_query, render_snippet, Budgets, Severity};
 use itq_calculus::Query;
 use itq_core::engine::{Engine, Semantics};
 use itq_core::incremental::{IncrementalDb, ViewRefresh};
@@ -82,6 +84,9 @@ pub struct Session {
     databases: BTreeMap<String, (String, Database)>,
     queries: BTreeMap<String, (String, Query)>,
     algebras: BTreeMap<String, (String, AlgExpr)>,
+    /// Statement source text and node spans for each named query and algebra
+    /// expression, kept so `check NAME;` can render caret snippets.
+    sources: BTreeMap<String, (String, SpanTable)>,
     prepared: BTreeMap<String, Prepared>,
     /// Per-database incremental state, created lazily by the first mutation
     /// or `watch` on a database; holds that database's watched views.
@@ -111,6 +116,7 @@ impl Session {
             databases: BTreeMap::new(),
             queries: BTreeMap::new(),
             algebras: BTreeMap::new(),
+            sources: BTreeMap::new(),
             prepared: BTreeMap::new(),
             incremental: BTreeMap::new(),
             sink: Box::new(NoopSink),
@@ -249,6 +255,8 @@ impl Session {
                 name,
                 schema,
                 query,
+                src,
+                spans,
             } => {
                 lines.push(format!(
                     "query {name} : {schema} → {} ({} quantifiers)",
@@ -257,21 +265,30 @@ impl Session {
                 ));
                 self.prepared.remove(&name);
                 self.queries.insert(name.clone(), (schema, query));
+                self.sources.insert(name.clone(), (src, spans));
                 self.rewatch_by_name(&name, &mut lines);
             }
-            Stmt::DefAlgebra { name, schema, expr } => {
+            Stmt::DefAlgebra {
+                name,
+                schema,
+                expr,
+                src,
+                spans,
+            } => {
                 let schema_decl = self.schema_or_err(&schema)?;
                 let ty = infer_type(&expr, schema_decl)
                     .map_err(|e| SessionError::Exec(format!("algebra `{name}`: {e}")))?;
                 lines.push(format!("algebra {name} : {schema} → {ty}"));
                 self.prepared.remove(&name);
                 self.algebras.insert(name.clone(), (schema, expr));
+                self.sources.insert(name.clone(), (src, spans));
                 self.rewatch_by_name(&name, &mut lines);
             }
             Stmt::Show { name } => lines.extend(self.show(&name)?),
             Stmt::List => lines.extend(self.list()),
             Stmt::Classify { name } => lines.extend(self.classify(&name)?),
             Stmt::Typecheck { name } => lines.extend(self.typecheck(&name)?),
+            Stmt::Check { name } => lines.extend(self.check(&name)?),
             Stmt::Plan { name } => lines.extend(self.plan(&name)?),
             Stmt::Eval {
                 name,
@@ -379,9 +396,9 @@ impl Session {
     fn classify(&mut self, name: &str) -> Result<Vec<String>, SessionError> {
         if self.queries.contains_key(name) {
             // The classification was computed at prepare time; reuse the handle.
-            self.ensure_prepared(name)?;
+            let mut lines = self.ensure_prepared(name)?;
             let c = self.prepared[name].classification();
-            let mut lines = vec![format!("{name} ∈ {} (minimal)", c.minimal_class)];
+            lines.push(format!("{name} ∈ {} (minimal)", c.minimal_class));
             if c.intermediate_types.is_empty() {
                 lines.push("  no intermediate types".to_string());
             } else {
@@ -413,13 +430,14 @@ impl Session {
         if self.queries.contains_key(name) {
             // Preparing re-derives the full typing (the prepare-time semantic
             // type-check); a cached handle is itself the proof of typing.
-            self.ensure_prepared(name)?;
+            let mut lines = self.ensure_prepared(name)?;
             let (schema_name, query) = &self.queries[name];
-            return Ok(vec![format!(
+            lines.push(format!(
                 "{name} : {schema_name} → {} ✓ (t-wff over {})",
                 query.target_type(),
                 render_schema(query.schema()),
-            )]);
+            ));
+            return Ok(lines);
         }
         if let Some((schema_name, expr)) = self.algebras.get(name) {
             let schema = self.schema_or_err(schema_name)?;
@@ -447,40 +465,100 @@ impl Session {
                 "no algebra expression named `{name}`"
             )));
         }
-        self.ensure_prepared(name)?;
+        let mut lines = self.ensure_prepared(name)?;
         let prepared = &self.prepared[name];
         let plan = prepared
             .physical_plan()
             .expect("algebra handles always carry a physical plan");
-        let mut lines = vec![format!("plan {name}: {}", prepared.algebra_expr().unwrap())];
+        lines.push(format!("plan {name}: {}", prepared.algebra_expr().unwrap()));
         lines.extend(plan.render_lines().into_iter().map(|l| format!("  {l}")));
         Ok(lines)
     }
 
-    /// Get-or-create the [`Prepared`] handle for a named query or algebra
-    /// expression — the prepare-once half of the pipeline.
-    fn ensure_prepared(&mut self, name: &str) -> Result<(), SessionError> {
-        if !self.prepared.contains_key(name) {
-            let handle = if let Some((_, query)) = self.queries.get(name) {
-                self.engine
-                    .prepare(query)
-                    .map_err(|e| SessionError::Exec(format!("prepare `{name}`: {e}")))?
-            } else if let Some((schema_name, expr)) = self.algebras.get(name) {
-                let schema = self
-                    .schemas
-                    .get(schema_name)
-                    .ok_or_else(|| SessionError::Exec(format!("unknown schema `{schema_name}`")))?;
-                self.engine
-                    .prepare_algebra(expr, schema)
-                    .map_err(|e| SessionError::Exec(format!("prepare `{name}`: {e}")))?
-            } else {
-                return Err(SessionError::Exec(format!(
-                    "no query or algebra expression named `{name}`"
-                )));
-            };
-            self.prepared.insert(name.to_string(), handle);
+    /// The analyzer budgets mirroring the engine's execution budgets, so the
+    /// static cardinality forecasts predict the budget errors the engine
+    /// would actually raise.
+    fn budgets(&self) -> Budgets {
+        Budgets {
+            max_quantifier_domain: self.engine.calc_config().max_quantifier_domain,
+            max_instance: self.engine.alg_config().max_instance,
         }
-        Ok(())
+    }
+
+    /// `check NAME;` — run the full static-analysis pipeline on a named query
+    /// or algebra expression and print every diagnostic with its notes and a
+    /// caret snippet into the defining statement.  Analysis runs directly on
+    /// the stored definition (not through `prepare`), so it never executes
+    /// anything and works even when preparation would fail.
+    fn check(&self, name: &str) -> Result<Vec<String>, SessionError> {
+        let budgets = self.budgets();
+        let report = if let Some((_, query)) = self.queries.get(name) {
+            analyze_query(query, &budgets)
+        } else if let Some((schema_name, expr)) = self.algebras.get(name) {
+            let schema = self.schema_or_err(schema_name)?;
+            analyze_algebra(expr, schema, &budgets)
+        } else {
+            return Err(SessionError::Exec(format!(
+                "no query or algebra expression named `{name}`"
+            )));
+        };
+        let mut lines = vec![format!("check {name}: {}", report.summary())];
+        let source = self.sources.get(name);
+        for d in &report.diagnostics {
+            lines.push(format!("  {d}"));
+            for note in &d.notes {
+                lines.push(format!("    note: {note}"));
+            }
+            if let Some((src, spans)) = source {
+                if let Some(span) = d.node.and_then(|n| spans.get(n).copied().flatten()) {
+                    lines.extend(
+                        render_snippet(src, span)
+                            .into_iter()
+                            .map(|l| format!("    {l}")),
+                    );
+                }
+            }
+        }
+        Ok(lines)
+    }
+
+    /// Get-or-create the [`Prepared`] handle for a named query or algebra
+    /// expression — the prepare-once half of the pipeline.  A *fresh* prepare
+    /// returns the handle's warning-level diagnostics as printable lines
+    /// (suppressed by `--quiet`); a cached handle returns none, so a warning
+    /// prints once per prepare, not once per execution.
+    fn ensure_prepared(&mut self, name: &str) -> Result<Vec<String>, SessionError> {
+        if self.prepared.contains_key(name) {
+            return Ok(Vec::new());
+        }
+        let handle = if let Some((_, query)) = self.queries.get(name) {
+            self.engine
+                .prepare(query)
+                .map_err(|e| SessionError::Exec(format!("prepare `{name}`: {e}")))?
+        } else if let Some((schema_name, expr)) = self.algebras.get(name) {
+            let schema = self
+                .schemas
+                .get(schema_name)
+                .ok_or_else(|| SessionError::Exec(format!("unknown schema `{schema_name}`")))?;
+            self.engine
+                .prepare_algebra(expr, schema)
+                .map_err(|e| SessionError::Exec(format!("prepare `{name}`: {e}")))?
+        } else {
+            return Err(SessionError::Exec(format!(
+                "no query or algebra expression named `{name}`"
+            )));
+        };
+        let mut warnings = Vec::new();
+        if !self.quiet {
+            for d in handle.diagnostics().at_least(Severity::Warning) {
+                warnings.push(format!(
+                    "{}[{}] in {name}: {}",
+                    d.severity, d.code, d.message
+                ));
+            }
+        }
+        self.prepared.insert(name.to_string(), handle);
+        Ok(warnings)
     }
 
     fn eval(
@@ -494,7 +572,7 @@ impl Session {
             .get(database)
             .ok_or_else(|| SessionError::Exec(format!("unknown database `{database}`")))?
             .clone();
-        self.ensure_prepared(name)?;
+        let mut lines = self.ensure_prepared(name)?;
         let prepared = &self.prepared[name];
         // Algebra expressions keep their historical header under the limited
         // interpretation (no semantics qualifier); everything else names the
@@ -512,35 +590,35 @@ impl Session {
             .incr("objects_returned", outcome.result.len() as u64);
         // Terminal invention deserves its level report, not just the answer.
         if semantics == Semantics::TerminalInvention {
-            return Ok(match outcome.defined_at {
+            match outcome.defined_at {
                 Some(n) => {
-                    let mut lines = vec![format!(
+                    lines.push(format!(
                         "{header}: defined at n = {n}, {} object{}",
                         outcome.result.len(),
                         plural(outcome.result.len())
-                    )];
+                    ));
                     lines.extend(self.render_values(&outcome.result));
-                    lines
                 }
                 None => {
                     let tried = outcome.stats.invention_levels as usize;
-                    vec![format!(
+                    lines.push(format!(
                         "{header}: undefined within bound (tried {tried} invention level{})",
                         plural(tried)
-                    )]
+                    ));
                 }
-            });
+            }
+            return Ok(lines);
         }
         let qualifier = if outcome.bounded_approximation {
             " (bounded approximation)"
         } else {
             ""
         };
-        let mut lines = vec![format!(
+        lines.push(format!(
             "{header}: {} object{}{qualifier}",
             outcome.result.len(),
             plural(outcome.result.len()),
-        )];
+        ));
         lines.extend(self.render_values(&outcome.result));
         Ok(lines)
     }
@@ -625,7 +703,7 @@ impl Session {
             .get(database)
             .ok_or_else(|| SessionError::Exec(format!("unknown database `{database}`")))?
             .clone();
-        self.ensure_prepared(name)?;
+        let mut lines = self.ensure_prepared(name)?;
         let prepared = &self.prepared[name];
         let header = format!("explain analyze {name} on {database} with {semantics}");
         let (outcome, span) = prepared
@@ -639,12 +717,12 @@ impl Session {
         } else {
             ""
         };
-        let mut lines = vec![format!(
+        lines.push(format!(
             "{header}: {} object{}{qualifier}, {} µs",
             outcome.result.len(),
             plural(outcome.result.len()),
             outcome.stats.wall_micros,
-        )];
+        ));
         lines.extend(span.to_string().lines().map(|l| format!("  {l}")));
         if self.sink.is_enabled() {
             self.sink.record(span);
@@ -660,7 +738,7 @@ impl Session {
         database: &str,
         semantics: Semantics,
     ) -> Result<Vec<String>, SessionError> {
-        self.ensure_prepared(name)?;
+        let mut lines = self.ensure_prepared(name)?;
         let prepared = self.prepared[name].clone();
         self.incremental_for(database)?;
         let inc = self
@@ -670,7 +748,7 @@ impl Session {
         inc.watch(name, prepared, semantics);
         let view = inc.view(name).expect("watch registers the view");
         let header = format!("watch {name} on {database} with {semantics}");
-        let line = match view.outcome() {
+        lines.push(match view.outcome() {
             Ok(answer) => format!(
                 "{header}: {} answer{}, strategy {}",
                 answer.len(),
@@ -678,8 +756,8 @@ impl Session {
                 view.strategy_name()
             ),
             Err(e) => format!("{header}: error stored ({e}), strategy re-execute"),
-        };
-        Ok(vec![line])
+        });
+        Ok(lines)
     }
 
     /// `unwatch NAME [on DB];` — drop a watched view from one database, or
@@ -821,6 +899,7 @@ fn help_text() -> Vec<String> {
         "  algebra NAME : SCHEMA EXPR           define an algebra expression",
         "  typecheck NAME                       re-check and print the typing",
         "  classify NAME                        minimal CALC_{k,i} / ALG_{k,i} class",
+        "  check NAME                           static analysis: diagnostics with caret snippets",
         "  plan NAME                            print an algebra expression's physical plan",
         "  eval NAME on DB [with SEMANTICS]     semantics: limited (default),",
         "    (`under` ≡ `with`)                 finite-invention (fi), terminal-invention (ti)",

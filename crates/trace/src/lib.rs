@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Structured tracing for the itq engine: timed [`Span`] trees with typed
 //! counter payloads, pluggable [`TraceSink`]s, and a session-wide
 //! [`MetricsRegistry`] of monotonic counters.

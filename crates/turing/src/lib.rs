@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-turing — the Turing machine substrate
 //!
 //! Several of the paper's central constructions hinge on simulating Turing

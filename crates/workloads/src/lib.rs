@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # itq-workloads — deterministic workload generators
 //!
 //! Generators for the input databases used by the examples, integration tests and

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline stand-in for the `proptest` property-testing crate.
 //!
 //! The build environment has no access to crates.io, so this shim reimplements
