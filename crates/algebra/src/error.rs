@@ -1,6 +1,6 @@
 //! Errors raised while typing or evaluating algebra expressions.
 
-use itq_object::ObjectError;
+use itq_object::{ObjectError, ResourceError};
 use std::fmt;
 
 /// Errors produced by the algebra layer.
@@ -36,6 +36,10 @@ pub enum AlgError {
     },
     /// An error bubbled up from the object model.
     Object(ObjectError),
+    /// The execution's resource governor stopped the evaluation (deadline,
+    /// cancellation, or memory ceiling).  Rendered verbatim so the message
+    /// stays byte-identical across every backend.
+    Resource(ResourceError),
 }
 
 impl fmt::Display for AlgError {
@@ -52,11 +56,18 @@ impl fmt::Display for AlgError {
                 write!(f, "evaluation budget exceeded: {what} (limit {limit})")
             }
             AlgError::Object(e) => write!(f, "{e}"),
+            AlgError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for AlgError {}
+
+impl From<ResourceError> for AlgError {
+    fn from(e: ResourceError) -> Self {
+        AlgError::Resource(e)
+    }
+}
 
 impl From<ObjectError> for AlgError {
     fn from(e: ObjectError) -> Self {

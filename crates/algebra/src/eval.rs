@@ -7,7 +7,8 @@
 use crate::error::AlgError;
 use crate::expr::{AlgExpr, SelFormula, SelTerm};
 use crate::typing::infer_type;
-use itq_object::{Database, Instance, Schema, Value};
+use itq_object::govern::POLL_MASK;
+use itq_object::{Database, Instance, Interrupt, Schema, Value};
 
 /// Budgets for algebra evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +44,47 @@ impl AlgExpr {
         schema: &Schema,
         config: &EvalConfig,
     ) -> Result<Instance, AlgError> {
+        self.eval_governed(db, schema, config, Interrupt::disarmed())
+    }
+
+    /// [`AlgExpr::eval`] under a resource governor: the evaluator polls
+    /// `interrupt` once on entry and then at per-row granularity, surfacing
+    /// deadline expiry, cancellation, and injected faults as
+    /// [`AlgError::Resource`].  This backend never interns, so its memory
+    /// footprint reported to the governor is always 0.
+    pub fn eval_governed(
+        &self,
+        db: &Database,
+        schema: &Schema,
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+    ) -> Result<Instance, AlgError> {
         infer_type(self, schema)?;
-        eval_unchecked(self, db, config)
+        // Poll once before any work so a deadline of 0 ms (or a pre-set
+        // cancel flag) trips even on expressions that would finish instantly.
+        interrupt.check(0)?;
+        let mut gov = Gov {
+            interrupt,
+            ticks: 0,
+        };
+        eval_unchecked(self, db, config, &mut gov)
+    }
+}
+
+/// Per-evaluation governor state for the tuple-at-a-time path: a tick counter
+/// polled at the masked cadence shared by every backend.
+struct Gov<'a> {
+    interrupt: &'a Interrupt,
+    ticks: u64,
+}
+
+impl Gov<'_> {
+    fn tick(&mut self) -> Result<(), AlgError> {
+        self.ticks += 1;
+        if self.ticks & POLL_MASK == 0 {
+            self.interrupt.check(0)?;
+        }
+        Ok(())
     }
 }
 
@@ -62,7 +102,9 @@ fn eval_unchecked(
     expr: &AlgExpr,
     db: &Database,
     config: &EvalConfig,
+    gov: &mut Gov<'_>,
 ) -> Result<Instance, AlgError> {
+    gov.tick()?;
     match expr {
         AlgExpr::Pred(p) => db
             .relation(p)
@@ -70,28 +112,29 @@ fn eval_unchecked(
             .ok_or_else(|| AlgError::UnknownPredicate { name: p.clone() }),
         AlgExpr::Singleton(a) => Ok(Instance::from_atoms(vec![*a])),
         AlgExpr::Union(a, b) => {
-            let ia = eval_unchecked(a, db, config)?;
-            let ib = eval_unchecked(b, db, config)?;
+            let ia = eval_unchecked(a, db, config, gov)?;
+            let ib = eval_unchecked(b, db, config, gov)?;
             Ok(Instance::from_values(ia.into_iter().chain(ib)))
         }
         AlgExpr::Intersect(a, b) => {
-            let ia = eval_unchecked(a, db, config)?;
-            let ib = eval_unchecked(b, db, config)?;
+            let ia = eval_unchecked(a, db, config, gov)?;
+            let ib = eval_unchecked(b, db, config, gov)?;
             Ok(Instance::from_values(
                 ia.into_iter().filter(|v| ib.contains(v)),
             ))
         }
         AlgExpr::Diff(a, b) => {
-            let ia = eval_unchecked(a, db, config)?;
-            let ib = eval_unchecked(b, db, config)?;
+            let ia = eval_unchecked(a, db, config, gov)?;
+            let ib = eval_unchecked(b, db, config, gov)?;
             Ok(Instance::from_values(
                 ia.into_iter().filter(|v| !ib.contains(v)),
             ))
         }
         AlgExpr::Project(coords, a) => {
-            let ia = eval_unchecked(a, db, config)?;
+            let ia = eval_unchecked(a, db, config, gov)?;
             let mut out = Instance::empty();
             for v in ia.iter() {
+                gov.tick()?;
                 let components = v.as_tuple().ok_or_else(|| AlgError::TypeMismatch {
                     operator: "projection".to_string(),
                     detail: format!("non-tuple value {v}"),
@@ -109,9 +152,10 @@ fn eval_unchecked(
             Ok(out)
         }
         AlgExpr::Select(sel, a) => {
-            let ia = eval_unchecked(a, db, config)?;
+            let ia = eval_unchecked(a, db, config, gov)?;
             let mut out = Instance::empty();
             for v in ia.iter() {
+                gov.tick()?;
                 let components = v.as_tuple().ok_or_else(|| AlgError::TypeMismatch {
                     operator: "selection".to_string(),
                     detail: format!("non-tuple value {v}"),
@@ -123,8 +167,8 @@ fn eval_unchecked(
             Ok(out)
         }
         AlgExpr::Product(a, b) => {
-            let ia = eval_unchecked(a, db, config)?;
-            let ib = eval_unchecked(b, db, config)?;
+            let ia = eval_unchecked(a, db, config, gov)?;
+            let ib = eval_unchecked(b, db, config, gov)?;
             let expected = (ia.len() as u64).saturating_mul(ib.len() as u64);
             if expected > config.max_instance {
                 return Err(AlgError::Budget {
@@ -135,6 +179,7 @@ fn eval_unchecked(
             let mut out = Instance::empty();
             for va in ia.iter() {
                 for vb in ib.iter() {
+                    gov.tick()?;
                     let mut components = flatten_components(va);
                     components.extend(flatten_components(vb));
                     out.insert(Value::Tuple(components));
@@ -143,7 +188,7 @@ fn eval_unchecked(
             Ok(out)
         }
         AlgExpr::Untuple(a) => {
-            let ia = eval_unchecked(a, db, config)?;
+            let ia = eval_unchecked(a, db, config, gov)?;
             let mut out = Instance::empty();
             for v in ia.iter() {
                 match v.as_tuple() {
@@ -161,7 +206,7 @@ fn eval_unchecked(
             Ok(out)
         }
         AlgExpr::Collapse(a) => {
-            let ia = eval_unchecked(a, db, config)?;
+            let ia = eval_unchecked(a, db, config, gov)?;
             let mut out = Instance::empty();
             for v in ia.iter() {
                 let set = v.as_set().ok_or_else(|| AlgError::TypeMismatch {
@@ -175,7 +220,7 @@ fn eval_unchecked(
             Ok(out)
         }
         AlgExpr::Powerset(a) => {
-            let ia = eval_unchecked(a, db, config)?;
+            let ia = eval_unchecked(a, db, config, gov)?;
             let n = ia.len();
             if n >= 63 || (1u64 << n) > config.max_instance {
                 return Err(AlgError::Budget {
@@ -186,6 +231,7 @@ fn eval_unchecked(
             let elements: Vec<&Value> = ia.iter().collect();
             let mut out = Instance::empty();
             for mask in 0u64..(1u64 << n) {
+                gov.tick()?;
                 let subset = elements
                     .iter()
                     .enumerate()

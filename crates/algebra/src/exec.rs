@@ -21,7 +21,8 @@ use crate::error::AlgError;
 use crate::eval::EvalConfig;
 use crate::expr::{SelFormula, SelTerm};
 use crate::plan::{JoinStrategy, PhysNode, PhysicalPlan};
-use itq_object::{Atom, Database, Instance, ValueId, ValueStore};
+use itq_object::govern::POLL_MASK;
+use itq_object::{Atom, Database, Instance, Interrupt, ValueId, ValueStore};
 use itq_trace::Span;
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -68,7 +69,22 @@ impl PhysicalPlan {
         db: &Database,
         config: &EvalConfig,
     ) -> Result<(Instance, PlanStats), AlgError> {
-        let (result, stats, _) = self.run(db, config, false)?;
+        let (result, stats, _) = self.run(db, config, Interrupt::disarmed(), false)?;
+        Ok((result, stats))
+    }
+
+    /// [`PhysicalPlan::execute`] under a resource governor: the executor
+    /// polls `interrupt` once on entry and then at join-probe /
+    /// row-materialisation granularity, surfacing deadline expiry,
+    /// cancellation, injected faults, and memory-ceiling breaches (against
+    /// the interner's deterministic byte estimate) as [`AlgError::Resource`].
+    pub fn execute_governed(
+        &self,
+        db: &Database,
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+    ) -> Result<(Instance, PlanStats), AlgError> {
+        let (result, stats, _) = self.run(db, config, interrupt, false)?;
         Ok((result, stats))
     }
 
@@ -84,7 +100,19 @@ impl PhysicalPlan {
         db: &Database,
         config: &EvalConfig,
     ) -> Result<(Instance, PlanStats, Span), AlgError> {
-        let (result, stats, trace) = self.run(db, config, true)?;
+        self.execute_traced_governed(db, config, Interrupt::disarmed())
+    }
+
+    /// [`PhysicalPlan::execute_traced`] under a resource governor (see
+    /// [`PhysicalPlan::execute_governed`]); the trace remains byte-identical
+    /// to the ungoverned one whenever the interrupt never trips.
+    pub fn execute_traced_governed(
+        &self,
+        db: &Database,
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+    ) -> Result<(Instance, PlanStats, Span), AlgError> {
+        let (result, stats, trace) = self.run(db, config, interrupt, true)?;
         Ok((
             result,
             stats,
@@ -96,8 +124,12 @@ impl PhysicalPlan {
         &self,
         db: &Database,
         config: &EvalConfig,
+        interrupt: &Interrupt,
         traced: bool,
     ) -> Result<(Instance, PlanStats, Option<Span>), AlgError> {
+        // Poll once before any work so a deadline of 0 ms (or a pre-set
+        // cancel flag) trips even on plans that would finish instantly.
+        interrupt.check(0)?;
         let mut ctx = Ctx {
             db,
             config,
@@ -105,6 +137,8 @@ impl PhysicalPlan {
             scans: HashMap::new(),
             consts: HashMap::new(),
             stats: PlanStats::default(),
+            interrupt,
+            ticks: 0,
             trace: traced.then(Vec::new),
         };
         for atom in self.constants() {
@@ -128,6 +162,12 @@ struct Ctx<'a> {
     scans: HashMap<String, Vec<ValueId>>,
     consts: HashMap<Atom, ValueId>,
     stats: PlanStats,
+    /// The execution's resource governor, polled every [`POLL_MASK`]+1 ticks.
+    interrupt: &'a Interrupt,
+    /// Work units since execution start: one per join probe, per row
+    /// materialised or filtered, and per operator entered — the plan
+    /// executor's analogue of the calculus evaluators' step counter.
+    ticks: u64,
     /// Completed spans of already-evaluated siblings, innermost last; `None`
     /// on the untraced path, which therefore pays one branch per operator.
     trace: Option<Vec<Span>>,
@@ -150,6 +190,17 @@ impl RowSet {
 }
 
 impl Ctx<'_> {
+    /// Count one work unit and poll the governor at the masked cadence,
+    /// reporting the interner's deterministic byte estimate for the memory
+    /// ceiling.
+    fn tick(&mut self) -> Result<(), AlgError> {
+        self.ticks += 1;
+        if self.ticks & POLL_MASK == 0 {
+            self.interrupt.check(self.store.approx_bytes())?;
+        }
+        Ok(())
+    }
+
     /// Evaluate one operator, wrapping it in a span when tracing.  Children
     /// are evaluated (and their spans pushed) before any operator does its
     /// own work, so the counter deltas attributable to *this* operator are
@@ -200,6 +251,7 @@ impl Ctx<'_> {
     /// tuple-at-a-time evaluator visits subexpressions, so the first budget
     /// or missing-relation error is the same one it would report.
     fn eval_node(&mut self, node: &PhysNode) -> Result<Vec<ValueId>, AlgError> {
+        self.tick()?;
         match node {
             PhysNode::Scan { pred } => {
                 if let Some(rows) = self.scans.get(pred) {
@@ -252,6 +304,7 @@ impl Ctx<'_> {
                 }
                 let mut out = Vec::with_capacity(rows.len());
                 for id in rows {
+                    self.tick()?;
                     let comps = match self.store.tuple_components(id) {
                         Some(c) => c.to_vec(),
                         None => {
@@ -283,6 +336,7 @@ impl Ctx<'_> {
                     let selected = select_coords(coords.iter().copied(), &comps)?;
                     let tid = self.store.intern_tuple(selected);
                     self.stats.tuples_materialised += 1;
+                    self.tick()?;
                     out.push(tid);
                 }
                 Ok(out.rows)
@@ -366,6 +420,7 @@ impl Ctx<'_> {
                         .collect();
                     out.push(self.store.intern_set(subset));
                     self.stats.tuples_materialised += 1;
+                    self.tick()?;
                 }
                 Ok(out)
             }
@@ -416,9 +471,11 @@ impl Ctx<'_> {
                 for lcomps in &left_rows {
                     let key = select_coords(keys.iter().map(|&(lc, _)| lc), lcomps)?;
                     self.stats.join_probes += 1;
+                    self.tick()?;
                     if let Some(matches) = index.get(&key) {
                         for &j in matches {
                             self.stats.join_probes += 1;
+                            self.tick()?;
                             self.emit(lcomps, &right_rows[j], residual, project, &mut out)?;
                         }
                     }
@@ -447,9 +504,11 @@ impl Ctx<'_> {
                 for ecomps in elem_rows {
                     let eid = coord(*elem, ecomps)?;
                     self.stats.join_probes += 1;
+                    self.tick()?;
                     if let Some(matches) = index.get(&eid) {
                         for &j in matches {
                             self.stats.join_probes += 1;
+                            self.tick()?;
                             let (lcomps, rcomps) = if *elem_on_left {
                                 (ecomps, &container_rows[j])
                             } else {
@@ -464,6 +523,7 @@ impl Ctx<'_> {
                 for lcomps in &left_rows {
                     for rcomps in &right_rows {
                         self.stats.join_probes += 1;
+                        self.tick()?;
                         self.emit(lcomps, rcomps, residual, project, &mut out)?;
                     }
                 }
@@ -496,6 +556,7 @@ impl Ctx<'_> {
             None => self.store.intern_tuple(comps),
         };
         self.stats.tuples_materialised += 1;
+        self.tick()?;
         out.push(tid);
         Ok(())
     }

@@ -11,6 +11,7 @@
 //! cargo run --release -p itq-bench --bin report -- --incremental-json BENCH_incremental_delta.json
 //! cargo run --release -p itq-bench --bin report -- --trace-json -
 //! cargo run --release -p itq-bench --bin report -- --trace-overhead-json BENCH_trace_overhead.json
+//! cargo run --release -p itq-bench --bin report -- --governor-overhead-json BENCH_governor_overhead.json
 //! ```
 //!
 //! The tables are the source of the numbers recorded in `EXPERIMENTS.md`.
@@ -104,6 +105,10 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("--trace-overhead-json") {
         emit_trace_overhead_json(raw.get(1).map(String::as_str).unwrap_or("-"));
+        return;
+    }
+    if raw.first().map(String::as_str) == Some("--governor-overhead-json") {
+        emit_governor_overhead_json(raw.get(1).map(String::as_str).unwrap_or("-"));
         return;
     }
     let requested: Vec<String> = raw.iter().map(|s| s.to_uppercase()).collect();
@@ -567,6 +572,114 @@ fn emit_trace_overhead_json(target: &str) {
     } else {
         println!(
             "wrote {} trace-overhead records to {target} (aggregate {aggregate:.2}%)",
+            records.len()
+        );
+    }
+}
+
+/// `--governor-overhead-json [FILE|-]`: measure the cost of an armed but
+/// untripped resource governor.  Every workload in the E13 calculus grid and
+/// the E14 algebra grid is executed through a disarmed engine and through one
+/// armed with a one-hour deadline and a terabyte memory ceiling — limits no
+/// workload approaches, so both arms do identical query work and differ only
+/// in what each interrupt poll costs.  Min-of-5 wall time per arm; the
+/// aggregate overhead across the whole grid must stay under 2% — asserted
+/// here, so a regression fails the run before any JSON is written
+/// (`BENCH_governor_overhead.json` in CI).  The governed arm's
+/// `interrupt_polls` counter is recorded per workload: it is a deterministic
+/// function of the execution, so it is a stable key the diff script checks.
+fn emit_governor_overhead_json(target: &str) {
+    let plain_engine = Engine::builder().max_invented(1).build();
+    let governed_engine = Engine::builder()
+        .max_invented(1)
+        .deadline_millis(3_600_000)
+        .memory_ceiling(1 << 40)
+        .build();
+    let mut records: Vec<String> = Vec::new();
+    let mut plain_total: u64 = 0;
+    let mut governed_total: u64 = 0;
+    let mut calculus_grid = queries::exemplar_workloads();
+    calculus_grid.push((
+        "genealogy/transitive-closure",
+        queries::transitive_closure_query(),
+        queries::parent_database(&chain_edges(3)),
+    ));
+    let mut prepared_grid = Vec::new();
+    for (name, query, db) in calculus_grid {
+        let plain = plain_engine.prepare(&query).unwrap_or_else(|e| {
+            eprintln!("error: prepare `{name}`: {e}");
+            std::process::exit(1);
+        });
+        let governed = governed_engine.prepare(&query).unwrap_or_else(|e| {
+            eprintln!("error: prepare `{name}` (governed): {e}");
+            std::process::exit(1);
+        });
+        prepared_grid.push((name, plain, governed, db));
+    }
+    for (name, expr, schema, db) in itq_bench::algebra_exec_workloads() {
+        let plain = plain_engine
+            .prepare_algebra(&expr, &schema)
+            .unwrap_or_else(|e| {
+                eprintln!("error: prepare `{name}`: {e}");
+                std::process::exit(1);
+            });
+        let governed = governed_engine
+            .prepare_algebra(&expr, &schema)
+            .unwrap_or_else(|e| {
+                eprintln!("error: prepare `{name}` (governed): {e}");
+                std::process::exit(1);
+            });
+        prepared_grid.push((name, plain, governed, db));
+    }
+    for (name, plain, governed, db) in prepared_grid {
+        // Min-of-5 per arm: the armed-path difference is one counter bump and
+        // a few compares every 256 work units, far below scheduler noise on
+        // any one run.
+        let mut plain_micros = u64::MAX;
+        let mut governed_micros = u64::MAX;
+        let mut polls = 0u64;
+        for _ in 0..5 {
+            let ungoverned = plain.execute(&db, Semantics::Limited).unwrap();
+            plain_micros = plain_micros.min(ungoverned.stats.wall_micros);
+            let armed = governed.execute(&db, Semantics::Limited).unwrap();
+            governed_micros = governed_micros.min(armed.stats.wall_micros);
+            polls = armed.stats.interrupt_polls;
+            assert_eq!(
+                ungoverned.result, armed.result,
+                "governed and ungoverned answers must agree on `{name}`"
+            );
+        }
+        plain_total += plain_micros;
+        governed_total += governed_micros;
+        let overhead =
+            (governed_micros as f64 - plain_micros as f64) / plain_micros.max(1) as f64 * 100.0;
+        records.push(format!(
+            "{{\"experiment\":\"{name}\",\"semantics\":\"limited\",\
+             \"interrupt_polls\":{polls},\"plain_micros\":{plain_micros},\
+             \"governed_micros\":{governed_micros},\"overhead_pct\":{overhead:.2}}}"
+        ));
+    }
+    let aggregate =
+        (governed_total as f64 - plain_total as f64) / plain_total.max(1) as f64 * 100.0;
+    assert!(
+        aggregate < 2.0,
+        "armed-governor overhead must stay under 2% across the grid \
+         (got {aggregate:.2}%: plain {plain_total} µs, governed {governed_total} µs)"
+    );
+    records.push(format!(
+        "{{\"experiment\":\"aggregate\",\"semantics\":\"limited\",\
+         \"plain_micros\":{plain_total},\"governed_micros\":{governed_total},\
+         \"overhead_pct\":{aggregate:.2}}}"
+    ));
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    if target == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(target, &json) {
+        eprintln!("error: cannot write `{target}`: {e}");
+        std::process::exit(1);
+    } else {
+        println!(
+            "wrote {} governor-overhead records to {target} (aggregate {aggregate:.2}%)",
             records.len()
         );
     }

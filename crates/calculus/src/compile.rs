@@ -30,8 +30,9 @@ use crate::formula::Formula;
 use crate::query::Query;
 use crate::term::{Term, Var};
 use itq_object::cons::cons_cardinality;
+use itq_object::govern::POLL_MASK;
 use itq_object::store::{DomainCache, DomainHandle, ValueId, ValueStore};
-use itq_object::{Atom, Database, Instance, PredName, Type};
+use itq_object::{Atom, Database, Instance, Interrupt, PredName, Type};
 use itq_trace::Span;
 use std::collections::{BTreeSet, HashSet};
 use std::time::Instant;
@@ -189,11 +190,25 @@ impl CompiledQuery {
         extra: &[Atom],
         config: &EvalConfig,
     ) -> Result<(Evaluation, Span), CalcError> {
+        self.eval_traced_governed(db, extra, config, Interrupt::disarmed())
+    }
+
+    /// [`CompiledQuery::eval_traced`] under a resource governor (see
+    /// [`Evaluable::eval_governed`]); the trace remains byte-identical to the
+    /// ungoverned one whenever the interrupt never trips.
+    pub fn eval_traced_governed(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+    ) -> Result<(Evaluation, Span), CalcError> {
         let start = Instant::now();
         let (evaluation, tracer) = self.eval_inner(
             db,
             extra,
             config,
+            interrupt,
             SlotDraws {
                 draws: vec![0; self.slot_count],
             },
@@ -221,8 +236,14 @@ impl CompiledQuery {
         db: &Database,
         extra: &[Atom],
         config: &EvalConfig,
+        interrupt: &Interrupt,
         tracer: T,
     ) -> Result<(Evaluation, T), CalcError> {
+        // Poll once before any work so a deadline of 0 ms (or a pre-set
+        // cancel flag) trips even on queries that would finish instantly —
+        // mirrored by the tree walker so both backends always poll at least
+        // once per execution.
+        interrupt.check(0)?;
         let mut atom_set = Evaluable::evaluation_domain(self, db);
         atom_set.extend(extra.iter().copied());
         let atoms: Vec<Atom> = atom_set.into_iter().collect();
@@ -250,6 +271,7 @@ impl CompiledQuery {
             const_ids: Vec::with_capacity(self.consts.len()),
             relations: vec![None; self.preds.len()],
             stats: EvalStats::default(),
+            interrupt,
             tracer,
         };
         exec.domain_handles = self
@@ -297,7 +319,18 @@ impl Evaluable for CompiledQuery {
         extra: &[Atom],
         config: &EvalConfig,
     ) -> Result<Evaluation, CalcError> {
-        self.eval_inner(db, extra, config, NoTrace)
+        self.eval_inner(db, extra, config, Interrupt::disarmed(), NoTrace)
+            .map(|(evaluation, NoTrace)| evaluation)
+    }
+
+    fn eval_governed(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+    ) -> Result<Evaluation, CalcError> {
+        self.eval_inner(db, extra, config, interrupt, NoTrace)
             .map(|(evaluation, NoTrace)| evaluation)
     }
 
@@ -507,12 +540,22 @@ struct Exec<'a, T: QuantTracer> {
     /// walker (which looks relations up per `P(t)` node).
     relations: Vec<Option<HashSet<ValueId>>>,
     stats: EvalStats,
+    /// The execution's resource governor.  Polled every [`POLL_MASK`]+1 steps
+    /// — the same cadence as the tree walker, whose step counter this
+    /// evaluator replicates bit for bit, so the two backends' poll points
+    /// coincide.  Memory polls report the interner's and domain memo's
+    /// deterministic byte estimates.
+    interrupt: &'a Interrupt,
     tracer: T,
 }
 
 impl<T: QuantTracer> Exec<'_, T> {
     fn bump(&mut self) -> Result<(), CalcError> {
         self.stats.steps += 1;
+        if self.stats.steps & POLL_MASK == 0 {
+            self.interrupt
+                .check(self.store.approx_bytes() + self.domains.approx_bytes())?;
+        }
         if self.stats.steps > self.config.max_steps {
             return Err(CalcError::Budget {
                 what: "formula evaluation steps".to_string(),

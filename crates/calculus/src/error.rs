@@ -1,6 +1,6 @@
 //! Errors raised while typing or evaluating calculus queries.
 
-use itq_object::ObjectError;
+use itq_object::{ObjectError, ResourceError};
 use std::fmt;
 
 /// Errors produced by the calculus layer.
@@ -75,6 +75,10 @@ pub enum CalcError {
     },
     /// An error bubbled up from the object model.
     Object(ObjectError),
+    /// The execution's resource governor stopped the evaluation (deadline,
+    /// cancellation, or memory ceiling).  Rendered verbatim so the message
+    /// stays byte-identical across every backend.
+    Resource(ResourceError),
 }
 
 impl fmt::Display for CalcError {
@@ -114,11 +118,18 @@ impl fmt::Display for CalcError {
                 write!(f, "evaluation budget exceeded: {what} (limit {limit})")
             }
             CalcError::Object(e) => write!(f, "{e}"),
+            CalcError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for CalcError {}
+
+impl From<ResourceError> for CalcError {
+    fn from(e: ResourceError) -> Self {
+        CalcError::Resource(e)
+    }
+}
 
 impl From<ObjectError> for CalcError {
     fn from(e: ObjectError) -> Self {

@@ -15,7 +15,8 @@ use crate::formula::Formula;
 use crate::query::Query;
 use crate::term::{Term, Var};
 use itq_object::cons::{cons_cardinality, ConsIter};
-use itq_object::{Atom, Database, Instance, Value};
+use itq_object::govern::POLL_MASK;
+use itq_object::{Atom, Database, Instance, Interrupt, Value};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -130,11 +131,19 @@ struct Evaluator<'a> {
     atoms: Vec<Atom>,
     config: &'a EvalConfig,
     stats: EvalStats,
+    /// The execution's resource governor.  Polled every [`POLL_MASK`]+1 steps
+    /// so the poll points coincide with the compiled backend's (both count one
+    /// step per formula node).  The tree walker never interns, so its memory
+    /// footprint reported to the governor is always 0.
+    interrupt: &'a Interrupt,
 }
 
 impl<'a> Evaluator<'a> {
     fn bump(&mut self) -> Result<(), CalcError> {
         self.stats.steps += 1;
+        if self.stats.steps & POLL_MASK == 0 {
+            self.interrupt.check(0)?;
+        }
         if self.stats.steps > self.config.max_steps {
             return Err(CalcError::Budget {
                 what: "formula evaluation steps".to_string(),
@@ -327,6 +336,23 @@ pub fn evaluate_with_extra(
     extra: &[Atom],
     config: &EvalConfig,
 ) -> Result<Evaluation, CalcError> {
+    evaluate_governed(query, db, extra, config, Interrupt::disarmed())
+}
+
+/// [`evaluate_with_extra`] under a resource governor: the evaluator polls
+/// `interrupt` once on entry and then every [`POLL_MASK`]+1 formula-node
+/// evaluations, surfacing deadline expiry, cancellation, and injected faults
+/// as [`CalcError::Resource`].
+pub fn evaluate_governed(
+    query: &Query,
+    db: &Database,
+    extra: &[Atom],
+    config: &EvalConfig,
+    interrupt: &Interrupt,
+) -> Result<Evaluation, CalcError> {
+    // Poll once before any work so a deadline of 0 ms (or a pre-set cancel
+    // flag) trips even on queries whose evaluation would finish instantly.
+    interrupt.check(0)?;
     let mut atom_set = query.evaluation_domain(db);
     atom_set.extend(extra.iter().copied());
     let atoms: Vec<Atom> = atom_set.into_iter().collect();
@@ -347,6 +373,7 @@ pub fn evaluate_with_extra(
         atoms: atoms.clone(),
         config,
         stats: EvalStats::default(),
+        interrupt,
     };
 
     let mut result = Instance::empty();
@@ -384,6 +411,22 @@ pub trait Evaluable {
         config: &EvalConfig,
     ) -> Result<Evaluation, CalcError>;
 
+    /// [`Evaluable::eval_with_extra`] under a resource governor: the backend
+    /// polls `interrupt` once on entry and then at quantifier-iteration
+    /// granularity.  The default implementation polls only on entry and
+    /// otherwise runs ungoverned; both built-in backends override it with
+    /// full-granularity polling.
+    fn eval_governed(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+    ) -> Result<Evaluation, CalcError> {
+        interrupt.check(0)?;
+        self.eval_with_extra(db, extra, config)
+    }
+
     /// The atoms over which evaluation of this query on `db` ranges:
     /// `adom(d) ∪ adom(Q)`.
     fn evaluation_domain(&self, db: &Database) -> BTreeSet<Atom>;
@@ -397,6 +440,16 @@ impl Evaluable for Query {
         config: &EvalConfig,
     ) -> Result<Evaluation, CalcError> {
         evaluate_with_extra(self, db, extra, config)
+    }
+
+    fn eval_governed(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+    ) -> Result<Evaluation, CalcError> {
+        evaluate_governed(self, db, extra, config, interrupt)
     }
 
     fn evaluation_domain(&self, db: &Database) -> BTreeSet<Atom> {
@@ -425,6 +478,7 @@ pub fn satisfies_sentence(
         atoms,
         config,
         stats: EvalStats::default(),
+        interrupt: Interrupt::disarmed(),
     };
     let mut rho = BTreeMap::new();
     evaluator.satisfies(sentence, &mut rho)

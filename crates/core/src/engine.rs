@@ -8,7 +8,9 @@ use itq_invention::{
     finite_invention, terminal_invention, FiniteInventionReport, InventionConfig, InventionError,
     TerminalOutcome,
 };
-use itq_object::{Database, Instance, Schema, Universe};
+use itq_object::{
+    CancelFlag, Database, Instance, Interrupt, ResourceError, Schema, TripKind, Universe,
+};
 use std::fmt;
 
 /// Which semantics to evaluate a calculus query under.
@@ -85,6 +87,18 @@ pub enum EngineError {
     Alg(AlgError),
     /// An invention-semantics evaluation failed.
     Invention(InventionError),
+    /// The resource governor stopped the execution (deadline, cancellation,
+    /// or memory ceiling).  Resource errors from every layer are lifted to
+    /// this variant, so their rendered messages are byte-identical across
+    /// backends and semantics.
+    Resource(ResourceError),
+    /// A backend panicked mid-execution and the panic was contained by the
+    /// `catch_unwind` seam in `Prepared::execute`.  The engine and its
+    /// prepared handles remain fully usable afterwards.
+    Internal {
+        /// The contained panic message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -93,6 +107,10 @@ impl fmt::Display for EngineError {
             EngineError::Calc(e) => write!(f, "{e}"),
             EngineError::Alg(e) => write!(f, "{e}"),
             EngineError::Invention(e) => write!(f, "{e}"),
+            EngineError::Resource(e) => write!(f, "{e}"),
+            EngineError::Internal { detail } => {
+                write!(f, "internal engine error (contained): {detail}")
+            }
         }
     }
 }
@@ -101,17 +119,91 @@ impl std::error::Error for EngineError {}
 
 impl From<CalcError> for EngineError {
     fn from(e: CalcError) -> Self {
-        EngineError::Calc(e)
+        match e {
+            CalcError::Resource(r) => EngineError::Resource(r),
+            other => EngineError::Calc(other),
+        }
     }
 }
 impl From<AlgError> for EngineError {
     fn from(e: AlgError) -> Self {
-        EngineError::Alg(e)
+        match e {
+            AlgError::Resource(r) => EngineError::Resource(r),
+            other => EngineError::Alg(other),
+        }
     }
 }
 impl From<InventionError> for EngineError {
     fn from(e: InventionError) -> Self {
-        EngineError::Invention(e)
+        match e {
+            InventionError::Resource(r) => EngineError::Resource(r),
+            other => EngineError::Invention(other),
+        }
+    }
+}
+impl From<ResourceError> for EngineError {
+    fn from(e: ResourceError) -> Self {
+        EngineError::Resource(e)
+    }
+}
+
+/// The engine's resource-governance configuration: the physical half of the
+/// resource envelope, complementing the logical step/cardinality budgets.
+///
+/// All knobs default to off; a fully disarmed governor costs one branch per
+/// poll point.  The configuration is snapshotted onto every `Prepared`
+/// handle (exactly like the budgets), and each execution arms a fresh
+/// [`Interrupt`] from the snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct GovernorConfig {
+    /// Wall-clock deadline per execution, in milliseconds (`0` trips at the
+    /// first poll — useful for deterministic smoke tests).
+    pub deadline_millis: Option<u64>,
+    /// Ceiling over the bytes interned by one execution's value store and
+    /// domain cache.
+    pub memory_ceiling: Option<u64>,
+    /// A shared cancellation flag observed by every execution at its poll
+    /// points (e.g. raised from another thread while a statement runs).
+    pub cancel: Option<CancelFlag>,
+    /// Fault injection: trip at the nth interrupt poll with the given
+    /// behaviour.  Poll counts are deterministic, so the trip point is
+    /// exactly reproducible — this is the harness's injection seam.
+    pub trip_after: Option<(u64, TripKind)>,
+    /// When true, a deadline/cancel/ceiling trip during a finite-invention
+    /// level sweep degrades gracefully: the union of the levels completed so
+    /// far is returned as a sound under-approximation (flagged
+    /// `bounded_approximation`) instead of an error.  Off by default so the
+    /// strict "error or exact answer" invariant holds.
+    pub degrade_on_resource: bool,
+}
+
+impl GovernorConfig {
+    /// True when no governing condition is set — executions then thread the
+    /// shared disarmed interrupt and pay one branch per poll.
+    pub fn is_disarmed(&self) -> bool {
+        self.deadline_millis.is_none()
+            && self.memory_ceiling.is_none()
+            && self.cancel.is_none()
+            && self.trip_after.is_none()
+    }
+
+    /// Arm a fresh per-execution [`Interrupt`] from this configuration (the
+    /// deadline clock starts now).
+    pub fn interrupt(&self) -> Interrupt {
+        let mut interrupt = Interrupt::new();
+        if let Some(millis) = self.deadline_millis {
+            interrupt = interrupt.with_deadline_millis(millis);
+        }
+        if let Some(limit) = self.memory_ceiling {
+            interrupt = interrupt.with_memory_ceiling(limit);
+        }
+        if let Some(flag) = &self.cancel {
+            interrupt = interrupt.with_cancel(flag.clone());
+        }
+        if let Some((nth, kind)) = self.trip_after {
+            interrupt = interrupt.with_trip_after(nth, kind);
+        }
+        interrupt
     }
 }
 
@@ -156,6 +248,9 @@ pub struct Engine {
     /// false they run the tuple-at-a-time evaluator (the ablation toggled by
     /// `EngineBuilder::use_algebra_planner`).
     pub(crate) use_algebra_planner: bool,
+    /// Resource-governance knobs (deadline, memory ceiling, cancellation,
+    /// fault injection); disarmed by default.
+    pub(crate) governor: GovernorConfig,
     pub(crate) universe: Universe,
 }
 
@@ -174,6 +269,7 @@ impl Engine {
             invention_config: InventionConfig::default(),
             use_compiled: true,
             use_algebra_planner: true,
+            governor: GovernorConfig::default(),
             universe: Universe::new(),
         }
     }
@@ -219,6 +315,20 @@ impl Engine {
     /// benchmarks (E14) and the backend differential suite.
     pub fn use_algebra_planner(&self) -> bool {
         self.use_algebra_planner
+    }
+
+    /// The engine's resource-governance configuration.
+    pub fn governor(&self) -> &GovernorConfig {
+        &self.governor
+    }
+
+    /// Mutable access to the resource-governance configuration — how the
+    /// surface session applies `set deadline <ms>;` / `set memory <bytes>;`
+    /// statements and installs its cancellation flag.  Handles prepared
+    /// before a change keep their snapshotted configuration, exactly like
+    /// the budgets.
+    pub fn governor_mut(&mut self) -> &mut GovernorConfig {
+        &mut self.governor
     }
 
     /// An engine with custom calculus budgets.

@@ -32,6 +32,18 @@
 //! from the tiers (still polynomial, against the calculus' hyper-exponential
 //! re-execution); positive fixpoints are monotone, so only insertions can be
 //! maintained differentially.
+//!
+//! ## Resource governance and transactionality
+//!
+//! Mutations are transactional: a rejected [`IncrementalDb::insert`] /
+//! [`IncrementalDb::delete`] (unknown relation, ill-typed value anywhere in
+//! the batch) stages nothing, so the version and every relation's contents
+//! are exactly as before the call.  Watched views under an armed resource
+//! governor (see [`crate::engine::GovernorConfig`]) always take the
+//! re-execution path — a delta refresh would stop polling the conditions a
+//! from-scratch execution is bound by — and a refresh stopped by the
+//! governor (or any other execution error) keeps the view's last-good
+//! answer, marked [`WatchedView::is_stale`], instead of discarding it.
 
 use crate::engine::{EngineError, Semantics};
 use crate::pipeline::{ExecStats, Prepared};
@@ -247,6 +259,12 @@ pub struct WatchedView {
     strategy: RefreshStrategy,
     outcome: Result<Instance, EngineError>,
     support: BTreeSet<String>,
+    /// True when the most recent refresh failed (deadline, cancellation,
+    /// memory ceiling, budget, or a contained panic) while an earlier answer
+    /// was still held: [`WatchedView::outcome`] then serves that last-good
+    /// answer, and the flag says it may be behind the current version.  A
+    /// successful refresh clears it.
+    stale: bool,
     /// Cost of the most recent execution or refresh of this view.  Delta and
     /// skipped refreshes never run the calculus, so only `wall_micros` is
     /// meaningful there; a re-executed view carries the full counters.
@@ -264,9 +282,17 @@ impl WatchedView {
         self.semantics
     }
 
-    /// The current answer (or execution error) of the view.
+    /// The current answer (or execution error) of the view.  When
+    /// [`WatchedView::is_stale`] is true this is the last-good answer from
+    /// before the failed refresh, not the answer at the current version.
     pub fn outcome(&self) -> &Result<Instance, EngineError> {
         &self.outcome
+    }
+
+    /// True when the most recent refresh failed and the view is serving its
+    /// last-good answer (which may be behind the current database version).
+    pub fn is_stale(&self) -> bool {
+        self.stale
     }
 
     /// The relations the view reads.
@@ -461,17 +487,8 @@ impl IncrementalDb {
     /// initial refresh report.
     pub fn watch(&mut self, name: &str, prepared: Prepared, semantics: Semantics) -> ViewRefresh {
         let snapshot = self.snapshot();
-        let start = Instant::now();
-        let (outcome, stats) = match prepared.execute(&snapshot, semantics) {
-            Ok(outcome) => (Ok(outcome.result), outcome.stats),
-            Err(err) => (
-                Err(err),
-                ExecStats {
-                    wall_micros: start.elapsed().as_micros() as u64,
-                    ..ExecStats::default()
-                },
-            ),
-        };
+        let (result, stats) = prepared.try_execute(&snapshot, semantics);
+        let outcome = result.map(|outcome| outcome.result);
         let support = prepared.query().body().predicates();
         let strategy = self.choose_strategy(&prepared, semantics, &outcome);
         let report = ViewRefresh {
@@ -489,6 +506,7 @@ impl IncrementalDb {
                 strategy,
                 outcome,
                 support,
+                stale: false,
                 stats,
             },
         );
@@ -533,6 +551,13 @@ impl IncrementalDb {
         // budgets are at the (effectively unreachable) defaults may skip the
         // budgeted execution.
         if !prepared.budgets_are_default() {
+            return RefreshStrategy::Reexecute;
+        }
+        // The same holds for an armed resource governor: a delta refresh
+        // would stop polling the deadline/ceiling/cancel conditions a
+        // from-scratch execution is bound by, so governed views always
+        // re-execute (and go stale on a trip instead of silently diverging).
+        if !prepared.governor().is_disarmed() {
             return RefreshStrategy::Reexecute;
         }
         if let Some(pred) = recognize_transitive_closure(prepared.query()) {
@@ -668,10 +693,33 @@ impl IncrementalDb {
                 }
                 RefreshStrategy::Reexecute if touched || adom_changed => {
                     let db = snapshot.get_or_insert_with(|| self.snapshot());
-                    view.outcome = view.prepared.execute(db, view.semantics).map(|outcome| {
-                        exec_stats = Some(outcome.stats);
-                        outcome.result
-                    });
+                    let (result, stats) = view.prepared.try_execute(db, view.semantics);
+                    exec_stats = Some(stats);
+                    match result {
+                        Ok(outcome) => {
+                            view.outcome = Ok(outcome.result);
+                            view.stale = false;
+                        }
+                        // A refresh stopped by the governor (or a contained
+                        // panic) is transactional for the view: if an earlier
+                        // answer is held, keep serving it, marked stale,
+                        // rather than replacing it with the error.  Query
+                        // errors (budgets, typing) are deterministic facts
+                        // about the new snapshot, so they are stored — the
+                        // view must match a from-scratch execution exactly.
+                        Err(err) => {
+                            let transient = matches!(
+                                err,
+                                EngineError::Resource(_) | EngineError::Internal { .. }
+                            );
+                            if transient && view.outcome.is_ok() {
+                                view.stale = true;
+                            } else {
+                                view.outcome = Err(err);
+                                view.stale = false;
+                            }
+                        }
+                    }
                     (RefreshPath::Reexecuted, 0)
                 }
                 _ => (RefreshPath::SkippedUnchangedSupport, 0),
@@ -1034,6 +1082,7 @@ mod tests {
     use super::*;
     use crate::engine::Engine;
     use crate::queries;
+    use itq_object::CancelFlag;
 
     fn a(n: u32) -> Atom {
         Atom(n)
@@ -1216,6 +1265,79 @@ mod tests {
             .execute(&inc.snapshot(), Semantics::Limited)
             .unwrap_err();
         assert_eq!(stored.to_string(), scratch.to_string());
+    }
+
+    #[test]
+    fn failed_mutations_leave_version_and_contents_unchanged() {
+        let mut inc = db(&[(a(0), a(1))]);
+        let before_version = inc.version();
+        let before_snapshot = inc.snapshot();
+        // The second value in the batch is ill-typed: validation happens for
+        // the whole batch before anything is staged, so the valid first value
+        // must not land either.
+        let err = inc
+            .insert("PAR", vec![Value::pair(a(1), a(2)), Value::atom(a(3))])
+            .unwrap_err();
+        assert!(matches!(err, IncrementalError::TypeMismatch { .. }));
+        assert_eq!(inc.version(), before_version);
+        assert_eq!(inc.snapshot(), before_snapshot);
+        // Same transactional guarantee for deletions.
+        let err = inc
+            .delete("PAR", vec![Value::pair(a(0), a(1)), Value::atom(a(0))])
+            .unwrap_err();
+        assert!(matches!(err, IncrementalError::TypeMismatch { .. }));
+        assert_eq!(inc.version(), before_version);
+        assert_eq!(inc.snapshot(), before_snapshot);
+    }
+
+    #[test]
+    fn armed_governors_force_the_reexecution_strategy() {
+        // Generous deadline: every execution succeeds, but a delta refresh
+        // would stop polling the governor, so the view must re-execute.
+        let mut inc = db(&[(a(0), a(1)), (a(1), a(2))]);
+        let governed = Engine::builder().deadline_millis(60_000).build();
+        let prepared = governed
+            .prepare(&queries::transitive_closure_query())
+            .unwrap();
+        inc.watch("tc", prepared.clone(), Semantics::Limited);
+        let view = inc.view("tc").unwrap();
+        assert!(view.outcome().is_ok());
+        assert_eq!(view.strategy_name(), "re-execute");
+        let out = inc.insert("PAR", vec![Value::pair(a(2), a(3))]).unwrap();
+        assert_eq!(out.refreshed[0].path, RefreshPath::Reexecuted);
+        let scratch = prepared
+            .execute(&inc.snapshot(), Semantics::Limited)
+            .unwrap();
+        assert_eq!(inc.view("tc").unwrap().outcome(), &Ok(scratch.result));
+    }
+
+    #[test]
+    fn interrupted_refreshes_keep_the_last_good_answer_marked_stale() {
+        let mut inc = db(&[(a(0), a(1)), (a(1), a(2))]);
+        let flag = CancelFlag::new();
+        let governed = Engine::builder().cancel_flag(flag.clone()).build();
+        let prepared = governed.prepare(&queries::grandparent_query()).unwrap();
+        inc.watch("gp", prepared.clone(), Semantics::Limited);
+        let good = inc.view("gp").unwrap().outcome().clone().unwrap();
+        assert!(!inc.view("gp").unwrap().is_stale());
+
+        // Cancel mid-session: the refresh trips, but the view keeps serving
+        // the last-good answer, flagged stale, instead of an error.
+        flag.cancel();
+        inc.insert("PAR", vec![Value::pair(a(2), a(3))]).unwrap();
+        let view = inc.view("gp").unwrap();
+        assert!(view.is_stale());
+        assert_eq!(view.outcome(), &Ok(good));
+
+        // A later successful refresh catches the view up and clears the flag.
+        flag.reset();
+        inc.insert("PAR", vec![Value::pair(a(3), a(4))]).unwrap();
+        let view = inc.view("gp").unwrap();
+        assert!(!view.is_stale());
+        let scratch = prepared
+            .execute(&inc.snapshot(), Semantics::Limited)
+            .unwrap();
+        assert_eq!(view.outcome(), &Ok(scratch.result));
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod report;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::engine::{Engine, Semantics};
+    pub use crate::engine::{Engine, EngineError, GovernorConfig, Semantics};
     pub use crate::incremental::{
         IncrementalDb, IncrementalError, MutationOutcome, RefreshPath, ViewRefresh, WatchedView,
     };
@@ -71,6 +71,9 @@ pub mod prelude {
     pub use itq_algebra::{AlgExpr, PhysicalPlan, SelFormula};
     pub use itq_calculus::{CalcClass, CompiledQuery, EvalConfig, Evaluable, Formula, Query, Term};
     pub use itq_invention::{InventionConfig, TerminalOutcome, UniversalCodec};
-    pub use itq_object::{Atom, Database, Instance, Schema, Type, Universe, Value};
+    pub use itq_object::{
+        Atom, CancelFlag, Database, Instance, Interrupt, ResourceError, Schema, TripKind, Type,
+        Universe, Value,
+    };
     pub use itq_relational::Relation;
 }

@@ -35,17 +35,19 @@
 //! }
 //! ```
 
-use crate::engine::{Engine, EngineError, Semantics};
+use crate::engine::{Engine, EngineError, GovernorConfig, Semantics};
 use itq_algebra::{to_calculus_query, AlgExpr, EvalConfig as AlgConfig, PhysicalPlan};
 use itq_calculus::eval::{EvalConfig, EvalStats, Evaluable};
 use itq_calculus::normal::{sf_classification, to_prenex, PrenexForm, SfClassification};
 use itq_calculus::{CompiledQuery, Query, QueryClassification};
 use itq_invention::{
-    finite_invention_traced, finite_invention_with_stats, terminal_invention_traced,
-    terminal_invention_with_stats, InventionConfig, TerminalOutcome,
+    finite_invention_governed_traced, finite_invention_governed_with_stats,
+    terminal_invention_governed_traced, terminal_invention_governed_with_stats, InventionConfig,
+    TerminalOutcome,
 };
-use itq_object::{Database, Instance, Schema, Universe};
+use itq_object::{CancelFlag, Database, Instance, Interrupt, Schema, TripKind, Universe};
 use itq_trace::{Span, TraceSink};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Configures and builds an [`Engine`]: evaluation budgets, invention bounds,
@@ -71,6 +73,7 @@ pub struct EngineBuilder {
     use_compiled: bool,
     use_algebra_planner: bool,
     universe: Universe,
+    governor: GovernorConfig,
 }
 
 impl Default for EngineBuilder {
@@ -82,6 +85,7 @@ impl Default for EngineBuilder {
             use_compiled: true,
             use_algebra_planner: true,
             universe: Universe::default(),
+            governor: GovernorConfig::default(),
         }
     }
 }
@@ -214,6 +218,83 @@ impl EngineBuilder {
         self
     }
 
+    /// Adopt a full resource-governance configuration in one call (the
+    /// per-knob builders below cover the common cases).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder()
+    ///     .governor(GovernorConfig { memory_ceiling: Some(1 << 20), ..Default::default() })
+    ///     .build();
+    /// assert_eq!(engine.governor().memory_ceiling, Some(1 << 20));
+    /// ```
+    pub fn governor(mut self, governor: GovernorConfig) -> EngineBuilder {
+        self.governor = governor;
+        self
+    }
+
+    /// Arm a wall-clock deadline (in milliseconds) for every execution made
+    /// through handles prepared by this engine.  Each execution starts its
+    /// own clock; `0` trips at the first interrupt poll, which makes the
+    /// deadline path deterministically testable.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().deadline_millis(250).build();
+    /// assert_eq!(engine.governor().deadline_millis, Some(250));
+    /// ```
+    pub fn deadline_millis(mut self, millis: u64) -> EngineBuilder {
+        self.governor.deadline_millis = Some(millis);
+        self
+    }
+
+    /// Arm a ceiling (in bytes) over the values interned by one execution's
+    /// value store and domain cache.  Only the interning backends (compiled
+    /// calculus, planned algebra) can trip it; the tree walker and the
+    /// tuple-at-a-time evaluator never intern.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().memory_ceiling(64 * 1024).build();
+    /// assert_eq!(engine.governor().memory_ceiling, Some(64 * 1024));
+    /// ```
+    pub fn memory_ceiling(mut self, bytes: u64) -> EngineBuilder {
+        self.governor.memory_ceiling = Some(bytes);
+        self
+    }
+
+    /// Link a cross-thread cancellation flag: raising it stops any execution
+    /// made through this engine's handles at its next interrupt poll.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let flag = CancelFlag::new();
+    /// let engine = Engine::builder().cancel_flag(flag.clone()).build();
+    /// assert!(engine.governor().cancel.is_some());
+    /// ```
+    pub fn cancel_flag(mut self, flag: CancelFlag) -> EngineBuilder {
+        self.governor.cancel = Some(flag);
+        self
+    }
+
+    /// Fault injection: trip every execution at its `nth` interrupt poll with
+    /// the given behaviour.  Poll counts are deterministic, so the trip point
+    /// is exactly reproducible — this is the harness's injection seam.
+    pub fn trip_interrupt_after(mut self, nth: u64, kind: TripKind) -> EngineBuilder {
+        self.governor.trip_after = Some((nth, kind));
+        self
+    }
+
+    /// When enabled, a resource trip during a finite-invention level sweep
+    /// degrades to the union of the completed levels (a sound
+    /// under-approximation, flagged `bounded_approximation`) instead of
+    /// failing.  Off by default, preserving the strict "error or exact
+    /// answer" invariant.
+    pub fn degrade_on_resource(mut self, enabled: bool) -> EngineBuilder {
+        self.governor.degrade_on_resource = enabled;
+        self
+    }
+
     /// Adopt an already-populated universe (e.g. one a workload generator
     /// interned its atoms into).
     ///
@@ -244,6 +325,7 @@ impl EngineBuilder {
             use_compiled: self.use_compiled,
             use_algebra_planner: self.use_algebra_planner,
             universe: self.universe,
+            governor: self.governor,
         }
     }
 }
@@ -369,6 +451,13 @@ pub struct ExecStats {
     /// Planned-algebra backend only: objects constructed by plan operators
     /// before deduplication (0 for every other backend).
     pub tuples_materialised: u64,
+    /// Number of times the execution polled its armed resource governor
+    /// (deadline / cancellation / memory-ceiling checks).  0 whenever the
+    /// governor is disarmed — the off path never counts polls.  Like
+    /// `wall_micros` this depends on the governor configuration rather than
+    /// on (query, database, semantics, backend) alone, so
+    /// [`ExecStats::deterministic`] zeroes it.
+    pub interrupt_polls: u64,
     /// Wall-clock time of the execute call, in microseconds.
     pub wall_micros: u64,
 }
@@ -388,6 +477,7 @@ impl ExecStats {
             interned_values: stats.interned_values,
             join_probes: 0,
             tuples_materialised: 0,
+            interrupt_polls: 0,
             wall_micros: 0,
         }
     }
@@ -409,16 +499,19 @@ impl ExecStats {
     /// backend), so two executions can be compared with `==` without tripping
     /// over timing noise — `ExecStats` derives `Eq` *including*
     /// `wall_micros`, which is almost never what a differential test wants.
+    /// (`interrupt_polls` is zeroed too: it depends on the governor
+    /// configuration, not on the query/database/semantics/backend tuple.)
     ///
     /// ```
     /// use itq_core::pipeline::ExecStats;
     /// let a = ExecStats { steps: 7, wall_micros: 12, ..Default::default() };
-    /// let b = ExecStats { steps: 7, wall_micros: 99, ..Default::default() };
+    /// let b = ExecStats { steps: 7, wall_micros: 99, interrupt_polls: 3, ..Default::default() };
     /// assert_ne!(a, b); // timing noise trips whole-struct equality...
     /// assert_eq!(a.deterministic(), b.deterministic()); // ...but not this.
     /// ```
     pub fn deterministic(&self) -> ExecStats {
         ExecStats {
+            interrupt_polls: 0,
             wall_micros: 0,
             ..*self
         }
@@ -452,7 +545,7 @@ impl ExecStats {
             "{{\"steps\":{},\"quantifier_values\":{},\"candidates_checked\":{},\
              \"max_domain_seen\":{},\"invention_levels\":{},\"domain_cache_hits\":{},\
              \"domain_cache_misses\":{},\"interned_values\":{},\"join_probes\":{},\
-             \"tuples_materialised\":{},\"wall_micros\":{}}}",
+             \"tuples_materialised\":{},\"interrupt_polls\":{},\"wall_micros\":{}}}",
             self.steps,
             self.quantifier_values,
             self.candidates_checked,
@@ -463,6 +556,7 @@ impl ExecStats {
             self.interned_values,
             self.join_probes,
             self.tuples_materialised,
+            self.interrupt_polls,
             self.wall_micros,
         )
     }
@@ -489,6 +583,7 @@ impl ExecStats {
 /// let terminal = prepared.execute(&db, Semantics::TerminalInvention).unwrap();
 /// assert!(terminal.bounded_approximation && terminal.defined_at.is_none());
 /// ```
+#[must_use]
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
     /// The answer instance.
@@ -544,6 +639,7 @@ enum PreparedSource {
 /// assert!(!prepared.sf_classification().is_in_sf());
 /// assert!(prepared.prenex().prefix.len() >= 1);
 /// ```
+#[must_use]
 #[derive(Debug, Clone)]
 pub struct Prepared {
     source: PreparedSource,
@@ -562,6 +658,9 @@ pub struct Prepared {
     calc_config: EvalConfig,
     alg_config: AlgConfig,
     invention_config: InventionConfig,
+    /// Resource-governance snapshot: each execution arms a fresh
+    /// [`Interrupt`] from it (or threads the shared disarmed one).
+    governor: GovernorConfig,
     universe_seed: Universe,
     /// The static-analysis report computed at prepare time (unused variables,
     /// foldable subformulas, budget forecasts, stratum report — see
@@ -690,6 +789,7 @@ impl Engine {
             calc_config: self.calc_config,
             alg_config: self.alg_config,
             invention_config: self.invention_config,
+            governor: self.governor.clone(),
             universe_seed: self.universe.clone(),
             diagnostics,
         }
@@ -754,6 +854,12 @@ impl Prepared {
     /// watched views always re-execute.
     pub(crate) fn budgets_are_default(&self) -> bool {
         self.calc_config == EvalConfig::default() && self.alg_config == AlgConfig::default()
+    }
+
+    /// The resource-governance snapshot this handle executes under (taken
+    /// from the engine at prepare time, exactly like the budgets).
+    pub fn governor(&self) -> &GovernorConfig {
+        &self.governor
     }
 
     /// The cached `CALC_{k,i}` classification, identical to
@@ -906,7 +1012,33 @@ impl Prepared {
         db: &Database,
         semantics: Semantics,
     ) -> Result<QueryOutcome, EngineError> {
-        self.run(db, semantics, false).map(|(outcome, _)| outcome)
+        self.run(db, semantics, false).0.map(|(outcome, _)| outcome)
+    }
+
+    /// [`Prepared::execute`], but the execution statistics are returned even
+    /// when the execution fails: on an error the [`ExecStats`] block carries
+    /// the wall clock and governor poll count of the failed attempt (its
+    /// work counters stay zero — a stopped execution has no meaningful
+    /// answer-shaped counters to report).
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    ///
+    /// let engine = Engine::builder().deadline_millis(0).build();
+    /// let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+    /// let db = queries::parent_database(&[(Atom(0), Atom(1))]);
+    /// let (result, stats) = prepared.try_execute(&db, Semantics::Limited);
+    /// assert!(result.is_err());
+    /// assert!(stats.interrupt_polls >= 1, "the entry poll always runs");
+    /// ```
+    pub fn try_execute(
+        &self,
+        db: &Database,
+        semantics: Semantics,
+    ) -> (Result<QueryOutcome, EngineError>, ExecStats) {
+        let (result, stats) = self.run(db, semantics, false);
+        (result.map(|(outcome, _)| outcome), stats)
     }
 
     /// [`Prepared::execute`] plus a trace: the identical [`QueryOutcome`]
@@ -934,7 +1066,7 @@ impl Prepared {
         db: &Database,
         semantics: Semantics,
     ) -> Result<(QueryOutcome, Span), EngineError> {
-        self.run(db, semantics, true).map(|(outcome, span)| {
+        self.run(db, semantics, true).0.map(|(outcome, span)| {
             let span = span.expect("traced runs always produce a span");
             (outcome, span)
         })
@@ -961,23 +1093,90 @@ impl Prepared {
     /// The shared execute body: `traced` selects between the plain backends
     /// and their span-producing variants.  Answers, flags, and every counter
     /// are byte-identical between the two modes; only the trace differs.
+    ///
+    /// This is also the containment seam: the backend dispatch runs inside
+    /// `catch_unwind`, so an engine defect (or an injected
+    /// [`TripKind::Panic`]) surfaces as [`EngineError::Internal`] instead of
+    /// unwinding through the caller — the handle, the engine, and any
+    /// incremental state stay usable afterwards.  The returned [`ExecStats`]
+    /// is filled on *every* path: on success it equals the outcome's stats,
+    /// on failure it carries the wall clock and governor poll count of the
+    /// failed attempt.
     fn run(
         &self,
         db: &Database,
         semantics: Semantics,
         traced: bool,
-    ) -> Result<(QueryOutcome, Option<Span>), EngineError> {
+    ) -> (Result<(QueryOutcome, Option<Span>), EngineError>, ExecStats) {
         let start = Instant::now();
-        let (mut outcome, mut span) = match semantics {
+        let armed;
+        let interrupt: &Interrupt = if self.governor.is_disarmed() {
+            Interrupt::disarmed()
+        } else {
+            armed = self.governor.interrupt();
+            &armed
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.dispatch(db, semantics, traced, interrupt)
+        }));
+        let wall_micros = start.elapsed().as_micros() as u64;
+        let interrupt_polls = interrupt.polls();
+        match result {
+            Ok(Ok((mut outcome, mut span))) => {
+                outcome.stats.interrupt_polls = interrupt_polls;
+                outcome.stats.wall_micros = wall_micros;
+                if let Some(span) = span.as_mut() {
+                    span.wall_micros = wall_micros;
+                }
+                let stats = outcome.stats;
+                (Ok((outcome, span)), stats)
+            }
+            Ok(Err(e)) => {
+                let stats = ExecStats {
+                    interrupt_polls,
+                    wall_micros,
+                    ..ExecStats::default()
+                };
+                (Err(e), stats)
+            }
+            Err(payload) => {
+                let stats = ExecStats {
+                    interrupt_polls,
+                    wall_micros,
+                    ..ExecStats::default()
+                };
+                let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                (Err(EngineError::Internal { detail }), stats)
+            }
+        }
+    }
+
+    /// The backend dispatch proper, running under `run`'s containment seam
+    /// with the execution's interrupt threaded into every backend.
+    fn dispatch(
+        &self,
+        db: &Database,
+        semantics: Semantics,
+        traced: bool,
+        interrupt: &Interrupt,
+    ) -> Result<(QueryOutcome, Option<Span>), EngineError> {
+        let (outcome, span) = match semantics {
             Semantics::Limited => match &self.source {
                 PreparedSource::Algebra { expr, schema, plan } => {
                     if self.use_algebra_planner {
                         let (result, plan_stats, op_span) = if traced {
                             let (result, plan_stats, op) =
-                                plan.execute_traced(db, &self.alg_config)?;
+                                plan.execute_traced_governed(db, &self.alg_config, interrupt)?;
                             (result, plan_stats, Some(op))
                         } else {
-                            let (result, plan_stats) = plan.execute(db, &self.alg_config)?;
+                            let (result, plan_stats) =
+                                plan.execute_governed(db, &self.alg_config, interrupt)?;
                             (result, plan_stats, None)
                         };
                         let span = op_span.map(|op| {
@@ -998,7 +1197,7 @@ impl Prepared {
                             span,
                         )
                     } else {
-                        let result = expr.eval(db, schema, &self.alg_config)?;
+                        let result = expr.eval_governed(db, schema, &self.alg_config, interrupt)?;
                         let span = traced.then(|| {
                             let mut root = Span::new("tuple-algebra");
                             root.push_field("rows_out", result.len() as u64);
@@ -1019,12 +1218,17 @@ impl Prepared {
                 }
                 PreparedSource::Calculus => {
                     let (evaluation, span) = if traced && self.use_compiled {
-                        let (evaluation, span) =
-                            self.compiled.eval_traced(db, &[], &self.calc_config)?;
+                        let (evaluation, span) = self.compiled.eval_traced_governed(
+                            db,
+                            &[],
+                            &self.calc_config,
+                            interrupt,
+                        )?;
                         (evaluation, Some(span))
                     } else {
                         let evaluation =
-                            self.backend().eval_with_extra(db, &[], &self.calc_config)?;
+                            self.backend()
+                                .eval_governed(db, &[], &self.calc_config, interrupt)?;
                         let span = traced.then(|| {
                             // The tree walker has no per-slot hooks; trace the
                             // whole evaluation as one span.
@@ -1062,20 +1266,25 @@ impl Prepared {
                 // happened once at prepare time, so each invention level only
                 // pays for execution (with its own atom-set-specific domain
                 // cache, since a changed atom set changes every cons_X).
+                let degrade = self.governor.degrade_on_resource;
                 let (report, stats, levels) = if traced {
-                    let (report, stats, levels) = finite_invention_traced(
+                    let (report, stats, levels) = finite_invention_governed_traced(
                         self.backend(),
                         db,
                         &mut scratch,
                         &self.invention_config,
+                        interrupt,
+                        degrade,
                     )?;
                     (report, stats, Some(levels))
                 } else {
-                    let (report, stats) = finite_invention_with_stats(
+                    let (report, stats) = finite_invention_governed_with_stats(
                         self.backend(),
                         db,
                         &mut scratch,
                         &self.invention_config,
+                        interrupt,
+                        degrade,
                     )?;
                     (report, stats, None)
                 };
@@ -1103,19 +1312,21 @@ impl Prepared {
             Semantics::TerminalInvention => {
                 let mut scratch = self.universe_seed.clone();
                 let (terminal, stats, levels) = if traced {
-                    let (terminal, stats, levels) = terminal_invention_traced(
+                    let (terminal, stats, levels) = terminal_invention_governed_traced(
                         self.backend(),
                         db,
                         &mut scratch,
                         &self.invention_config,
+                        interrupt,
                     )?;
                     (terminal, stats, Some(levels))
                 } else {
-                    let (terminal, stats) = terminal_invention_with_stats(
+                    let (terminal, stats) = terminal_invention_governed_with_stats(
                         self.backend(),
                         db,
                         &mut scratch,
                         &self.invention_config,
+                        interrupt,
                     )?;
                     (terminal, stats, None)
                 };
@@ -1149,10 +1360,6 @@ impl Prepared {
                 (outcome, span)
             }
         };
-        outcome.stats.wall_micros = start.elapsed().as_micros() as u64;
-        if let Some(span) = span.as_mut() {
-            span.wall_micros = outcome.stats.wall_micros;
-        }
         Ok((outcome, span))
     }
 }
@@ -1350,14 +1557,15 @@ mod tests {
             interned_values: 8,
             join_probes: 9,
             tuples_materialised: 10,
-            wall_micros: 11,
+            interrupt_polls: 11,
+            wall_micros: 12,
         };
         assert_eq!(
             stats.to_json(),
             "{\"steps\":1,\"quantifier_values\":2,\"candidates_checked\":3,\
              \"max_domain_seen\":4,\"invention_levels\":5,\"domain_cache_hits\":6,\
              \"domain_cache_misses\":7,\"interned_values\":8,\"join_probes\":9,\
-             \"tuples_materialised\":10,\"wall_micros\":11}"
+             \"tuples_materialised\":10,\"interrupt_polls\":11,\"wall_micros\":12}"
         );
     }
 
@@ -1514,6 +1722,151 @@ mod tests {
             ]
         );
         assert_eq!(span.wall_micros, algebra.prepare_stats().total_micros());
+    }
+
+    #[test]
+    fn zero_deadline_trips_identically_on_every_semantics() {
+        let engine = Engine::builder().deadline_millis(0).build();
+        let prepared = engine.prepare(&grandparent_query()).unwrap();
+        let db = db();
+        for semantics in Semantics::ALL {
+            let err = prepared.execute(&db, semantics).unwrap_err();
+            assert_eq!(err.to_string(), "execution deadline of 0 ms exceeded");
+        }
+    }
+
+    #[test]
+    fn cancellation_is_recoverable_through_the_shared_flag() {
+        let flag = CancelFlag::new();
+        let engine = Engine::builder().cancel_flag(flag.clone()).build();
+        let prepared = engine.prepare(&grandparent_query()).unwrap();
+        let db = db();
+        // Armed but unraised: the execution completes with the exact answer.
+        let baseline = Engine::new()
+            .prepare(&grandparent_query())
+            .unwrap()
+            .execute(&db, Semantics::Limited)
+            .unwrap();
+        let ok = prepared.execute(&db, Semantics::Limited).unwrap();
+        assert_eq!(ok.result, baseline.result);
+        assert!(
+            ok.stats.interrupt_polls >= 1,
+            "armed runs count their polls"
+        );
+        // Raised: the next execution stops with the pinned message.
+        flag.cancel();
+        let err = prepared.execute(&db, Semantics::Limited).unwrap_err();
+        assert_eq!(err.to_string(), "execution cancelled");
+        // Reset: the same handle executes again, byte-identical to fresh.
+        flag.reset();
+        let again = prepared.execute(&db, Semantics::Limited).unwrap();
+        assert_eq!(again.result, baseline.result);
+        assert_eq!(
+            again.stats.deterministic().wall_micros,
+            0,
+            "deterministic() zeroes the non-reproducible fields"
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_contained_as_an_internal_error() {
+        let engine = Engine::builder()
+            .trip_interrupt_after(1, TripKind::Panic)
+            .build();
+        let prepared = engine.prepare(&grandparent_query()).unwrap();
+        let db = db();
+        let err = prepared.execute(&db, Semantics::Limited).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "internal engine error (contained): fault injection: synthetic engine panic"
+        );
+        // Containment is provable reuse: a sibling handle from an untripped
+        // engine executes normally in the same process afterwards.
+        let healthy = Engine::new().prepare(&grandparent_query()).unwrap();
+        assert_eq!(
+            healthy
+                .execute(&db, Semantics::Limited)
+                .unwrap()
+                .result
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn try_execute_reports_stats_on_the_error_path() {
+        let engine = Engine::builder().deadline_millis(0).build();
+        let prepared = engine.prepare(&grandparent_query()).unwrap();
+        let (result, stats) = prepared.try_execute(&db(), Semantics::Limited);
+        assert!(result.is_err());
+        assert!(stats.interrupt_polls >= 1);
+        assert_eq!(stats.steps, 0, "a stopped run reports no work counters");
+        // And on the success path the block matches the outcome's.
+        let healthy = Engine::new().prepare(&grandparent_query()).unwrap();
+        let (result, stats) = healthy.try_execute(&db(), Semantics::Limited);
+        assert_eq!(result.unwrap().stats, stats);
+    }
+
+    #[test]
+    fn degrade_on_resource_returns_a_sound_finite_invention_prefix() {
+        let db = db();
+        let exact = Engine::new()
+            .prepare(&witness_query())
+            .unwrap()
+            .execute(&db, Semantics::FiniteInvention)
+            .unwrap();
+        // Strict mode: a mid-sweep trip is an error.
+        let strict = Engine::builder()
+            .trip_interrupt_after(3, TripKind::Cancel)
+            .build();
+        let err = strict
+            .prepare(&witness_query())
+            .unwrap()
+            .execute(&db, Semantics::FiniteInvention)
+            .unwrap_err();
+        assert_eq!(err.to_string(), "execution cancelled");
+        // Degraded mode at the same trip point: a sound under-approximation.
+        let degraded = Engine::builder()
+            .trip_interrupt_after(3, TripKind::Cancel)
+            .degrade_on_resource(true)
+            .build();
+        let partial = degraded
+            .prepare(&witness_query())
+            .unwrap()
+            .execute(&db, Semantics::FiniteInvention)
+            .unwrap();
+        assert!(partial.bounded_approximation);
+        assert!(partial.stabilised_at.is_none());
+        for v in partial.result.iter() {
+            assert!(exact.result.contains(v), "degraded answers never fabricate");
+        }
+    }
+
+    #[test]
+    fn memory_ceiling_trips_only_interning_backends() {
+        let db = db();
+        // The compiled backend interns: a 1-byte ceiling trips immediately.
+        let tight = Engine::builder().memory_ceiling(1).build();
+        let err = tight
+            .prepare(&grandparent_query())
+            .unwrap()
+            .execute(&db, Semantics::Limited)
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "interned values exceeded the configured memory ceiling of 1 bytes"
+        );
+        // The tree walker never interns, so the same ceiling never trips.
+        let legacy = Engine::builder()
+            .memory_ceiling(1)
+            .use_compiled(false)
+            .build();
+        let ok = legacy
+            .prepare(&grandparent_query())
+            .unwrap()
+            .execute(&db, Semantics::Limited)
+            .unwrap();
+        assert_eq!(ok.result.len(), 1);
     }
 
     #[test]

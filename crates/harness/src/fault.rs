@@ -1,0 +1,228 @@
+//! Seed-driven fault injection for the resource governor.
+//!
+//! The engine's [`GovernorConfig`] carries a deterministic injection seam:
+//! `trip_after` stops (or panics) an execution at *exactly* the nth interrupt
+//! poll, and poll counts are a pure function of the query, database, and
+//! backend — no wall clocks involved.  This module turns that seam into a
+//! reproducible fault generator for the property suite in
+//! `tests/fault_injection.rs`:
+//!
+//! * [`FaultRng`] — a tiny xorshift64\* generator, so a failing case is
+//!   replayed from its seed alone;
+//! * [`Fault`] — one injected fault (cancel at a poll, synthetic panic at a
+//!   poll, memory ceiling, zero deadline) and the [`GovernorConfig`] that
+//!   arms it;
+//! * [`observation_governor`] — an armed-but-untrippable governor used to
+//!   *count* the polls of an uninterrupted run, which bounds where faults
+//!   can land;
+//! * [`shrinking_ceilings`] / [`epoch_faults`] — schedules for the two
+//!   non-poll-indexed fault families: memory ceilings shrinking toward one
+//!   byte, and cancellations injected at mutation-epoch boundaries of an
+//!   incremental database.
+//!
+//! The property the suite checks with these pieces: an execution interrupted
+//! at *any* point returns either a typed resource error or the exact
+//! uninterrupted answer — never a silently wrong one.
+
+use itq_core::engine::GovernorConfig;
+use itq_object::TripKind;
+
+/// A tiny deterministic generator (xorshift64\*): the same seed yields the
+/// same fault schedule on every platform and every run, so a failing case in
+/// CI is reproduced locally from the seed in its assertion message.
+#[derive(Debug, Clone)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// A generator for the given seed (any seed is fine, including 0).
+    pub fn new(seed: u64) -> FaultRng {
+        // xorshift has a fixed point at 0; displace the state, not the seed's
+        // identity — different seeds still yield different streams.
+        FaultRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A draw in `1..=bound` (`bound` ≥ 1) — the natural range for 1-based
+    /// trip points and non-zero ceilings.
+    pub fn one_to(&mut self, bound: u64) -> u64 {
+        1 + self.next_u64() % bound.max(1)
+    }
+}
+
+/// One injected fault, and (via [`Fault::governor`]) the configuration that
+/// arms it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Cooperative cancellation at the nth interrupt poll (1-based).
+    CancelAtPoll(u64),
+    /// A synthetic engine panic at the nth interrupt poll — exercises the
+    /// `catch_unwind` containment seam in `Prepared::execute`.
+    PanicAtPoll(u64),
+    /// A memory ceiling (bytes) over one execution's interned values.
+    MemoryCeiling(u64),
+    /// A zero wall-clock deadline: the only deterministic deadline, tripping
+    /// at the entry poll of every backend.
+    ZeroDeadline,
+}
+
+impl Fault {
+    /// Sample a fault whose poll-indexed trip point lies in `1..=polls` —
+    /// `polls` being the interrupt-poll count of the uninterrupted run, as
+    /// measured under [`observation_governor`] — and whose ceiling lies in
+    /// `1..=bytes`.
+    pub fn sample(rng: &mut FaultRng, polls: u64, bytes: u64) -> Fault {
+        match rng.next_u64() % 4 {
+            0 => Fault::CancelAtPoll(rng.one_to(polls)),
+            1 => Fault::PanicAtPoll(rng.one_to(polls)),
+            2 => Fault::MemoryCeiling(rng.one_to(bytes)),
+            _ => Fault::ZeroDeadline,
+        }
+    }
+
+    /// The governor configuration that injects this fault.
+    pub fn governor(&self) -> GovernorConfig {
+        let mut config = GovernorConfig::default();
+        match *self {
+            Fault::CancelAtPoll(nth) => config.trip_after = Some((nth, TripKind::Cancel)),
+            Fault::PanicAtPoll(nth) => config.trip_after = Some((nth, TripKind::Panic)),
+            Fault::MemoryCeiling(bytes) => config.memory_ceiling = Some(bytes),
+            Fault::ZeroDeadline => config.deadline_millis = Some(0),
+        }
+        config
+    }
+}
+
+/// An armed governor that can never trip: its only condition is a cancel trip
+/// scheduled at poll `u64::MAX`.  Executing under it returns the exact
+/// ungoverned answer while `ExecStats::interrupt_polls` reports how many
+/// polls the run makes — the bound within which poll-indexed faults land.
+pub fn observation_governor() -> GovernorConfig {
+    GovernorConfig {
+        trip_after: Some((u64::MAX, TripKind::Cancel)),
+        ..GovernorConfig::default()
+    }
+}
+
+/// A shrinking schedule of memory ceilings: `steps` values halving from
+/// `bytes` down to 1 (always ending at 1, the tightest ceiling).  Somewhere
+/// along the way the ceiling crosses what the execution actually interns; the
+/// suite asserts every run is exact-or-error on both sides of the crossing.
+pub fn shrinking_ceilings(bytes: u64, steps: u32) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut ceiling = bytes.max(1);
+    for _ in 0..steps {
+        if out.last() != Some(&ceiling) {
+            out.push(ceiling);
+        }
+        if ceiling == 1 {
+            return out;
+        }
+        ceiling /= 2;
+    }
+    if out.last() != Some(&1) {
+        out.push(1);
+    }
+    out
+}
+
+/// A fault schedule over `epochs` mutation-epoch boundaries: `true` at index
+/// `i` means the shared cancel flag is raised before epoch `i`'s mutation
+/// commits, so that epoch's view refreshes trip.  Roughly half the epochs
+/// fault; at least one does (seed-deterministically) whenever `epochs` > 0.
+pub fn epoch_faults(rng: &mut FaultRng, epochs: usize) -> Vec<bool> {
+    let mut out: Vec<bool> = (0..epochs).map(|_| rng.next_u64() % 2 == 0).collect();
+    if epochs > 0 && out.iter().all(|&b| !b) {
+        let forced = (rng.next_u64() % epochs as u64) as usize;
+        out[forced] = true;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut rng = FaultRng::new(7);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = FaultRng::new(7);
+            (0..8).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let mut other = FaultRng::new(8);
+        let c: Vec<u64> = (0..8).map(|_| other.next_u64()).collect();
+        assert_ne!(a, c);
+        // Seed 0 is not a fixed point.
+        let mut zero = FaultRng::new(0);
+        assert_ne!(zero.next_u64(), zero.next_u64());
+    }
+
+    #[test]
+    fn sampled_faults_stay_in_bounds() {
+        let mut rng = FaultRng::new(42);
+        for _ in 0..200 {
+            match Fault::sample(&mut rng, 10, 100) {
+                Fault::CancelAtPoll(n) | Fault::PanicAtPoll(n) => {
+                    assert!((1..=10).contains(&n), "{n}")
+                }
+                Fault::MemoryCeiling(b) => assert!((1..=100).contains(&b), "{b}"),
+                Fault::ZeroDeadline => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fault_governors_arm_exactly_one_condition() {
+        assert_eq!(
+            Fault::CancelAtPoll(3).governor().trip_after,
+            Some((3, TripKind::Cancel))
+        );
+        assert_eq!(
+            Fault::PanicAtPoll(9).governor().trip_after,
+            Some((9, TripKind::Panic))
+        );
+        assert_eq!(Fault::MemoryCeiling(64).governor().memory_ceiling, Some(64));
+        assert_eq!(Fault::ZeroDeadline.governor().deadline_millis, Some(0));
+        for fault in [
+            Fault::CancelAtPoll(1),
+            Fault::PanicAtPoll(1),
+            Fault::MemoryCeiling(1),
+            Fault::ZeroDeadline,
+        ] {
+            assert!(!fault.governor().is_disarmed());
+            assert!(fault.governor().cancel.is_none());
+        }
+        assert!(!observation_governor().is_disarmed());
+    }
+
+    #[test]
+    fn ceiling_schedules_shrink_to_one() {
+        assert_eq!(shrinking_ceilings(64, 32), vec![64, 32, 16, 8, 4, 2, 1]);
+        assert_eq!(shrinking_ceilings(100, 3), vec![100, 50, 25, 1]);
+        assert_eq!(shrinking_ceilings(0, 4), vec![1]);
+    }
+
+    #[test]
+    fn epoch_schedules_always_inject_somewhere() {
+        for seed in 0..50 {
+            let mut rng = FaultRng::new(seed);
+            let schedule = epoch_faults(&mut rng, 6);
+            assert_eq!(schedule.len(), 6);
+            assert!(schedule.iter().any(|&b| b), "seed {seed}");
+        }
+        assert!(epoch_faults(&mut FaultRng::new(1), 0).is_empty());
+    }
+}

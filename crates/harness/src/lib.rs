@@ -16,6 +16,12 @@
 //! | [`itq_invention`] | §6 — invented values, the universal type |
 //! | [`itq_workloads`] | — deterministic input generators |
 //! | [`itq_core`] | §4–5 — canonical queries, complexity, hierarchy |
+//!
+//! One piece lives here rather than in a member crate: [`fault`], the
+//! seed-driven fault-injection harness that drives the resource-governor
+//! property suite in `tests/fault_injection.rs`.
+
+pub mod fault;
 
 pub use itq_algebra as algebra;
 pub use itq_calculus as calculus;

@@ -1,7 +1,7 @@
 //! Errors raised by the invention semantics and the universal-type codec.
 
 use itq_calculus::CalcError;
-use itq_object::ObjectError;
+use itq_object::{ObjectError, ResourceError};
 use std::fmt;
 
 /// Errors produced by the invention layer.
@@ -23,6 +23,11 @@ pub enum InventionError {
         /// The number of invented values tried.
         tried: usize,
     },
+    /// The execution's resource governor stopped a level evaluation.  Kept
+    /// separate from [`InventionError::Calc`] (whose `Display` prefixes the
+    /// inner message) so the resource message stays byte-identical across
+    /// every backend.
+    Resource(ResourceError),
 }
 
 impl fmt::Display for InventionError {
@@ -34,6 +39,7 @@ impl fmt::Display for InventionError {
             InventionError::BoundExhausted { tried } => {
                 write!(f, "invention bound exhausted after {tried} invented values")
             }
+            InventionError::Resource(e) => write!(f, "{e}"),
         }
     }
 }
@@ -42,7 +48,18 @@ impl std::error::Error for InventionError {}
 
 impl From<CalcError> for InventionError {
     fn from(e: CalcError) -> Self {
-        InventionError::Calc(e)
+        match e {
+            // Resource errors pass through un-prefixed so their messages stay
+            // byte-identical across backends and semantics.
+            CalcError::Resource(r) => InventionError::Resource(r),
+            other => InventionError::Calc(other),
+        }
+    }
+}
+
+impl From<ResourceError> for InventionError {
+    fn from(e: ResourceError) -> Self {
+        InventionError::Resource(e)
     }
 }
 

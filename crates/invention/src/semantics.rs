@@ -20,7 +20,7 @@
 
 use crate::error::InventionError;
 use itq_calculus::eval::{EvalConfig, EvalStats, Evaluable, Evaluation};
-use itq_object::{Atom, Database, Instance, Universe, Value};
+use itq_object::{Atom, Database, Instance, Interrupt, Universe, Value};
 use itq_trace::Span;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -99,6 +99,20 @@ pub fn eval_with_invented<Q: Evaluable + ?Sized>(
     n: usize,
     config: &EvalConfig,
 ) -> Result<(Instance, Evaluation), InventionError> {
+    eval_with_invented_governed(query, db, universe, n, config, Interrupt::disarmed())
+}
+
+/// [`eval_with_invented`] under a resource governor: the underlying calculus
+/// evaluation polls `interrupt` at its usual step granularity, so a deadline or
+/// cancellation fires mid-level rather than only between levels.
+pub fn eval_with_invented_governed<Q: Evaluable + ?Sized>(
+    query: &Q,
+    db: &Database,
+    universe: &mut Universe,
+    n: usize,
+    config: &EvalConfig,
+    interrupt: &Interrupt,
+) -> Result<(Instance, Evaluation), InventionError> {
     let original_domain: BTreeSet<Atom> = query.evaluation_domain(db);
     // Draw atoms from the universe until we have `n` that are genuinely outside
     // the active domain of the database and query — the universe may not have
@@ -110,7 +124,7 @@ pub fn eval_with_invented<Q: Evaluable + ?Sized>(
             invented.push(candidate);
         }
     }
-    let evaluation = query.eval_with_extra(db, &invented, config)?;
+    let evaluation = query.eval_governed(db, &invented, config, interrupt)?;
     let restricted = Instance::from_values(
         evaluation
             .result
@@ -136,6 +150,13 @@ pub struct FiniteInventionReport {
     /// The smallest `n` after which no new answer appeared within the bound, if
     /// the trace stabilised before the bound was hit.
     pub stabilised_at: Option<usize>,
+    /// `Some(n)` when a resource limit interrupted the sweep while evaluating
+    /// level `n` and the governor was configured to degrade rather than fail:
+    /// the report then holds the union of the levels `0..n` that completed — a
+    /// sound under-approximation of the bounded finite-invention answer (every
+    /// `Q|_k[d]` is a subset of the union, so stopping early can omit answers
+    /// but never fabricate them).
+    pub interrupted_at: Option<usize>,
 }
 
 impl FiniteInventionReport {
@@ -181,7 +202,50 @@ pub fn finite_invention_with_stats<Q: Evaluable + ?Sized>(
     universe: &mut Universe,
     config: &InventionConfig,
 ) -> Result<(FiniteInventionReport, EvalStats), InventionError> {
-    finite_invention_inner(query, db, universe, config, &mut NoHook)
+    finite_invention_inner(
+        query,
+        db,
+        universe,
+        config,
+        Interrupt::disarmed(),
+        false,
+        &mut NoHook,
+    )
+}
+
+/// [`finite_invention_with_stats`] under a resource governor.
+///
+/// Every per-level evaluation polls `interrupt`.  When `degrade` is `true` and
+/// a resource limit trips after at least the level-0 evaluation started, the
+/// error is converted into a partial report with
+/// [`FiniteInventionReport::interrupted_at`] set — the union of the completed
+/// levels, which is a sound under-approximation of the bounded answer.  When
+/// `degrade` is `false` the resource error propagates unchanged.
+pub fn finite_invention_governed_with_stats<Q: Evaluable + ?Sized>(
+    query: &Q,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+    interrupt: &Interrupt,
+    degrade: bool,
+) -> Result<(FiniteInventionReport, EvalStats), InventionError> {
+    finite_invention_inner(query, db, universe, config, interrupt, degrade, &mut NoHook)
+}
+
+/// [`finite_invention_traced`] under a resource governor; see
+/// [`finite_invention_governed_with_stats`] for the degradation contract.
+pub fn finite_invention_governed_traced<Q: Evaluable + ?Sized>(
+    query: &Q,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+    interrupt: &Interrupt,
+    degrade: bool,
+) -> Result<(FiniteInventionReport, EvalStats, Vec<Span>), InventionError> {
+    let mut hook = SpanHook::default();
+    let (report, stats) =
+        finite_invention_inner(query, db, universe, config, interrupt, degrade, &mut hook)?;
+    Ok((report, stats, hook.spans))
 }
 
 /// [`finite_invention_with_stats`] with per-level tracing: one [`Span`] per
@@ -195,15 +259,26 @@ pub fn finite_invention_traced<Q: Evaluable + ?Sized>(
     config: &InventionConfig,
 ) -> Result<(FiniteInventionReport, EvalStats, Vec<Span>), InventionError> {
     let mut hook = SpanHook::default();
-    let (report, stats) = finite_invention_inner(query, db, universe, config, &mut hook)?;
+    let (report, stats) = finite_invention_inner(
+        query,
+        db,
+        universe,
+        config,
+        Interrupt::disarmed(),
+        false,
+        &mut hook,
+    )?;
     Ok((report, stats, hook.spans))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finite_invention_inner<Q: Evaluable + ?Sized, H: LevelHook>(
     query: &Q,
     db: &Database,
     universe: &mut Universe,
     config: &InventionConfig,
+    interrupt: &Interrupt,
+    degrade: bool,
     hook: &mut H,
 ) -> Result<(FiniteInventionReport, EvalStats), InventionError> {
     let mut answers = Vec::new();
@@ -212,7 +287,25 @@ fn finite_invention_inner<Q: Evaluable + ?Sized, H: LevelHook>(
     let mut stats = EvalStats::default();
     for n in 0..=config.max_invented {
         let start = H::ENABLED.then(Instant::now);
-        let (restricted, evaluation) = eval_with_invented(query, db, universe, n, &config.eval)?;
+        let (restricted, evaluation) =
+            match eval_with_invented_governed(query, db, universe, n, &config.eval, interrupt) {
+                Ok(level) => level,
+                Err(InventionError::Resource(_)) if degrade => {
+                    // Sound under-approximation: every completed level is a
+                    // subset of the bounded union, so returning what finished
+                    // can omit answers but never invent wrong ones.
+                    return Ok((
+                        FiniteInventionReport {
+                            answers,
+                            union,
+                            stabilised_at: None,
+                            interrupted_at: Some(n),
+                        },
+                        stats,
+                    ));
+                }
+                Err(e) => return Err(e),
+            };
         if let Some(start) = start {
             hook.level(
                 n,
@@ -238,6 +331,7 @@ fn finite_invention_inner<Q: Evaluable + ?Sized, H: LevelHook>(
             answers,
             union,
             stabilised_at,
+            interrupted_at: None,
         },
         stats,
     ))
@@ -319,7 +413,45 @@ pub fn terminal_invention_with_stats<Q: Evaluable + ?Sized>(
     universe: &mut Universe,
     config: &InventionConfig,
 ) -> Result<(TerminalOutcome, EvalStats), InventionError> {
-    terminal_invention_inner(query, db, universe, config, &mut NoHook)
+    terminal_invention_inner(
+        query,
+        db,
+        universe,
+        config,
+        Interrupt::disarmed(),
+        &mut NoHook,
+    )
+}
+
+/// [`terminal_invention_with_stats`] under a resource governor.
+///
+/// Terminal invention returns the answer at the *least* inventing level, so a
+/// partially completed search carries no sound answer — unlike finite
+/// invention there is no degraded mode, and a resource limit always surfaces
+/// as an error.
+pub fn terminal_invention_governed_with_stats<Q: Evaluable + ?Sized>(
+    query: &Q,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+    interrupt: &Interrupt,
+) -> Result<(TerminalOutcome, EvalStats), InventionError> {
+    terminal_invention_inner(query, db, universe, config, interrupt, &mut NoHook)
+}
+
+/// [`terminal_invention_traced`] under a resource governor; see
+/// [`terminal_invention_governed_with_stats`].
+pub fn terminal_invention_governed_traced<Q: Evaluable + ?Sized>(
+    query: &Q,
+    db: &Database,
+    universe: &mut Universe,
+    config: &InventionConfig,
+    interrupt: &Interrupt,
+) -> Result<(TerminalOutcome, EvalStats, Vec<Span>), InventionError> {
+    let mut hook = SpanHook::default();
+    let (outcome, stats) =
+        terminal_invention_inner(query, db, universe, config, interrupt, &mut hook)?;
+    Ok((outcome, stats, hook.spans))
 }
 
 /// [`terminal_invention_with_stats`] with per-level tracing: one [`Span`] per
@@ -333,7 +465,14 @@ pub fn terminal_invention_traced<Q: Evaluable + ?Sized>(
     config: &InventionConfig,
 ) -> Result<(TerminalOutcome, EvalStats, Vec<Span>), InventionError> {
     let mut hook = SpanHook::default();
-    let (outcome, stats) = terminal_invention_inner(query, db, universe, config, &mut hook)?;
+    let (outcome, stats) = terminal_invention_inner(
+        query,
+        db,
+        universe,
+        config,
+        Interrupt::disarmed(),
+        &mut hook,
+    )?;
     Ok((outcome, stats, hook.spans))
 }
 
@@ -342,13 +481,15 @@ fn terminal_invention_inner<Q: Evaluable + ?Sized, H: LevelHook>(
     db: &Database,
     universe: &mut Universe,
     config: &InventionConfig,
+    interrupt: &Interrupt,
     hook: &mut H,
 ) -> Result<(TerminalOutcome, EvalStats), InventionError> {
     let original_domain: BTreeSet<Atom> = query.evaluation_domain(db);
     let mut stats = EvalStats::default();
     for n in 0..=config.max_invented {
         let start = H::ENABLED.then(Instant::now);
-        let (restricted, unrestricted) = eval_with_invented(query, db, universe, n, &config.eval)?;
+        let (restricted, unrestricted) =
+            eval_with_invented_governed(query, db, universe, n, &config.eval, interrupt)?;
         if let Some(start) = start {
             hook.level(
                 n,

@@ -50,6 +50,7 @@ pub mod atom;
 pub mod card;
 pub mod cons;
 pub mod error;
+pub mod govern;
 pub mod instance;
 pub mod store;
 pub mod types;
@@ -59,6 +60,7 @@ pub use atom::{Atom, Universe};
 pub use card::{hyp, Cardinality};
 pub use cons::{cons_cardinality, enumerate_cons, ConsIter};
 pub use error::ObjectError;
+pub use govern::{CancelFlag, Interrupt, ResourceError, TripKind};
 pub use instance::{Database, Instance, PredName, Schema};
 pub use store::{DomainCache, DomainHandle, ValueId, ValueStore};
 pub use types::Type;

@@ -90,6 +90,7 @@ enum Node {
 pub struct ValueStore {
     nodes: Vec<Node>,
     index: HashMap<Node, ValueId>,
+    approx_bytes: u64,
 }
 
 impl ValueStore {
@@ -108,10 +109,28 @@ impl ValueStore {
         self.nodes.is_empty()
     }
 
+    /// A deterministic estimate of the bytes this store holds: 48 bytes of
+    /// arena-node plus index-entry overhead per distinct value, plus 8 bytes
+    /// per child id (one copy in the arena, one in the index key).  The
+    /// estimate is platform-independent on purpose — the memory governor
+    /// compares it against a configured ceiling, and a deterministic figure
+    /// keeps ceiling trips reproducible across runs and machines.
+    ///
+    /// The store only ever grows within an execution, so this is also the
+    /// peak: `len()` is the peak live-id count.
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
+    }
+
     fn intern_node(&mut self, node: Node) -> ValueId {
         if let Some(&id) = self.index.get(&node) {
             return id;
         }
+        let children = match &node {
+            Node::Atom(_) => 0,
+            Node::Tuple(ids) | Node::Set(ids) => ids.len() as u64,
+        };
+        self.approx_bytes += 48 + 8 * children;
         let id = ValueId(u32::try_from(self.nodes.len()).expect("value store overflow"));
         self.index.insert(node.clone(), id);
         self.nodes.push(node);
@@ -271,6 +290,7 @@ pub struct DomainCache {
     by_type: HashMap<Type, DomainHandle>,
     hits: u64,
     misses: u64,
+    approx_bytes: u64,
 }
 
 impl DomainCache {
@@ -284,6 +304,7 @@ impl DomainCache {
             by_type: HashMap::new(),
             hits: 0,
             misses: 0,
+            approx_bytes: 0,
         }
     }
 
@@ -303,6 +324,15 @@ impl DomainCache {
         self.misses
     }
 
+    /// A deterministic estimate of the bytes held by the memoized prefixes:
+    /// 64 bytes of `LazyDomain` bookkeeping per registered type plus 4 bytes
+    /// per materialised rank.  Deliberately platform-independent, for the
+    /// same reason as [`ValueStore::approx_bytes`]: the memory governor needs
+    /// reproducible ceiling trips.
+    pub fn approx_bytes(&self) -> u64 {
+        self.approx_bytes
+    }
+
     /// Resolve (or create) the handle for `cons_X(ty)`.  Creation registers
     /// the type's component domains recursively and computes the exact
     /// cardinality; this is the only type-keyed lookup — everything after it
@@ -319,6 +349,7 @@ impl DomainCache {
             Type::Set(inner) => Generator::Set(self.handle(inner)),
         };
         let total = cons_cardinality(ty, self.atoms.len()).as_exact();
+        self.approx_bytes += 64;
         let h = DomainHandle(u32::try_from(self.domains.len()).expect("domain table overflow"));
         self.domains.push(LazyDomain {
             ty: ty.clone(),
@@ -379,6 +410,7 @@ impl DomainCache {
         while next <= rank {
             let id = self.generate(handle, next, store)?;
             self.misses += 1;
+            self.approx_bytes += 4;
             self.domains[handle.0 as usize].ids.push(id);
             next += 1;
         }

@@ -7,12 +7,26 @@
 //! itq -e 'STATEMENTS'      # one-shot: run statements from the command line
 //! itq --quiet ...          # suppress answer-object lines (headers still print)
 //! itq --trace FILE ...     # append one JSON trace span per traced event
+//! itq --deadline-ms 500 ...    # resource governor: wall-clock limit per execution
+//! itq --memory-limit 1048576 ... # resource governor: interned-bytes ceiling
 //! ```
 //!
 //! The REPL keeps going after an error; batch and one-shot modes exit with
 //! status 1 on the first error so CI pipelines fail loudly.  `--check` exits
 //! with the script's worst diagnostic severity: 0 for clean or info-only,
 //! 1 when warnings were found, 2 on any error.
+//!
+//! ## Cancellation
+//!
+//! The engine's resource governor supports cooperative cancellation through a
+//! shared `CancelFlag` raised from another thread, and a governed execution
+//! stops at its next poll point with
+//! `error: execution cancelled`.  The REPL does **not** wire Ctrl-C to that
+//! flag: installing a SIGINT handler requires unsafe FFI (or a signal-handling
+//! dependency), and this workspace is `#![forbid(unsafe_code)]` with a frozen
+//! dependency set — so Ctrl-C still terminates the whole process.  To bound a
+//! runaway statement, arm a deadline instead (`--deadline-ms` here, or
+//! `set deadline <millis>;` inside the session).
 
 use itq_surface::check_script;
 use itq_surface::script::split_statements;
@@ -32,6 +46,8 @@ enum Mode {
 fn main() -> ExitCode {
     let mut quiet = false;
     let mut trace: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut memory_limit: Option<u64> = None;
     let mut mode: Option<Mode> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,6 +56,16 @@ fn main() -> ExitCode {
             "--trace" => match args.next() {
                 Some(path) => trace = Some(path),
                 None => return usage_error("--trace needs a file argument"),
+            },
+            "--deadline-ms" => match args.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(millis)) => deadline_ms = Some(millis),
+                Some(Err(_)) => return usage_error("--deadline-ms needs a number of milliseconds"),
+                None => return usage_error("--deadline-ms needs a number of milliseconds"),
+            },
+            "--memory-limit" => match args.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(bytes)) => memory_limit = Some(bytes),
+                Some(Err(_)) => return usage_error("--memory-limit needs a number of bytes"),
+                None => return usage_error("--memory-limit needs a number of bytes"),
             },
             "--script" => match (mode.is_none(), args.next()) {
                 (true, Some(path)) => mode = Some(Mode::Script(path)),
@@ -66,6 +92,11 @@ fn main() -> ExitCode {
 
     let mut session = Session::new();
     session.set_quiet(quiet);
+    if deadline_ms.is_some() || memory_limit.is_some() {
+        let governor = session.engine_mut().governor_mut();
+        governor.deadline_millis = deadline_ms;
+        governor.memory_ceiling = memory_limit;
+    }
     if let Some(path) = trace {
         match std::fs::File::create(&path) {
             Ok(file) => session.set_trace_sink(Box::new(JsonLinesSink::new(file))),
@@ -102,13 +133,17 @@ fn usage_error(msg: &str) -> ExitCode {
 
 fn print_usage() {
     println!(
-        "usage: itq [--quiet] [--trace FILE] \
+        "usage: itq [--quiet] [--trace FILE] [--deadline-ms N] [--memory-limit N] \
          [--script FILE.itq | --check FILE.itq | -e 'STATEMENTS' | --help]"
     );
     println!("With no mode argument, reads `;`-terminated statements from stdin.");
-    println!("  --quiet        print result headers only, not the answer objects");
-    println!("  --trace FILE   write one JSON span per eval/epoch to FILE (JSON lines)");
-    println!("  --check FILE   static analysis only; exit 0 clean/info, 1 warnings, 2 errors");
+    println!("  --quiet            print result headers only, not the answer objects");
+    println!("  --trace FILE       write one JSON span per eval/epoch to FILE (JSON lines)");
+    println!("  --check FILE       static analysis only; exit 0 clean/info, 1 warnings, 2 errors");
+    println!("  --deadline-ms N    stop any execution after N wall-clock milliseconds");
+    println!("  --memory-limit N   stop any execution interning more than N bytes");
+    println!("Ctrl-C terminates the process (no SIGINT handler under forbid(unsafe_code));");
+    println!("use `--deadline-ms` or `set deadline <millis>;` to bound runaway statements.");
     println!("Type `help;` inside the session for the statement reference.");
 }
 

@@ -215,9 +215,9 @@ pub fn check_script(src: &str, budgets: &Budgets) -> ScriptCheck {
                     .queries
                     .insert(target.unwrap_or_else(|| format!("{name}_calc")));
             }
-            // `unwatch` state, `list`, `help`, and `quit` have nothing to
-            // validate statically.
-            Stmt::Unwatch { .. } | Stmt::List | Stmt::Help | Stmt::Quit => {}
+            // `unwatch` state, `set` limits, `list`, `help`, and `quit` have
+            // nothing to validate statically.
+            Stmt::Unwatch { .. } | Stmt::Set { .. } | Stmt::List | Stmt::Help | Stmt::Quit => {}
         }
     }
     check

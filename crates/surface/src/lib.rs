@@ -60,7 +60,7 @@ pub use parser::{
     parse_query, parse_query_with, parse_schema, parse_sel_formula, parse_term, parse_term_with,
     parse_type, parse_value, parse_value_with, Parser,
 };
-pub use script::{parse_script, Stmt};
+pub use script::{parse_script, SetKnob, Stmt};
 pub use session::Session;
 
 /// Convenient result alias used throughout the crate.

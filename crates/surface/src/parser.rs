@@ -201,7 +201,9 @@ impl<'u> Parser<'u> {
         }
     }
 
-    fn nat(&mut self, what: &str) -> Result<u64> {
+    /// Expect a natural-number literal (statement arguments such as
+    /// `set deadline 500`).
+    pub fn nat(&mut self, what: &str) -> Result<u64> {
         match self.peek() {
             Some(Tok::Nat(_)) => match self.advance().map(|t| t.tok) {
                 Some(Tok::Nat(n)) => Ok(n),

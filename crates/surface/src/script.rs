@@ -180,10 +180,27 @@ pub enum Stmt {
         /// Name to bind the result to (default `NAME_calc`).
         target: Option<String>,
     },
+    /// `set deadline <millis>|off;` / `set memory <bytes>|off;` — arm or
+    /// disarm a resource-governor limit on the session engine.
+    Set {
+        /// Which limit to adjust.
+        knob: SetKnob,
+        /// The new limit, or `None` for `off`.
+        value: Option<u64>,
+    },
     /// `help;`
     Help,
     /// `quit;` / `exit;`
     Quit,
+}
+
+/// The resource-governor limits adjustable with `set` (see [`Stmt::Set`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetKnob {
+    /// `set deadline <millis>;` — wall-clock deadline per execution.
+    Deadline,
+    /// `set memory <bytes>;` — interned-bytes ceiling per execution.
+    Memory,
 }
 
 /// Split a script into `;`-terminated statement chunks, each paired with the
@@ -461,6 +478,34 @@ pub fn parse_stmt(
             };
             Stmt::Compile { name, target }
         }
+        "set" => {
+            let (knob, knob_pos) = named(&mut p, "`deadline` or `memory`")?;
+            let knob = match knob.as_str() {
+                "deadline" => SetKnob::Deadline,
+                "memory" => SetKnob::Memory,
+                other => {
+                    return Err(ParseError::new(
+                        format!(
+                            "unknown limit `{other}`; expected `set deadline <millis>|off` \
+                             or `set memory <bytes>|off`"
+                        ),
+                        knob_pos,
+                    ));
+                }
+            };
+            let off_pos = p.pos();
+            let value = match p.ident_or_none() {
+                Some(word) if word == "off" => None,
+                Some(word) => {
+                    return Err(ParseError::new(
+                        format!("expected a number or `off`, found `{word}`"),
+                        off_pos,
+                    ));
+                }
+                None => Some(p.nat("a number or `off`")?),
+            };
+            Stmt::Set { knob, value }
+        }
         "help" => Stmt::Help,
         "quit" | "exit" => Stmt::Quit,
         other => {
@@ -468,7 +513,7 @@ pub fn parse_stmt(
                 format!(
                     "unknown statement `{other}`; expected one of schema, database, query, \
                      algebra, show, list, classify, typecheck, check, plan, eval, explain, \
-                     insert, delete, watch, unwatch, compile, help, quit"
+                     insert, delete, watch, unwatch, compile, set, help, quit"
                 ),
                 head_pos,
             ));
@@ -711,6 +756,47 @@ mod tests {
         assert!(parse_script("insert into d PAR {[a0, a1]}", &mut u).is_err());
         assert!(parse_script("watch gp at d", &mut u).is_err());
         assert!(parse_script("unwatch gp from d", &mut u).is_err());
+    }
+
+    #[test]
+    fn set_statements_parse() {
+        let mut u = Universe::new();
+        let stmts = parse_script(
+            "set deadline 500;\nset memory 1048576;\nset deadline off;\nset memory off",
+            &mut u,
+        )
+        .unwrap();
+        assert_eq!(
+            stmts[0],
+            Stmt::Set {
+                knob: SetKnob::Deadline,
+                value: Some(500)
+            }
+        );
+        assert_eq!(
+            stmts[1],
+            Stmt::Set {
+                knob: SetKnob::Memory,
+                value: Some(1_048_576)
+            }
+        );
+        assert_eq!(
+            stmts[2],
+            Stmt::Set {
+                knob: SetKnob::Deadline,
+                value: None
+            }
+        );
+        assert_eq!(
+            stmts[3],
+            Stmt::Set {
+                knob: SetKnob::Memory,
+                value: None
+            }
+        );
+        for bad in ["set;", "set frobs 3;", "set deadline;", "set deadline on;"] {
+            assert!(parse_script(bad, &mut u).is_err(), "`{bad}` should fail");
+        }
     }
 
     #[test]

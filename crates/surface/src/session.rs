@@ -12,7 +12,7 @@
 //! and (for algebra) compiles only once.
 
 use crate::error::{ParseError, Pos};
-use crate::script::{offset_error, parse_stmt, split_statements, Stmt};
+use crate::script::{offset_error, parse_stmt, split_statements, SetKnob, Stmt};
 use crate::spans::SpanTable;
 use itq_algebra::{classify_expr, infer_type, AlgExpr};
 use itq_analyze::{analyze_algebra, analyze_query, render_snippet, Budgets, Severity};
@@ -319,6 +319,7 @@ impl Session {
                 lines.extend(self.unwatch(&name, database.as_deref())?)
             }
             Stmt::Compile { name, target } => lines.extend(self.compile(&name, target)?),
+            Stmt::Set { knob, value } => lines.push(self.set_limit(knob, value)),
             Stmt::Help => lines.extend(help_text()),
             Stmt::Quit => {
                 lines.push("bye".to_string());
@@ -848,6 +849,33 @@ impl Session {
         )))
     }
 
+    /// `set deadline <millis>|off;` / `set memory <bytes>|off;` — adjust the
+    /// engine's resource governor.  Prepared handles snapshot the governor,
+    /// so this goes through [`Session::engine_mut`] and drops every cached
+    /// handle; the next `eval` of each name re-prepares under the new limits.
+    /// Watched views keep the configuration they were registered with —
+    /// re-`watch` a view to govern its refreshes.
+    fn set_limit(&mut self, knob: SetKnob, value: Option<u64>) -> String {
+        let governor = self.engine_mut().governor_mut();
+        match (knob, value) {
+            (SetKnob::Deadline, _) => governor.deadline_millis = value,
+            (SetKnob::Memory, _) => governor.memory_ceiling = value,
+        }
+        let what = match knob {
+            SetKnob::Deadline => "deadline",
+            SetKnob::Memory => "memory",
+        };
+        match (knob, value) {
+            (SetKnob::Deadline, Some(millis)) => {
+                format!("set {what}: {millis} ms per execution")
+            }
+            (SetKnob::Memory, Some(bytes)) => {
+                format!("set {what}: {bytes} bytes interned per execution")
+            }
+            (_, None) => format!("set {what}: off"),
+        }
+    }
+
     // ----- rendering -----------------------------------------------------------
 
     fn render_values(&self, instance: &Instance) -> Vec<String> {
@@ -909,6 +937,8 @@ fn help_text() -> Vec<String> {
         "  delete from DB.P {v, ...}            remove tuples; watched views refresh",
         "  watch NAME on DB [with SEMANTICS]    keep a query's answer warm under mutation",
         "  unwatch NAME [on DB]                 stop watching (everywhere without `on`)",
+        "  set deadline MILLIS|off              wall-clock limit per execution",
+        "  set memory BYTES|off                 interned-bytes ceiling per execution",
         "  show NAME | list | help | quit",
         "syntax: Unicode (∃x/[U, U] (PAR(x) ∧ x.1 ≈ t.1)) or ASCII",
         "        (exists x/[U, U] (PAR(x) and x.1 == t.1)); atoms: a7, 'Tom'",
@@ -1286,6 +1316,39 @@ mod tests {
         let out = run(&mut s, "eval gp on d;");
         assert_eq!(out.len(), 2);
         assert_eq!(out[1], "  [Tom, Sue]");
+    }
+
+    #[test]
+    fn set_statements_govern_later_evals() {
+        let mut s = Session::new();
+        genealogy(&mut s);
+        run(&mut s, "eval gp on d;");
+        // Arming a zero deadline trips the very next execution with the
+        // engine's canonical message; prepared handles were re-snapshotted.
+        let out = run(&mut s, "set deadline 0;");
+        assert_eq!(out, vec!["set deadline: 0 ms per execution"]);
+        assert!(s.prepared("gp").is_none(), "set drops cached handles");
+        let err = s.run_source("eval gp on d;").unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("execution deadline of 0 ms exceeded"),
+            "{err}"
+        );
+        // Disarming restores normal execution, byte-identically.
+        let out = run(&mut s, "set deadline off;\neval gp on d;");
+        assert_eq!(out[0], "set deadline: off");
+        assert_eq!(out[1], "eval gp on d with limited: 1 object");
+        // The memory knob reaches the interning backends the same way.
+        let out = run(&mut s, "set memory 1;");
+        assert_eq!(out, vec!["set memory: 1 bytes interned per execution"]);
+        let err = s.run_source("eval gp on d;").unwrap_err();
+        assert!(
+            err.to_string().contains("memory ceiling of 1 bytes"),
+            "{err}"
+        );
+        run(&mut s, "set memory off;");
+        let out = run(&mut s, "eval gp on d;");
+        assert_eq!(out[0], "eval gp on d with limited: 1 object");
     }
 
     #[test]

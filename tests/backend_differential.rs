@@ -500,3 +500,119 @@ fn grandparent_exemplar_joins_instead_of_scanning_pairs() {
         .unwrap();
     assert_eq!(outcome.result, tuple.result);
 }
+
+/// Resource errors are byte-identical across the engine trio, for all three
+/// semantics and every deterministic governing condition — the differential
+/// contract extended to the resource governor.
+#[test]
+fn resource_errors_are_byte_identical_across_the_trio() {
+    let expr = AlgExpr::pred("PAR")
+        .product(AlgExpr::pred("PAR"))
+        .select(SelFormula::coords_eq(2, 3))
+        .project(vec![1, 4]);
+    let db = Database::single(
+        "PAR",
+        Instance::from_pairs(vec![(Atom(0), Atom(1)), (Atom(1), Atom(2))]),
+    )
+    .with("PERSON", Instance::empty());
+    let trio = |governor: &GovernorConfig| {
+        [
+            ("planner", Engine::builder()),
+            ("tuple", Engine::builder().use_algebra_planner(false)),
+            (
+                "tree-walk",
+                Engine::builder()
+                    .use_algebra_planner(false)
+                    .use_compiled(false),
+            ),
+        ]
+        .map(|(label, builder)| {
+            (
+                label,
+                builder.max_invented(1).governor(governor.clone()).build(),
+            )
+        })
+    };
+
+    // A zero deadline and an entry-poll cancellation trip every backend with
+    // one canonical message each, under every semantics.
+    for (governor, expected) in [
+        (
+            GovernorConfig {
+                deadline_millis: Some(0),
+                ..GovernorConfig::default()
+            },
+            "execution deadline of 0 ms exceeded",
+        ),
+        (
+            GovernorConfig {
+                trip_after: Some((1, TripKind::Cancel)),
+                ..GovernorConfig::default()
+            },
+            "execution cancelled",
+        ),
+    ] {
+        for semantics in Semantics::ALL {
+            for (label, engine) in trio(&governor) {
+                let err = engine
+                    .prepare_algebra(&expr, &schema())
+                    .unwrap()
+                    .execute(&db, semantics)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, EngineError::Resource(_)),
+                    "{label}/{semantics}: {err}"
+                );
+                assert_eq!(err.to_string(), expected, "{label}/{semantics}");
+            }
+        }
+    }
+
+    // The memory ceiling governs interned values, so it only trips the
+    // interning backends — but trips them with the identical message.  The
+    // planned path observes its value store at the masked poll cadence
+    // (every `POLL_MASK`+1 work units), so its database must be large enough
+    // to reach a poll after interning.
+    let ceiling = GovernorConfig {
+        memory_ceiling: Some(1),
+        ..GovernorConfig::default()
+    };
+    let expected = "interned values exceeded the configured memory ceiling of 1 bytes";
+    let [(_, planner), (_, tuple), (_, tree)] = trio(&ceiling);
+    let big_db = Database::single(
+        "PAR",
+        Instance::from_pairs((0..300).map(|i| (Atom(i), Atom(i + 1)))),
+    )
+    .with("PERSON", Instance::empty());
+    let planner_err = planner
+        .prepare_algebra(&expr, &schema())
+        .unwrap()
+        .execute(&big_db, Semantics::Limited)
+        .unwrap_err();
+    assert_eq!(planner_err.to_string(), expected);
+    // The compiled calculus route interns through its value store too.
+    let compiled_err = Engine::builder()
+        .governor(ceiling.clone())
+        .build()
+        .prepare(&to_calculus_query(&expr, &schema()).unwrap())
+        .unwrap()
+        .execute(&db, Semantics::Limited)
+        .unwrap_err();
+    assert_eq!(compiled_err.to_string(), expected);
+    // Tuple-at-a-time and the tree walker never intern: exact answers.
+    let baseline = Engine::builder()
+        .use_algebra_planner(false)
+        .build()
+        .prepare_algebra(&expr, &schema())
+        .unwrap()
+        .execute(&db, Semantics::Limited)
+        .unwrap();
+    for (label, engine) in [("tuple", tuple), ("tree-walk", tree)] {
+        let outcome = engine
+            .prepare_algebra(&expr, &schema())
+            .unwrap()
+            .execute(&db, Semantics::Limited)
+            .unwrap();
+        assert_eq!(outcome.result, baseline.result, "{label}");
+    }
+}

@@ -154,7 +154,7 @@ fn execute_shares_the_handle_without_exclusive_access() {
     // Invention semantics also go through `&self`: scratch atoms come from an
     // interior clone, and the engine's universe is observably untouched.
     let before = engine.universe().len();
-    prepared.execute(&db, Semantics::FiniteInvention).unwrap();
+    let _ = prepared.execute(&db, Semantics::FiniteInvention).unwrap();
     assert_eq!(engine.universe().len(), before);
 }
 

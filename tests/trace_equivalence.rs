@@ -239,7 +239,7 @@ fn recorded_spans_render_with_the_pinned_grammar() {
     let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
     let sink = CollectingSink::new();
     assert!(sink.is_enabled());
-    prepared
+    let _ = prepared
         .execute_with_sink(&db, Semantics::Limited, &sink)
         .unwrap();
     let span = sink.take().pop().unwrap();
