@@ -12,6 +12,7 @@
 //! cargo run --release -p itq-bench --bin report -- --trace-json -
 //! cargo run --release -p itq-bench --bin report -- --trace-overhead-json BENCH_trace_overhead.json
 //! cargo run --release -p itq-bench --bin report -- --governor-overhead-json BENCH_governor_overhead.json
+//! cargo run --release -p itq-bench --bin report -- --parallel-json BENCH_parallel_scaling.json
 //! ```
 //!
 //! The tables are the source of the numbers recorded in `EXPERIMENTS.md`.
@@ -109,6 +110,10 @@ fn main() {
     }
     if raw.first().map(String::as_str) == Some("--governor-overhead-json") {
         emit_governor_overhead_json(raw.get(1).map(String::as_str).unwrap_or("-"));
+        return;
+    }
+    if raw.first().map(String::as_str) == Some("--parallel-json") {
+        emit_parallel_json(raw.get(1).map(String::as_str).unwrap_or("-"));
         return;
     }
     let requested: Vec<String> = raw.iter().map(|s| s.to_uppercase()).collect();
@@ -680,6 +685,105 @@ fn emit_governor_overhead_json(target: &str) {
     } else {
         println!(
             "wrote {} governor-overhead records to {target} (aggregate {aggregate:.2}%)",
+            records.len()
+        );
+    }
+}
+
+/// `--parallel-json [FILE|-]`: the E16 grid — every workload in
+/// `itq_bench::parallel_scaling_workloads` is executed through the same
+/// `Prepared` handle at 1, 2, and 4 workers, the answers are asserted
+/// byte-identical at every worker count before anything is recorded, and the
+/// speedups are serialized as a JSON array (`BENCH_parallel_scaling.json` in
+/// CI).  On a machine with ≥ 4 available cores the E16 acceptance bar is
+/// asserted too: at least two workloads must reach ≥ 2× at 4 workers (the
+/// calculus workloads are the designed exemplars; the probe-partitioned
+/// algebra workloads are expected to gain less).
+fn emit_parallel_json(target: &str) {
+    const WORKERS: [usize; 3] = [1, 2, 4];
+    let engine = Engine::builder().parallelism(1).build();
+    let mut prepared_grid = Vec::new();
+    for (name, workload) in itq_bench::parallel_scaling_workloads() {
+        let (prepared, db) = match workload {
+            itq_bench::ParallelWorkload::Calculus(query, db) => (engine.prepare(&query), db),
+            itq_bench::ParallelWorkload::Algebra(expr, schema, db) => {
+                (engine.prepare_algebra(&expr, &schema), db)
+            }
+        };
+        match prepared {
+            Ok(prepared) => prepared_grid.push((name, prepared, db)),
+            Err(e) => {
+                eprintln!("error: prepare `{name}`: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut records: Vec<String> = Vec::new();
+    let mut at_bar = 0usize;
+    for (name, prepared, db) in prepared_grid {
+        // Min-of-3 per worker count, matching the E13/E14 pattern; the
+        // baseline answer pins every parallel answer byte-identically.
+        let baseline = prepared
+            .execute(&db, Semantics::Limited)
+            .unwrap_or_else(|e| {
+                eprintln!("error: execute `{name}`: {e}");
+                std::process::exit(1);
+            });
+        let mut micros = [u64::MAX; 3];
+        let mut partitions = [0u64; 3];
+        for (slot, workers) in WORKERS.into_iter().enumerate() {
+            let handle = prepared.with_parallelism(workers);
+            for _ in 0..3 {
+                let outcome = handle.execute(&db, Semantics::Limited).unwrap();
+                assert_eq!(
+                    baseline.result, outcome.result,
+                    "parallel answers must be byte-identical on `{name}` at {workers} workers"
+                );
+                micros[slot] = micros[slot].min(outcome.stats.wall_micros);
+                partitions[slot] = outcome.stats.partitions;
+            }
+        }
+        let speedup_2 = micros[0].max(1) as f64 / micros[1].max(1) as f64;
+        let speedup_4 = micros[0].max(1) as f64 / micros[2].max(1) as f64;
+        if speedup_4 >= 2.0 {
+            at_bar += 1;
+        }
+        records.push(format!(
+            "{{\"experiment\":\"{name}\",\"semantics\":\"limited\",\
+             \"result_size\":{},\"partitions_2\":{},\"partitions_4\":{},\
+             \"workers_1_micros\":{},\"workers_2_micros\":{},\
+             \"workers_4_micros\":{},\"speedup_2\":{speedup_2:.2},\
+             \"speedup_4\":{speedup_4:.2}}}",
+            baseline.result.len(),
+            partitions[1],
+            partitions[2],
+            micros[0],
+            micros[1],
+            micros[2],
+        ));
+    }
+    // The acceptance bar only means something when 4 workers can actually
+    // run concurrently; single- and dual-core runners still record the
+    // (answer-checked) trajectory without asserting speedups they cannot see.
+    if cores >= 4 {
+        assert!(
+            at_bar >= 2,
+            "E16 acceptance: at least two workloads must reach ≥2× at 4 workers \
+             on a {cores}-core machine (got {at_bar})"
+        );
+    } else {
+        eprintln!("note: {cores} core(s) available; skipping the ≥2×-at-4-workers assertion");
+    }
+    let json = format!("[\n  {}\n]\n", records.join(",\n  "));
+    if target == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(target, &json) {
+        eprintln!("error: cannot write `{target}`: {e}");
+        std::process::exit(1);
+    } else {
+        println!(
+            "wrote {} parallel-scaling records to {target} ({at_bar} workload(s) ≥2× at 4 workers)",
             records.len()
         );
     }

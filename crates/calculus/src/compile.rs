@@ -4,7 +4,7 @@
 //! through a `BTreeMap<String, Value>` and deep-clones set values it only
 //! wants to compare; worse, every entry into a quantifier re-enumerates the
 //! constructive domain `cons_X(T)` from scratch, so a `∀x ∃y` over a size-`N`
-//! domain performs `~N²` deep [`Value`](itq_object::Value) constructions.
+//! domain performs `~N²` deep [`Value`] constructions.
 //! This module is the static half of the fix: [`compile`] lowers a validated
 //! [`Query`] once — at prepare time — into a [`CompiledQuery`] whose
 //!
@@ -31,10 +31,12 @@ use crate::query::Query;
 use crate::term::{Term, Var};
 use itq_object::cons::cons_cardinality;
 use itq_object::govern::POLL_MASK;
+use itq_object::pool::{partition_ranges, run_partitions};
 use itq_object::store::{DomainCache, DomainHandle, ValueId, ValueStore};
-use itq_object::{Atom, Database, Instance, Interrupt, PredName, Type};
+use itq_object::{Atom, Database, Instance, Interrupt, PredName, Type, Value};
 use itq_trace::Span;
 use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A compiled term: constant/variable references resolved to dense handles.
@@ -309,6 +311,322 @@ impl CompiledQuery {
             },
             exec.tracer,
         ))
+    }
+
+    /// Partitioned evaluation: split the top-level candidate loop into
+    /// contiguous rank chunks and evaluate the chunks on a scoped worker pool,
+    /// one [`ValueStore`]/[`DomainCache`] overlay per worker over a shared
+    /// frozen base.
+    ///
+    /// The coordinator interns the query constants and pre-materialises the
+    /// *entire* candidate domain into the base before freezing it — without
+    /// the prefill, the worker owning the last rank chunk would privately
+    /// re-materialise every earlier rank (lazy domains extend sequentially)
+    /// and the partitioning would not scale.
+    ///
+    /// Determinism contract, pinned by `tests/parallel_equivalence.rs`:
+    ///
+    /// * **answers** are byte-identical to the sequential evaluator for every
+    ///   worker count — candidates are a pure function of their rank, and the
+    ///   merged [`Instance`] canonicalises structurally;
+    /// * **deterministic counters** (`steps`, `quantifier_values`,
+    ///   `candidates_checked`, `max_domain_seen`) equal the sequential run's —
+    ///   per-candidate work is independent, so partition sums reproduce the
+    ///   sequential totals exactly;
+    /// * **errors** are reconstructed in partition (rank) order with a
+    ///   cumulative step counter, so logical budget errors surface with the
+    ///   same classification and message the sequential run would have
+    ///   produced, no matter which worker tripped first in wall-clock time.
+    ///   Physical [`ResourceError`](itq_object::ResourceError) trips
+    ///   (cancellation, deadlines, memory ceilings) are inherently racy in
+    ///   *when* they fire, but their messages are deterministic, so the
+    ///   surfaced error is byte-identical there too.
+    ///
+    /// The cache counters (`domain_cache_hits`/`misses`, `interned_values`)
+    /// keep their meaning but not their exact values at `workers > 1`:
+    /// per-worker overlays may duplicate inner-quantifier materialisation the
+    /// sequential memo would have shared.
+    pub fn eval_governed_parallel(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+        workers: usize,
+    ) -> Result<ParallelEvaluation, CalcError> {
+        // Entry poll, mirroring the sequential evaluator: a 0 ms deadline or
+        // a pre-raised cancel flag trips before any work.
+        interrupt.check(0)?;
+        let mut atom_set = Evaluable::evaluation_domain(self, db);
+        atom_set.extend(extra.iter().copied());
+        let atoms: Vec<Atom> = atom_set.into_iter().collect();
+
+        let target_card = cons_cardinality(&self.target_type, atoms.len());
+        if !target_card.fits_within(config.max_candidates) {
+            return Err(CalcError::Budget {
+                what: format!(
+                    "candidate domain cons_X({}) of size {target_card}",
+                    self.target_type
+                ),
+                limit: config.max_candidates,
+            });
+        }
+        let total = target_card.saturating_u64();
+
+        // Coordinator phase: build the shared base — constants interned,
+        // every candidate rank materialised — then freeze it for the workers.
+        let mut store = ValueStore::new();
+        let mut domains = DomainCache::new(atoms);
+        let mut domain_handles = Vec::with_capacity(self.domain_types.len());
+        for ty in &self.domain_types {
+            domain_handles.push(domains.handle(ty));
+        }
+        let mut const_ids = Vec::with_capacity(self.consts.len());
+        for &atom in &self.consts {
+            const_ids.push(store.intern_atom(atom));
+        }
+        let candidate_handle = domain_handles[0];
+        for rank in 0..total {
+            domains.nth(candidate_handle, rank as u128, &mut store)?;
+            if rank & POLL_MASK == POLL_MASK {
+                interrupt.check(store.approx_bytes() + domains.approx_bytes())?;
+            }
+        }
+        let base_stats = EvalStats {
+            domain_cache_hits: domains.hits(),
+            domain_cache_misses: domains.misses(),
+            interned_values: store.len() as u64,
+            ..EvalStats::default()
+        };
+        let base_len = store.len() as u64;
+        let frozen_store = store.freeze();
+        let frozen_domains = domains.freeze();
+
+        let ranges = partition_ranges(total as usize, workers.max(1));
+        let outcomes = run_partitions(ranges, |_, (start, end)| {
+            let begun = Instant::now();
+            let mut exec = Exec {
+                db,
+                config,
+                compiled: self,
+                store: ValueStore::overlay(Arc::clone(&frozen_store)),
+                domains: DomainCache::overlay(Arc::clone(&frozen_domains)),
+                domain_handles: domain_handles.clone(),
+                domain_sizes: vec![None; self.domain_types.len()],
+                env: vec![None; self.slot_count],
+                const_ids: const_ids.clone(),
+                relations: vec![None; self.preds.len()],
+                stats: EvalStats::default(),
+                interrupt,
+                tracer: NoTrace,
+            };
+            let mut satisfied: Vec<ValueId> = Vec::new();
+            let mut error = None;
+            for rank in start..end {
+                exec.stats.candidates_checked += 1;
+                let candidate =
+                    match exec
+                        .domains
+                        .nth(candidate_handle, rank as u128, &mut exec.store)
+                    {
+                        Ok(id) => id,
+                        Err(e) => {
+                            error = Some(CalcError::from(e));
+                            break;
+                        }
+                    };
+                exec.env[0] = Some(candidate);
+                match exec.satisfies(&self.body) {
+                    Ok(true) => satisfied.push(candidate),
+                    Ok(false) => {}
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            exec.stats.domain_cache_hits = exec.domains.hits();
+            exec.stats.domain_cache_misses = exec.domains.misses();
+            exec.stats.interned_values = (exec.store.len() as u64).saturating_sub(base_len);
+            PartitionOutcome {
+                ranks: (start as u64, end as u64),
+                satisfied: satisfied.iter().map(|&id| exec.store.resolve(id)).collect(),
+                stats: exec.stats,
+                error,
+                wall_micros: begun.elapsed().as_micros() as u64,
+            }
+        });
+
+        // Deterministic error reconstruction: replay the partitions in rank
+        // order with a cumulative step counter.  The sequential run errors
+        // with the step-budget message at the first candidate where the
+        // global counter crosses `max_steps`; a partition whose own error
+        // lies past that crossing therefore reports the budget error instead
+        // — its candidate would never have been reached sequentially.
+        // Physical resource trips (whose messages carry no counters) are
+        // surfaced as-is: the sequential run, being slower, would have
+        // observed the same condition.
+        let step_budget = || CalcError::Budget {
+            what: "formula evaluation steps".to_string(),
+            limit: config.max_steps,
+        };
+        let mut cum_steps: u64 = 0;
+        for outcome in &outcomes {
+            let crossed = cum_steps.saturating_add(outcome.stats.steps) > config.max_steps;
+            match &outcome.error {
+                Some(CalcError::Resource(e)) => return Err(CalcError::Resource(e.clone())),
+                Some(e) => {
+                    return Err(if crossed { step_budget() } else { e.clone() });
+                }
+                None if crossed => return Err(step_budget()),
+                None => cum_steps = cum_steps.saturating_add(outcome.stats.steps),
+            }
+        }
+
+        let mut stats = base_stats;
+        let mut partitions = Vec::with_capacity(outcomes.len());
+        let mut values: Vec<Value> = Vec::new();
+        for outcome in outcomes {
+            stats.merge(&outcome.stats);
+            values.extend(outcome.satisfied);
+            partitions.push(PartitionStats {
+                ranks: outcome.ranks,
+                stats: outcome.stats,
+                wall_micros: outcome.wall_micros,
+            });
+        }
+        Ok(ParallelEvaluation {
+            evaluation: Evaluation {
+                result: Instance::from_values(values),
+                stats,
+            },
+            partitions,
+        })
+    }
+
+    /// [`CompiledQuery::eval_governed_parallel`] with per-partition tracing:
+    /// the returned [`Span`] carries the merged whole-evaluation counters
+    /// plus one child span per partition (rank range, local counters, worker
+    /// wall-clock).  The partition children replace the sequential trace's
+    /// per-slot quantifier children — under partitioning the interesting
+    /// breakdown is *where the work went*, not which nesting depth drew it.
+    pub fn eval_traced_governed_parallel(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+        workers: usize,
+    ) -> Result<(Evaluation, Span), CalcError> {
+        let start = Instant::now();
+        let parallel = self.eval_governed_parallel(db, extra, config, interrupt, workers)?;
+        let stats = &parallel.evaluation.stats;
+        let mut span = Span::new("compiled-eval");
+        span.push_field("candidates_checked", stats.candidates_checked);
+        span.push_field("quantifier_values", stats.quantifier_values);
+        span.push_field("steps", stats.steps);
+        span.push_field("max_domain_seen", stats.max_domain_seen);
+        span.push_field("domain_cache_hits", stats.domain_cache_hits);
+        span.push_field("domain_cache_misses", stats.domain_cache_misses);
+        span.push_field("interned_values", stats.interned_values);
+        span.push_field("partitions", parallel.partitions.len() as u64);
+        for (i, partition) in parallel.partitions.iter().enumerate() {
+            let mut child = Span::new(format!("partition {i}"));
+            child.push_field("rank_start", partition.ranks.0);
+            child.push_field("rank_end", partition.ranks.1);
+            child.push_field("candidates_checked", partition.stats.candidates_checked);
+            child.push_field("steps", partition.stats.steps);
+            child.push_field("quantifier_values", partition.stats.quantifier_values);
+            child.wall_micros = partition.wall_micros;
+            span.push_child(child);
+        }
+        span.wall_micros = start.elapsed().as_micros() as u64;
+        Ok((parallel.evaluation, span))
+    }
+}
+
+/// The per-partition slice of a partitioned evaluation: the candidate-rank
+/// range the partition owned, its local counters (steps and draws counted
+/// from zero), and its worker's wall-clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Half-open candidate-rank range `[start, end)` this partition evaluated.
+    pub ranks: (u64, u64),
+    /// The partition's local counters.
+    pub stats: EvalStats,
+    /// Wall-clock this partition's worker spent, in microseconds.  Partitions
+    /// overlap in time, so these must **not** be summed into an execution
+    /// wall-clock — the slowest partition bounds the parallel span.
+    pub wall_micros: u64,
+}
+
+/// A partitioned evaluation: the merged [`Evaluation`] (byte-identical
+/// answers, deterministic shared counters) plus the per-partition breakdown
+/// used by stats and trace reporting.
+#[derive(Debug, Clone)]
+pub struct ParallelEvaluation {
+    /// The merged evaluation, shaped exactly like a sequential one.
+    pub evaluation: Evaluation,
+    /// Per-partition statistics, in partition (rank) order.
+    pub partitions: Vec<PartitionStats>,
+}
+
+/// What one worker hands back to the coordinator.
+struct PartitionOutcome {
+    ranks: (u64, u64),
+    /// Satisfied candidates resolved to structural [`Value`]s by the worker —
+    /// worker-local [`ValueId`]s are meaningless outside their overlay.
+    satisfied: Vec<Value>,
+    stats: EvalStats,
+    error: Option<CalcError>,
+    wall_micros: u64,
+}
+
+/// A [`CompiledQuery`] bound to a worker count, standing wherever an
+/// [`Evaluable`] backend is expected: the invention-semantics drivers take
+/// `&dyn Evaluable`, so wrapping the compiled query in `ParallelCompiled`
+/// parallelises every invention level's candidate loop without the drivers
+/// knowing about partitioning.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelCompiled<'a> {
+    compiled: &'a CompiledQuery,
+    workers: usize,
+}
+
+impl<'a> ParallelCompiled<'a> {
+    /// Bind `compiled` to a worker count (`workers <= 1` degenerates to an
+    /// inline single partition — the sequential ablation spawns no threads).
+    pub fn new(compiled: &'a CompiledQuery, workers: usize) -> ParallelCompiled<'a> {
+        ParallelCompiled { compiled, workers }
+    }
+}
+
+impl Evaluable for ParallelCompiled<'_> {
+    fn eval_with_extra(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+    ) -> Result<Evaluation, CalcError> {
+        self.compiled
+            .eval_governed_parallel(db, extra, config, Interrupt::disarmed(), self.workers)
+            .map(|parallel| parallel.evaluation)
+    }
+
+    fn eval_governed(
+        &self,
+        db: &Database,
+        extra: &[Atom],
+        config: &EvalConfig,
+        interrupt: &Interrupt,
+    ) -> Result<Evaluation, CalcError> {
+        self.compiled
+            .eval_governed_parallel(db, extra, config, interrupt, self.workers)
+            .map(|parallel| parallel.evaluation)
+    }
+
+    fn evaluation_domain(&self, db: &Database) -> BTreeSet<Atom> {
+        Evaluable::evaluation_domain(self.compiled, db)
     }
 }
 
@@ -989,6 +1307,141 @@ mod tests {
         assert_eq!(
             compiled.eval_traced(&db, &[], &starved).unwrap_err(),
             compiled.eval_full(&db, &starved).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_sequential_exactly() {
+        let mut u = Universe::new();
+        let db = par_db(&mut u, &[("Tom", "Mary"), ("Mary", "Sue"), ("Sue", "Ann")]);
+        let q = grandparent_query();
+        let compiled = compile(&q).unwrap();
+        for config in [EvalConfig::default(), EvalConfig::naive()] {
+            let sequential = compiled.eval_full(&db, &config).unwrap();
+            for workers in [1, 2, 3, 8, 64] {
+                let parallel = compiled
+                    .eval_governed_parallel(&db, &[], &config, Interrupt::disarmed(), workers)
+                    .unwrap();
+                assert_eq!(sequential.result, parallel.evaluation.result);
+                let (s, p) = (&sequential.stats, &parallel.evaluation.stats);
+                assert_eq!(s.steps, p.steps, "workers {workers}");
+                assert_eq!(s.quantifier_values, p.quantifier_values);
+                assert_eq!(s.candidates_checked, p.candidates_checked);
+                assert_eq!(s.max_domain_seen, p.max_domain_seen);
+                // Partition ranges tile the candidate space exactly once.
+                let mut covered = 0;
+                for part in &parallel.partitions {
+                    assert_eq!(part.ranks.0, covered);
+                    covered = part.ranks.1;
+                }
+                assert_eq!(covered, s.candidates_checked);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_budget_errors_reconstruct_the_sequential_classification() {
+        let mut u = Universe::new();
+        let db = par_db(&mut u, &[("a", "b"), ("b", "c"), ("c", "d")]);
+        let q = grandparent_query();
+        let compiled = compile(&q).unwrap();
+        // Step budget: every worker count must surface the sequential error.
+        let starved = EvalConfig {
+            max_steps: 50,
+            ..EvalConfig::default()
+        };
+        let sequential = compiled.eval_full(&db, &starved).unwrap_err();
+        for workers in [1, 2, 8] {
+            let parallel = compiled
+                .eval_governed_parallel(&db, &[], &starved, Interrupt::disarmed(), workers)
+                .unwrap_err();
+            assert_eq!(sequential, parallel, "workers {workers}");
+            assert_eq!(sequential.to_string(), parallel.to_string());
+        }
+        // Candidate and quantifier-domain budgets classify identically too.
+        let big_quantifier = Query::new(
+            "t",
+            Type::flat_tuple(2),
+            Formula::exists(
+                "x",
+                Type::set(Type::flat_tuple(2)),
+                Formula::member(Term::var("t"), Term::var("x")),
+            ),
+            par_schema(),
+        )
+        .unwrap();
+        let compiled_big = compile(&big_quantifier).unwrap();
+        let tiny = EvalConfig::tiny();
+        let sequential = compiled_big.eval_full(&db, &tiny).unwrap_err();
+        for workers in [2, 8] {
+            let parallel = compiled_big
+                .eval_governed_parallel(&db, &[], &tiny, Interrupt::disarmed(), workers)
+                .unwrap_err();
+            assert_eq!(sequential, parallel);
+        }
+    }
+
+    #[test]
+    fn parallel_resource_trips_surface_the_canonical_messages() {
+        use itq_object::CancelFlag;
+        let mut u = Universe::new();
+        let db = par_db(&mut u, &[("a", "b"), ("b", "c")]);
+        let compiled = compile(&grandparent_query()).unwrap();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let cancelled = Interrupt::new().with_cancel(flag);
+        let err = compiled
+            .eval_governed_parallel(&db, &[], &EvalConfig::default(), &cancelled, 4)
+            .unwrap_err();
+        assert_eq!(err.to_string(), "execution cancelled");
+        let expired = Interrupt::new().with_deadline_millis(0);
+        let err = compiled
+            .eval_governed_parallel(&db, &[], &EvalConfig::default(), &expired, 4)
+            .unwrap_err();
+        assert_eq!(err.to_string(), "execution deadline of 0 ms exceeded");
+    }
+
+    #[test]
+    fn parallel_trace_breaks_the_evaluation_down_by_partition() {
+        let mut u = Universe::new();
+        let db = par_db(&mut u, &[("Tom", "Mary"), ("Mary", "Sue")]);
+        let compiled = compile(&grandparent_query()).unwrap();
+        let (evaluation, span) = compiled
+            .eval_traced_governed_parallel(
+                &db,
+                &[],
+                &EvalConfig::default(),
+                Interrupt::disarmed(),
+                3,
+            )
+            .unwrap();
+        assert_eq!(span.name, "compiled-eval");
+        assert_eq!(span.field("partitions"), Some(3));
+        assert_eq!(span.children.len(), 3);
+        assert_eq!(
+            span.subtree_total("candidates_checked"),
+            2 * evaluation.stats.candidates_checked,
+            "root field plus the partition children summing to the same total"
+        );
+        let plain = compiled.eval_full(&db, &EvalConfig::default()).unwrap();
+        assert_eq!(plain.result, evaluation.result);
+    }
+
+    #[test]
+    fn parallel_compiled_is_a_drop_in_evaluable_backend() {
+        let mut u = Universe::new();
+        let db = par_db(&mut u, &[("Tom", "Mary"), ("Mary", "Sue")]);
+        let q = grandparent_query();
+        let compiled = compile(&q).unwrap();
+        let wrapper = ParallelCompiled::new(&compiled, 4);
+        let via_wrapper =
+            Evaluable::eval_with_extra(&wrapper, &db, &[], &EvalConfig::default()).unwrap();
+        let sequential = compiled.eval_full(&db, &EvalConfig::default()).unwrap();
+        assert_eq!(via_wrapper.result, sequential.result);
+        assert_eq!(via_wrapper.stats.steps, sequential.stats.steps);
+        assert_eq!(
+            Evaluable::evaluation_domain(&wrapper, &db),
+            Evaluable::evaluation_domain(&compiled, &db)
         );
     }
 

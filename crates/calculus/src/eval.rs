@@ -92,9 +92,10 @@ pub struct EvalStats {
 
 impl EvalStats {
     /// Fold another evaluation's counters into this one: additive counters are
-    /// summed, `max_domain_seen` takes the maximum.  Used by the invention
-    /// semantics, which run one evaluation per invention level and report the
-    /// aggregate.
+    /// summed (saturating, so merging many partitions or levels can never
+    /// wrap), `max_domain_seen` takes the maximum.  Used by the invention
+    /// semantics, which run one evaluation per invention level, and by the
+    /// partitioned evaluator, which merges one block per partition.
     ///
     /// ```
     /// use itq_calculus::eval::EvalStats;
@@ -102,15 +103,26 @@ impl EvalStats {
     /// total.merge(&EvalStats { steps: 5, max_domain_seen: 9, ..Default::default() });
     /// assert_eq!(total.steps, 15);
     /// assert_eq!(total.max_domain_seen, 9);
+    /// let mut near_max = EvalStats { steps: u64::MAX - 1, ..Default::default() };
+    /// near_max.merge(&EvalStats { steps: 5, ..Default::default() });
+    /// assert_eq!(near_max.steps, u64::MAX); // saturates instead of wrapping
     /// ```
     pub fn merge(&mut self, other: &EvalStats) {
-        self.steps += other.steps;
-        self.quantifier_values += other.quantifier_values;
-        self.candidates_checked += other.candidates_checked;
+        self.steps = self.steps.saturating_add(other.steps);
+        self.quantifier_values = self
+            .quantifier_values
+            .saturating_add(other.quantifier_values);
+        self.candidates_checked = self
+            .candidates_checked
+            .saturating_add(other.candidates_checked);
         self.max_domain_seen = self.max_domain_seen.max(other.max_domain_seen);
-        self.domain_cache_hits += other.domain_cache_hits;
-        self.domain_cache_misses += other.domain_cache_misses;
-        self.interned_values += other.interned_values;
+        self.domain_cache_hits = self
+            .domain_cache_hits
+            .saturating_add(other.domain_cache_hits);
+        self.domain_cache_misses = self
+            .domain_cache_misses
+            .saturating_add(other.domain_cache_misses);
+        self.interned_values = self.interned_values.saturating_add(other.interned_values);
     }
 }
 

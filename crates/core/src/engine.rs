@@ -251,6 +251,12 @@ pub struct Engine {
     /// Resource-governance knobs (deadline, memory ceiling, cancellation,
     /// fault injection); disarmed by default.
     pub(crate) governor: GovernorConfig,
+    /// Worker count for in-query parallelism: the compiled evaluator's
+    /// candidate loop and the planner's hash-join probes partition across
+    /// this many scoped threads.  `1` (the default) is the sequential
+    /// ablation; the `ITQ_PARALLELISM` environment variable overrides the
+    /// default at engine construction.
+    pub(crate) parallelism: usize,
     pub(crate) universe: Universe,
 }
 
@@ -270,6 +276,7 @@ impl Engine {
             use_compiled: true,
             use_algebra_planner: true,
             governor: GovernorConfig::default(),
+            parallelism: crate::pipeline::default_parallelism(),
             universe: Universe::new(),
         }
     }
@@ -315,6 +322,13 @@ impl Engine {
     /// benchmarks (E14) and the backend differential suite.
     pub fn use_algebra_planner(&self) -> bool {
         self.use_algebra_planner
+    }
+
+    /// The worker count handles prepared by this engine partition in-query
+    /// work across (`1` = sequential, the default unless the
+    /// `ITQ_PARALLELISM` environment variable says otherwise).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// The engine's resource-governance configuration.

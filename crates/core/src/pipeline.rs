@@ -39,7 +39,7 @@ use crate::engine::{Engine, EngineError, GovernorConfig, Semantics};
 use itq_algebra::{to_calculus_query, AlgExpr, EvalConfig as AlgConfig, PhysicalPlan};
 use itq_calculus::eval::{EvalConfig, EvalStats, Evaluable};
 use itq_calculus::normal::{sf_classification, to_prenex, PrenexForm, SfClassification};
-use itq_calculus::{CompiledQuery, Query, QueryClassification};
+use itq_calculus::{CompiledQuery, ParallelCompiled, Query, QueryClassification};
 use itq_invention::{
     finite_invention_governed_traced, finite_invention_governed_with_stats,
     terminal_invention_governed_traced, terminal_invention_governed_with_stats, InventionConfig,
@@ -49,6 +49,18 @@ use itq_object::{CancelFlag, Database, Instance, Interrupt, Schema, TripKind, Un
 use itq_trace::{Span, TraceSink};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// The default in-query worker count: `1` (sequential) unless the
+/// `ITQ_PARALLELISM` environment variable names a larger count.  Read once
+/// per engine construction, so the test pyramid and the benchmark harness can
+/// re-run every suite under `parallelism(n)` without touching call sites.
+pub(crate) fn default_parallelism() -> usize {
+    std::env::var("ITQ_PARALLELISM")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&workers| workers >= 1)
+        .unwrap_or(1)
+}
 
 /// Configures and builds an [`Engine`]: evaluation budgets, invention bounds,
 /// universe seeding, and feature toggles.
@@ -74,6 +86,7 @@ pub struct EngineBuilder {
     use_algebra_planner: bool,
     universe: Universe,
     governor: GovernorConfig,
+    parallelism: usize,
 }
 
 impl Default for EngineBuilder {
@@ -86,6 +99,7 @@ impl Default for EngineBuilder {
             use_algebra_planner: true,
             universe: Universe::default(),
             governor: GovernorConfig::default(),
+            parallelism: default_parallelism(),
         }
     }
 }
@@ -295,6 +309,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Set the in-query worker count: the compiled evaluator partitions its
+    /// candidate loop and the planner its hash-join probes across this many
+    /// scoped threads.  `1` (the default) is the sequential ablation —
+    /// answers, governor error messages, and the deterministic counters of
+    /// the partitioned paths are byte-identical at every setting, so this
+    /// knob trades wall-clock only.  The default honours the
+    /// `ITQ_PARALLELISM` environment variable, letting whole test/benchmark
+    /// sweeps re-run parallel without code changes.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// let engine = Engine::builder().parallelism(4).build();
+    /// assert_eq!(engine.parallelism(), 4);
+    /// assert_eq!(Engine::builder().parallelism(0).build().parallelism(), 1);
+    /// ```
+    pub fn parallelism(mut self, workers: usize) -> EngineBuilder {
+        self.parallelism = workers.max(1);
+        self
+    }
+
     /// Adopt an already-populated universe (e.g. one a workload generator
     /// interned its atoms into).
     ///
@@ -326,6 +360,7 @@ impl EngineBuilder {
             use_algebra_planner: self.use_algebra_planner,
             universe: self.universe,
             governor: self.governor,
+            parallelism: self.parallelism,
         }
     }
 }
@@ -451,6 +486,13 @@ pub struct ExecStats {
     /// Planned-algebra backend only: objects constructed by plan operators
     /// before deduplication (0 for every other backend).
     pub tuples_materialised: u64,
+    /// Number of parallel partitions the execution split its top-level work
+    /// into: candidate-rank ranges on the compiled-calculus path, hash-join
+    /// probe chunks (summed over parallelised joins) on the planned-algebra
+    /// path.  `0` when the execution ran sequentially
+    /// ([`EngineBuilder::parallelism`] at its default of 1, or work too small
+    /// to split).  Deterministic for a fixed engine configuration.
+    pub partitions: u64,
     /// Number of times the execution polled its armed resource governor
     /// (deadline / cancellation / memory-ceiling checks).  0 whenever the
     /// governor is disarmed — the off path never counts polls.  Like
@@ -477,6 +519,7 @@ impl ExecStats {
             interned_values: stats.interned_values,
             join_probes: 0,
             tuples_materialised: 0,
+            partitions: 0,
             interrupt_polls: 0,
             wall_micros: 0,
         }
@@ -490,6 +533,7 @@ impl ExecStats {
             interned_values: stats.interned_values,
             join_probes: stats.join_probes,
             tuples_materialised: stats.tuples_materialised,
+            partitions: stats.partitions,
             ..ExecStats::default()
         }
     }
@@ -531,6 +575,50 @@ impl ExecStats {
         }
     }
 
+    /// Fold the statistics of one parallel partition into this aggregate:
+    /// additive counters use **saturating** adds (merging many partitions can
+    /// never wrap), `max_domain_seen` takes the maximum, and — because
+    /// partitions overlap in time — `wall_micros` takes the **maximum** (the
+    /// slowest partition bounds the parallel span) rather than the sum, which
+    /// would double-count concurrent work.  `partitions` grows by the
+    /// partition's own count (at least 1), so folding `n` leaf blocks reports
+    /// `n` partitions.
+    ///
+    /// ```
+    /// use itq_core::pipeline::ExecStats;
+    /// let mut total = ExecStats { steps: 7, wall_micros: 40, ..Default::default() };
+    /// total.merge_partition(&ExecStats { steps: 5, wall_micros: 90, ..Default::default() });
+    /// total.merge_partition(&ExecStats { steps: u64::MAX, wall_micros: 10, ..Default::default() });
+    /// assert_eq!(total.steps, u64::MAX); // saturates instead of wrapping
+    /// assert_eq!(total.wall_micros, 90); // slowest partition, not the sum
+    /// assert_eq!(total.partitions, 2);
+    /// ```
+    pub fn merge_partition(&mut self, part: &ExecStats) {
+        self.steps = self.steps.saturating_add(part.steps);
+        self.quantifier_values = self
+            .quantifier_values
+            .saturating_add(part.quantifier_values);
+        self.candidates_checked = self
+            .candidates_checked
+            .saturating_add(part.candidates_checked);
+        self.max_domain_seen = self.max_domain_seen.max(part.max_domain_seen);
+        self.invention_levels = self.invention_levels.max(part.invention_levels);
+        self.domain_cache_hits = self
+            .domain_cache_hits
+            .saturating_add(part.domain_cache_hits);
+        self.domain_cache_misses = self
+            .domain_cache_misses
+            .saturating_add(part.domain_cache_misses);
+        self.interned_values = self.interned_values.saturating_add(part.interned_values);
+        self.join_probes = self.join_probes.saturating_add(part.join_probes);
+        self.tuples_materialised = self
+            .tuples_materialised
+            .saturating_add(part.tuples_materialised);
+        self.interrupt_polls = self.interrupt_polls.saturating_add(part.interrupt_polls);
+        self.partitions = self.partitions.saturating_add(part.partitions.max(1));
+        self.wall_micros = self.wall_micros.max(part.wall_micros);
+    }
+
     /// Serialize as a flat JSON object (no external dependencies), in the
     /// field order of the struct.
     ///
@@ -545,7 +633,8 @@ impl ExecStats {
             "{{\"steps\":{},\"quantifier_values\":{},\"candidates_checked\":{},\
              \"max_domain_seen\":{},\"invention_levels\":{},\"domain_cache_hits\":{},\
              \"domain_cache_misses\":{},\"interned_values\":{},\"join_probes\":{},\
-             \"tuples_materialised\":{},\"interrupt_polls\":{},\"wall_micros\":{}}}",
+             \"tuples_materialised\":{},\"partitions\":{},\"interrupt_polls\":{},\
+             \"wall_micros\":{}}}",
             self.steps,
             self.quantifier_values,
             self.candidates_checked,
@@ -556,6 +645,7 @@ impl ExecStats {
             self.interned_values,
             self.join_probes,
             self.tuples_materialised,
+            self.partitions,
             self.interrupt_polls,
             self.wall_micros,
         )
@@ -661,6 +751,8 @@ pub struct Prepared {
     /// Resource-governance snapshot: each execution arms a fresh
     /// [`Interrupt`] from it (or threads the shared disarmed one).
     governor: GovernorConfig,
+    /// In-query worker count snapshot (see [`EngineBuilder::parallelism`]).
+    parallelism: usize,
     universe_seed: Universe,
     /// The static-analysis report computed at prepare time (unused variables,
     /// foldable subformulas, budget forecasts, stratum report — see
@@ -790,6 +882,7 @@ impl Engine {
             alg_config: self.alg_config,
             invention_config: self.invention_config,
             governor: self.governor.clone(),
+            parallelism: self.parallelism,
             universe_seed: self.universe.clone(),
             diagnostics,
         }
@@ -860,6 +953,64 @@ impl Prepared {
     /// from the engine at prepare time, exactly like the budgets).
     pub fn governor(&self) -> &GovernorConfig {
         &self.governor
+    }
+
+    /// A copy of this handle executing under a different resource-governance
+    /// configuration — all static artifacts (type-checking, classification,
+    /// the compiled form, the physical plan) are shared work that is *not*
+    /// redone.  This is how a multi-session server re-budgets one cached plan
+    /// per request: the plan is prepared once, and each session's deadline /
+    /// memory ceiling / cancellation flag is applied to its own copy, so one
+    /// session tripping its budget can never affect another session running
+    /// the same plan.
+    ///
+    /// ```
+    /// use itq_core::prelude::*;
+    /// use itq_core::queries;
+    /// let shared = Engine::new().prepare(&queries::grandparent_query()).unwrap();
+    /// let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+    /// let strict = shared.with_governor(GovernorConfig {
+    ///     deadline_millis: Some(0),
+    ///     ..Default::default()
+    /// });
+    /// assert!(strict.execute(&db, Semantics::Limited).is_err());
+    /// // The original handle is untouched by the sibling's trip.
+    /// assert_eq!(shared.execute(&db, Semantics::Limited).unwrap().result.len(), 1);
+    /// ```
+    pub fn with_governor(&self, governor: GovernorConfig) -> Prepared {
+        Prepared {
+            governor,
+            ..self.clone()
+        }
+    }
+
+    /// A copy of this handle executing with a different in-query worker
+    /// count, sharing every static artifact — how an ablation sweep (or the
+    /// `parallel_scaling` benchmark) varies the thread count without paying
+    /// prepare time per point.
+    pub fn with_parallelism(&self, workers: usize) -> Prepared {
+        Prepared {
+            parallelism: workers.max(1),
+            ..self.clone()
+        }
+    }
+
+    /// The in-query worker count snapshotted into this handle.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// The worker count an execution actually partitions across.  Fault
+    /// injection (`trip_after`) counts governor polls on one shared counter;
+    /// under partitioning the poll interleaving is scheduler-dependent, so a
+    /// deterministic trip point requires the sequential path — injection
+    /// forces 1 worker.
+    fn effective_workers(&self) -> usize {
+        if self.governor.trip_after.is_some() {
+            1
+        } else {
+            self.parallelism.max(1)
+        }
     }
 
     /// The cached `CALC_{k,i}` classification, identical to
@@ -987,6 +1138,14 @@ impl Prepared {
         }
     }
 
+    /// The compiled backend bound to this handle's worker count, when an
+    /// execution should partition (compiled evaluator selected and more than
+    /// one effective worker); `None` means "use [`Prepared::backend`]".
+    fn parallel_compiled(&self) -> Option<ParallelCompiled<'_>> {
+        let workers = self.effective_workers();
+        (self.use_compiled && workers > 1).then(|| ParallelCompiled::new(&self.compiled, workers))
+    }
+
     /// Execute the prepared query on `db` under the chosen semantics.
     ///
     /// Takes `&self`: the limited interpretation is read-only by nature, and
@@ -1053,7 +1212,9 @@ impl Prepared {
     /// use itq_core::prelude::*;
     /// use itq_core::queries;
     ///
-    /// let engine = Engine::new();
+    /// // parallelism(1) pins the sequential per-slot span tree; partitioned
+    /// // runs replace the slot children with one span per partition.
+    /// let engine = Engine::builder().parallelism(1).build();
     /// let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
     /// let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
     /// let (outcome, span) = prepared.execute_traced(&db, Semantics::Limited).unwrap();
@@ -1170,13 +1331,22 @@ impl Prepared {
             Semantics::Limited => match &self.source {
                 PreparedSource::Algebra { expr, schema, plan } => {
                     if self.use_algebra_planner {
+                        let workers = self.effective_workers();
                         let (result, plan_stats, op_span) = if traced {
-                            let (result, plan_stats, op) =
-                                plan.execute_traced_governed(db, &self.alg_config, interrupt)?;
+                            let (result, plan_stats, op) = plan.execute_traced_governed_parallel(
+                                db,
+                                &self.alg_config,
+                                interrupt,
+                                workers,
+                            )?;
                             (result, plan_stats, Some(op))
                         } else {
-                            let (result, plan_stats) =
-                                plan.execute_governed(db, &self.alg_config, interrupt)?;
+                            let (result, plan_stats) = plan.execute_governed_parallel(
+                                db,
+                                &self.alg_config,
+                                interrupt,
+                                workers,
+                            )?;
                             (result, plan_stats, None)
                         };
                         let span = op_span.map(|op| {
@@ -1217,14 +1387,42 @@ impl Prepared {
                     }
                 }
                 PreparedSource::Calculus => {
-                    let (evaluation, span) = if traced && self.use_compiled {
+                    let workers = self.effective_workers();
+                    let (evaluation, partitions, span) = if self.use_compiled && workers > 1 {
+                        // Partitioned compiled evaluation: the candidate loop
+                        // splits across `workers` scoped threads over a shared
+                        // frozen interner prefix (byte-identical answers and
+                        // error messages — see
+                        // `CompiledQuery::eval_governed_parallel`).
+                        if traced {
+                            let (evaluation, span) = self.compiled.eval_traced_governed_parallel(
+                                db,
+                                &[],
+                                &self.calc_config,
+                                interrupt,
+                                workers,
+                            )?;
+                            let partitions = span.field("partitions").unwrap_or(0);
+                            (evaluation, partitions, Some(span))
+                        } else {
+                            let parallel = self.compiled.eval_governed_parallel(
+                                db,
+                                &[],
+                                &self.calc_config,
+                                interrupt,
+                                workers,
+                            )?;
+                            let partitions = parallel.partitions.len() as u64;
+                            (parallel.evaluation, partitions, None)
+                        }
+                    } else if traced && self.use_compiled {
                         let (evaluation, span) = self.compiled.eval_traced_governed(
                             db,
                             &[],
                             &self.calc_config,
                             interrupt,
                         )?;
-                        (evaluation, Some(span))
+                        (evaluation, 0, Some(span))
                     } else {
                         let evaluation =
                             self.backend()
@@ -1245,8 +1443,10 @@ impl Prepared {
                             );
                             root
                         });
-                        (evaluation, span)
+                        (evaluation, 0, span)
                     };
+                    let mut stats = ExecStats::from_eval(evaluation.stats, 0);
+                    stats.partitions = partitions;
                     (
                         QueryOutcome {
                             result: evaluation.result,
@@ -1254,7 +1454,7 @@ impl Prepared {
                             bounded_approximation: false,
                             defined_at: None,
                             stabilised_at: None,
-                            stats: ExecStats::from_eval(evaluation.stats, 0),
+                            stats,
                         },
                         span,
                     )
@@ -1266,10 +1466,21 @@ impl Prepared {
                 // happened once at prepare time, so each invention level only
                 // pays for execution (with its own atom-set-specific domain
                 // cache, since a changed atom set changes every cons_X).
+                // Under `parallelism(n)` each level's candidate loop is
+                // partitioned by wrapping the compiled form — the invention
+                // driver stays oblivious.
+                let parallel_backend;
+                let backend: &dyn Evaluable = match self.parallel_compiled() {
+                    Some(wrapped) => {
+                        parallel_backend = wrapped;
+                        &parallel_backend
+                    }
+                    None => self.backend(),
+                };
                 let degrade = self.governor.degrade_on_resource;
                 let (report, stats, levels) = if traced {
                     let (report, stats, levels) = finite_invention_governed_traced(
-                        self.backend(),
+                        backend,
                         db,
                         &mut scratch,
                         &self.invention_config,
@@ -1279,7 +1490,7 @@ impl Prepared {
                     (report, stats, Some(levels))
                 } else {
                     let (report, stats) = finite_invention_governed_with_stats(
-                        self.backend(),
+                        backend,
                         db,
                         &mut scratch,
                         &self.invention_config,
@@ -1311,9 +1522,17 @@ impl Prepared {
             }
             Semantics::TerminalInvention => {
                 let mut scratch = self.universe_seed.clone();
+                let parallel_backend;
+                let backend: &dyn Evaluable = match self.parallel_compiled() {
+                    Some(wrapped) => {
+                        parallel_backend = wrapped;
+                        &parallel_backend
+                    }
+                    None => self.backend(),
+                };
                 let (terminal, stats, levels) = if traced {
                     let (terminal, stats, levels) = terminal_invention_governed_traced(
-                        self.backend(),
+                        backend,
                         db,
                         &mut scratch,
                         &self.invention_config,
@@ -1322,7 +1541,7 @@ impl Prepared {
                     (terminal, stats, Some(levels))
                 } else {
                     let (terminal, stats) = terminal_invention_governed_with_stats(
-                        self.backend(),
+                        backend,
                         db,
                         &mut scratch,
                         &self.invention_config,
@@ -1557,6 +1776,7 @@ mod tests {
             interned_values: 8,
             join_probes: 9,
             tuples_materialised: 10,
+            partitions: 13,
             interrupt_polls: 11,
             wall_micros: 12,
         };
@@ -1565,8 +1785,163 @@ mod tests {
             "{\"steps\":1,\"quantifier_values\":2,\"candidates_checked\":3,\
              \"max_domain_seen\":4,\"invention_levels\":5,\"domain_cache_hits\":6,\
              \"domain_cache_misses\":7,\"interned_values\":8,\"join_probes\":9,\
-             \"tuples_materialised\":10,\"interrupt_polls\":11,\"wall_micros\":12}"
+             \"tuples_materialised\":10,\"partitions\":13,\"interrupt_polls\":11,\
+             \"wall_micros\":12}"
         );
+    }
+
+    #[test]
+    fn parallel_engine_matches_sequential_on_every_semantics() {
+        let db = parent_database(&[
+            (Atom(0), Atom(1)),
+            (Atom(1), Atom(2)),
+            (Atom(2), Atom(3)),
+            (Atom(3), Atom(4)),
+        ]);
+        let sequential = Engine::builder().parallelism(1).build();
+        let parallel = Engine::builder().parallelism(4).build();
+        assert_eq!(parallel.parallelism(), 4);
+        for query in [grandparent_query(), witness_query()] {
+            let seq = sequential.prepare(&query).unwrap();
+            let par = parallel.prepare(&query).unwrap();
+            assert_eq!(par.parallelism(), 4);
+            for semantics in Semantics::ALL {
+                let a = seq.execute(&db, semantics).unwrap();
+                let b = par.execute(&db, semantics).unwrap();
+                assert_eq!(a.result, b.result, "{semantics}");
+                assert_eq!(a.bounded_approximation, b.bounded_approximation);
+                assert_eq!(a.defined_at, b.defined_at);
+                assert_eq!(a.stabilised_at, b.stabilised_at);
+                // The shared deterministic counters agree exactly under the
+                // limited interpretation (the partitioned candidate loop).
+                if semantics == Semantics::Limited {
+                    assert_eq!(a.stats.steps, b.stats.steps);
+                    assert_eq!(a.stats.quantifier_values, b.stats.quantifier_values);
+                    assert_eq!(a.stats.candidates_checked, b.stats.candidates_checked);
+                    assert_eq!(a.stats.max_domain_seen, b.stats.max_domain_seen);
+                    assert_eq!(a.stats.partitions, 0, "sequential reports no partitions");
+                    assert!(b.stats.partitions > 1, "parallel reports its split");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_traced_execution_reports_partition_children() {
+        let db = db();
+        let engine = Engine::builder().parallelism(4).build();
+        let prepared = engine.prepare(&grandparent_query()).unwrap();
+        let (outcome, span) = prepared.execute_traced(&db, Semantics::Limited).unwrap();
+        assert_eq!(span.name, "compiled-eval");
+        assert_eq!(span.field("partitions"), Some(outcome.stats.partitions));
+        let partitions = span
+            .children
+            .iter()
+            .filter(|c| c.name.starts_with("partition "))
+            .count() as u64;
+        assert_eq!(partitions, outcome.stats.partitions);
+        assert_eq!(
+            span.subtree_total("candidates_checked") - span.field("candidates_checked").unwrap(),
+            outcome.stats.candidates_checked,
+            "partition children re-partition the root's counters"
+        );
+        // The planned-algebra path reports its probe partitions too.
+        let pairs: Vec<(Atom, Atom)> = (0..24).map(|i| (Atom(i), Atom(i + 1))).collect();
+        let wide = parent_database(&pairs);
+        let expr = AlgExpr::pred("PAR")
+            .product(AlgExpr::pred("PAR"))
+            .select(SelFormula::coords_eq(2, 3))
+            .project(vec![1, 4]);
+        let algebra = engine.prepare_algebra(&expr, &parent_schema()).unwrap();
+        let outcome = algebra.execute(&wide, Semantics::Limited).unwrap();
+        assert_eq!(outcome.stats.partitions, 4);
+        let sequential = algebra.with_parallelism(1);
+        let seq = sequential.execute(&wide, Semantics::Limited).unwrap();
+        assert_eq!(seq.result, outcome.result);
+        assert_eq!(seq.stats.partitions, 0);
+        assert_eq!(seq.stats.join_probes, outcome.stats.join_probes);
+        assert_eq!(seq.stats.interned_values, outcome.stats.interned_values);
+    }
+
+    #[test]
+    fn governor_trips_are_byte_identical_under_parallelism() {
+        let db = db();
+        for workers in [1usize, 4] {
+            let engine = Engine::builder()
+                .parallelism(workers)
+                .deadline_millis(0)
+                .build();
+            let err = engine
+                .prepare(&grandparent_query())
+                .unwrap()
+                .execute(&db, Semantics::Limited)
+                .unwrap_err();
+            assert_eq!(err.to_string(), "execution deadline of 0 ms exceeded");
+            let flag = CancelFlag::new();
+            flag.cancel();
+            let engine = Engine::builder()
+                .parallelism(workers)
+                .cancel_flag(flag)
+                .build();
+            let err = engine
+                .prepare(&grandparent_query())
+                .unwrap()
+                .execute(&db, Semantics::Limited)
+                .unwrap_err();
+            assert_eq!(err.to_string(), "execution cancelled");
+        }
+    }
+
+    #[test]
+    fn fault_injection_forces_the_sequential_path() {
+        // `trip_after` counts polls on one shared counter; interleaved worker
+        // polls would make the trip point racy, so injection pins workers=1 —
+        // the trip stays exactly reproducible even at `parallelism(4)`.
+        let engine = Engine::builder()
+            .parallelism(4)
+            .trip_interrupt_after(1, TripKind::Panic)
+            .build();
+        let prepared = engine.prepare(&grandparent_query()).unwrap();
+        let err = prepared.execute(&db(), Semantics::Limited).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "internal engine error (contained): fault injection: synthetic engine panic"
+        );
+    }
+
+    #[test]
+    fn with_governor_rebudgets_a_shared_plan_per_session() {
+        let db = db();
+        let shared = Engine::builder()
+            .parallelism(2)
+            .build()
+            .prepare(&grandparent_query())
+            .unwrap();
+        // Session A executes under a zero deadline and trips...
+        let session_a = shared.with_governor(GovernorConfig {
+            deadline_millis: Some(0),
+            ..Default::default()
+        });
+        assert!(session_a.execute(&db, Semantics::Limited).is_err());
+        // ...while session B (and the shared handle) are unaffected.
+        let session_b = shared.with_governor(GovernorConfig::default());
+        assert_eq!(
+            session_b
+                .execute(&db, Semantics::Limited)
+                .unwrap()
+                .result
+                .len(),
+            1
+        );
+        assert_eq!(
+            shared
+                .execute(&db, Semantics::Limited)
+                .unwrap()
+                .result
+                .len(),
+            1
+        );
+        assert_eq!(session_b.parallelism(), 2, "snapshots carry over");
     }
 
     #[test]
@@ -1606,7 +1981,10 @@ mod tests {
     #[test]
     fn traced_execution_matches_plain_on_every_path() {
         let db = db();
-        let engine = Engine::new();
+        // Sequential pin: the compiled span shape below is the per-slot tree,
+        // which an `ITQ_PARALLELISM` override would replace with partition
+        // spans (that grammar is pinned in tests/trace_equivalence.rs).
+        let engine = Engine::builder().parallelism(1).build();
 
         // Compiled calculus: root span with per-slot children.
         let prepared = engine.prepare(&grandparent_query()).unwrap();

@@ -52,6 +52,7 @@ pub mod cons;
 pub mod error;
 pub mod govern;
 pub mod instance;
+pub mod pool;
 pub mod store;
 pub mod types;
 pub mod value;

@@ -26,6 +26,7 @@ use crate::error::ObjectError;
 use crate::types::Type;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A dense identifier for an interned [`Value`] inside one [`ValueStore`].
 ///
@@ -76,6 +77,18 @@ enum Node {
 /// id.  All compiled-evaluator operations on values (equality, membership,
 /// projection) reduce to O(1)/O(log n) id arithmetic.
 ///
+/// ## Sharing across threads
+///
+/// A store is split into a **read-mostly frozen prefix** and a private write
+/// side.  [`ValueStore::freeze`] seals a store into an `Arc`;
+/// [`ValueStore::overlay`] starts a new store whose ids `0..base.len()` are
+/// served from the shared frozen prefix while every *new* interning goes to
+/// the overlay's own arena.  Partitioned executions hand each worker an
+/// overlay over one frozen base, so the workers never serialize on a shared
+/// `&mut` arena, yet all agree on the ids of the pre-interned prefix
+/// (relations, constants, pre-enumerated candidate domains).  A coordinator
+/// can fold a worker's private arena back in with [`ValueStore::absorb`].
+///
 /// ```
 /// use itq_object::store::ValueStore;
 /// use itq_object::{Atom, Value};
@@ -88,7 +101,16 @@ enum Node {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ValueStore {
+    /// The shared immutable prefix (ids `0..base_len`), if this store is an
+    /// overlay; `None` for a plain root store.
+    base: Option<Arc<ValueStore>>,
+    /// Cached `base.len()` — the first id owned by this overlay.
+    base_len: u32,
+    /// Cached `base.approx_bytes()`, counted into [`ValueStore::approx_bytes`].
+    base_bytes: u64,
+    /// Locally interned nodes, ids `base_len..`.
     nodes: Vec<Node>,
+    /// Index over the *local* nodes only; lookups consult the base first.
     index: HashMap<Node, ValueId>,
     approx_bytes: u64,
 }
@@ -99,14 +121,35 @@ impl ValueStore {
         ValueStore::default()
     }
 
-    /// Number of distinct values interned so far.
+    /// Seal this store into a shared immutable prefix that overlays (and
+    /// their overlays) can be layered on.
+    pub fn freeze(self) -> Arc<ValueStore> {
+        Arc::new(self)
+    }
+
+    /// A new store whose ids `0..base.len()` are the frozen prefix `base`;
+    /// everything interned through the overlay lands in its private arena and
+    /// gets ids `base.len()..`.  Cheap (no copying), so a partitioned
+    /// execution creates one overlay per worker.
+    pub fn overlay(base: Arc<ValueStore>) -> ValueStore {
+        ValueStore {
+            base_len: u32::try_from(base.len()).expect("value store overflow"),
+            base_bytes: base.approx_bytes(),
+            base: Some(base),
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            approx_bytes: 0,
+        }
+    }
+
+    /// Number of distinct values interned so far (frozen prefix included).
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.base_len as usize + self.nodes.len()
     }
 
     /// True if nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// A deterministic estimate of the bytes this store holds: 48 bytes of
@@ -116,14 +159,38 @@ impl ValueStore {
     /// compares it against a configured ceiling, and a deterministic figure
     /// keeps ceiling trips reproducible across runs and machines.
     ///
+    /// An overlay counts its frozen prefix once, plus its own arena: the
+    /// estimate is this store's *view*, not the process-wide footprint.
+    ///
     /// The store only ever grows within an execution, so this is also the
     /// peak: `len()` is the peak live-id count.
     pub fn approx_bytes(&self) -> u64 {
-        self.approx_bytes
+        self.base_bytes + self.approx_bytes
+    }
+
+    /// The node behind an id, routing prefix ids to the frozen base.
+    #[inline]
+    fn node(&self, id: ValueId) -> &Node {
+        if id.0 < self.base_len {
+            self.base
+                .as_ref()
+                .expect("ids below base_len exist only in overlays")
+                .node(id)
+        } else {
+            &self.nodes[(id.0 - self.base_len) as usize]
+        }
+    }
+
+    /// Look a node up without interning it (recursing into frozen bases).
+    fn lookup(&self, node: &Node) -> Option<ValueId> {
+        self.index
+            .get(node)
+            .copied()
+            .or_else(|| self.base.as_ref().and_then(|b| b.lookup(node)))
     }
 
     fn intern_node(&mut self, node: Node) -> ValueId {
-        if let Some(&id) = self.index.get(&node) {
+        if let Some(id) = self.lookup(&node) {
             return id;
         }
         let children = match &node {
@@ -131,10 +198,48 @@ impl ValueStore {
             Node::Tuple(ids) | Node::Set(ids) => ids.len() as u64,
         };
         self.approx_bytes += 48 + 8 * children;
-        let id = ValueId(u32::try_from(self.nodes.len()).expect("value store overflow"));
+        let id = ValueId(u32::try_from(self.len()).expect("value store overflow"));
         self.index.insert(node.clone(), id);
         self.nodes.push(node);
         id
+    }
+
+    /// Fold a worker overlay's private arena into this store, returning the
+    /// id translation for the overlay's local ids: the overlay's id
+    /// `base_len + i` maps to `mapping[i]` here.  Both stores must be
+    /// overlays of the **same** frozen base (ids below the shared prefix are
+    /// translated identically); nodes already known here deduplicate instead
+    /// of reallocating, so absorbing every worker of a partitioned execution
+    /// yields exactly the set of values a sequential run would have interned.
+    pub fn absorb(&mut self, overlay: &ValueStore) -> Vec<ValueId> {
+        debug_assert_eq!(
+            self.base_len, overlay.base_len,
+            "absorb requires overlays of the same frozen base"
+        );
+        let mut mapping = Vec::with_capacity(overlay.nodes.len());
+        for node in &overlay.nodes {
+            let remap = |id: ValueId, mapping: &Vec<ValueId>| -> ValueId {
+                if id.0 < overlay.base_len {
+                    id
+                } else {
+                    mapping[(id.0 - overlay.base_len) as usize]
+                }
+            };
+            let translated = match node {
+                Node::Atom(a) => Node::Atom(*a),
+                Node::Tuple(ids) => Node::Tuple(ids.iter().map(|&c| remap(c, &mapping)).collect()),
+                Node::Set(ids) => {
+                    // Set nodes are canonical by *local* id order; translation
+                    // can reorder, so re-canonicalize in this store's space.
+                    let mut elements: Vec<ValueId> =
+                        ids.iter().map(|&e| remap(e, &mapping)).collect();
+                    elements.sort_unstable();
+                    Node::Set(elements.into_boxed_slice())
+                }
+            };
+            mapping.push(self.intern_node(translated));
+        }
+        mapping
     }
 
     /// Intern an atom.
@@ -173,7 +278,7 @@ impl ValueStore {
     /// Reconstruct the [`Value`] behind an id (used when materialising answer
     /// instances; the hot path never leaves id space).
     pub fn resolve(&self, id: ValueId) -> Value {
-        match &self.nodes[id.index()] {
+        match self.node(id) {
             Node::Atom(a) => Value::Atom(*a),
             Node::Tuple(components) => {
                 Value::Tuple(components.iter().map(|&c| self.resolve(c)).collect())
@@ -185,7 +290,7 @@ impl ValueStore {
     /// Project the `i`-th coordinate (1-based, as in the paper's `x.i` terms)
     /// of an interned tuple; `None` for non-tuples or out-of-range coordinates.
     pub fn project(&self, id: ValueId, i: usize) -> Option<ValueId> {
-        match &self.nodes[id.index()] {
+        match self.node(id) {
             Node::Tuple(components) if i >= 1 => components.get(i - 1).copied(),
             _ => None,
         }
@@ -194,7 +299,7 @@ impl ValueStore {
     /// Membership test `elem ∈ container` in id space (false when `container`
     /// is not a set, mirroring [`Value::is_member_of`]).
     pub fn set_contains(&self, container: ValueId, elem: ValueId) -> bool {
-        match &self.nodes[container.index()] {
+        match self.node(container) {
             Node::Set(elements) => elements.binary_search(&elem).is_ok(),
             _ => false,
         }
@@ -205,7 +310,7 @@ impl ValueStore {
     /// the set-at-a-time algebra executor to flatten product operands without
     /// resolving values.
     pub fn tuple_components(&self, id: ValueId) -> Option<&[ValueId]> {
-        match &self.nodes[id.index()] {
+        match self.node(id) {
             Node::Tuple(components) => Some(components),
             _ => None,
         }
@@ -215,7 +320,7 @@ impl ValueStore {
     /// The id-space view of [`Value::as_set`], used to expand membership
     /// (semijoin) indexes and the collapse operator without resolving values.
     pub fn set_elements(&self, id: ValueId) -> Option<&[ValueId]> {
-        match &self.nodes[id.index()] {
+        match self.node(id) {
             Node::Set(elements) => Some(elements),
             _ => None,
         }
@@ -250,7 +355,12 @@ enum Generator {
 struct LazyDomain {
     ty: Type,
     total: Option<u128>,
+    /// Ranks `base_prefix..` materialised by this cache; ranks `0..base_prefix`
+    /// live in the shared base cache (zero for a root cache).
     ids: Vec<ValueId>,
+    /// How many leading ranks the shared immutable base had materialised when
+    /// this cache was created as an overlay.
+    base_prefix: usize,
     generator: Generator,
 }
 
@@ -288,6 +398,11 @@ pub struct DomainCache {
     atoms: Vec<Atom>,
     domains: Vec<LazyDomain>,
     by_type: HashMap<Type, DomainHandle>,
+    /// The shared immutable prefix this cache overlays, if any: handles copied
+    /// from it stay valid here, and ranks it had already materialised are
+    /// served from it without re-materialising.
+    base: Option<Arc<DomainCache>>,
+    base_bytes: u64,
     hits: u64,
     misses: u64,
     approx_bytes: u64,
@@ -302,10 +417,62 @@ impl DomainCache {
             atoms,
             domains: Vec::new(),
             by_type: HashMap::new(),
+            base: None,
+            base_bytes: 0,
             hits: 0,
             misses: 0,
             approx_bytes: 0,
         }
+    }
+
+    /// Seal this cache into a shared immutable prefix for per-execution
+    /// overlays (the ids it holds must belong to the matching frozen
+    /// [`ValueStore`] prefix).
+    pub fn freeze(self) -> Arc<DomainCache> {
+        Arc::new(self)
+    }
+
+    /// A per-execution cache layered over a shared immutable prefix: every
+    /// handle the base registered keeps its index, every rank the base had
+    /// materialised is served from the base, and everything *new* — deeper
+    /// ranks, new types — is materialised privately.  Workers of a
+    /// partitioned execution each get one overlay, so a pre-enumerated
+    /// candidate domain is shared while the workers' inner-quantifier
+    /// materialisation stays unsynchronised.
+    pub fn overlay(base: Arc<DomainCache>) -> DomainCache {
+        DomainCache {
+            atoms: base.atoms.clone(),
+            domains: base
+                .domains
+                .iter()
+                .map(|d| LazyDomain {
+                    ty: d.ty.clone(),
+                    total: d.total,
+                    ids: Vec::new(),
+                    base_prefix: d.base_prefix + d.ids.len(),
+                    generator: d.generator.clone(),
+                })
+                .collect(),
+            by_type: base.by_type.clone(),
+            base_bytes: base.approx_bytes(),
+            base: Some(base),
+            hits: 0,
+            misses: 0,
+            approx_bytes: 0,
+        }
+    }
+
+    /// The id a (possibly chained) base cache materialised for `rank` of the
+    /// domain at table index `h`; callers guarantee `rank < base_prefix`.
+    fn base_rank(&self, h: usize, rank: usize) -> ValueId {
+        let domain = &self.domains[h];
+        if rank >= domain.base_prefix {
+            return domain.ids[rank - domain.base_prefix];
+        }
+        self.base
+            .as_ref()
+            .expect("base_prefix > 0 implies a base cache")
+            .base_rank(h, rank)
     }
 
     /// The atom set `X` this cache enumerates over.
@@ -328,9 +495,10 @@ impl DomainCache {
     /// 64 bytes of `LazyDomain` bookkeeping per registered type plus 4 bytes
     /// per materialised rank.  Deliberately platform-independent, for the
     /// same reason as [`ValueStore::approx_bytes`]: the memory governor needs
-    /// reproducible ceiling trips.
+    /// reproducible ceiling trips.  An overlay counts its shared base once,
+    /// plus its own materialisations.
     pub fn approx_bytes(&self) -> u64 {
-        self.approx_bytes
+        self.base_bytes + self.approx_bytes
     }
 
     /// Resolve (or create) the handle for `cons_X(ty)`.  Creation registers
@@ -355,6 +523,7 @@ impl DomainCache {
             ty: ty.clone(),
             total,
             ids: Vec::new(),
+            base_prefix: 0,
             generator,
         });
         self.by_type.insert(ty.clone(), h);
@@ -392,9 +561,13 @@ impl DomainCache {
         let domain = &self.domains[handle.0 as usize];
         // Compare in u128: a narrowing cast here would alias huge
         // out-of-range ranks onto the cached prefix.
-        if rank < domain.ids.len() as u128 {
+        if rank < domain.base_prefix as u128 {
             self.hits += 1;
-            return Ok(domain.ids[rank as usize]);
+            return Ok(self.base_rank(handle.0 as usize, rank as usize));
+        }
+        if rank < (domain.base_prefix + domain.ids.len()) as u128 {
+            self.hits += 1;
+            return Ok(domain.ids[rank as usize - domain.base_prefix]);
         }
         let total = self.size(handle)?;
         if rank >= total {
@@ -406,7 +579,10 @@ impl DomainCache {
                 limit: u64::MAX,
             });
         }
-        let mut next = self.domains[handle.0 as usize].ids.len() as u128;
+        let mut next = {
+            let domain = &self.domains[handle.0 as usize];
+            (domain.base_prefix + domain.ids.len()) as u128
+        };
         while next <= rank {
             let id = self.generate(handle, next, store)?;
             self.misses += 1;
@@ -414,7 +590,8 @@ impl DomainCache {
             self.domains[handle.0 as usize].ids.push(id);
             next += 1;
         }
-        Ok(self.domains[handle.0 as usize].ids[rank as usize])
+        let domain = &self.domains[handle.0 as usize];
+        Ok(domain.ids[rank as usize - domain.base_prefix])
     }
 
     /// Materialise the value at `rank` of the domain behind `handle` (callers
@@ -650,6 +827,129 @@ mod tests {
     }
 
     #[test]
+    fn overlays_share_the_frozen_prefix_and_write_privately() {
+        let mut root = ValueStore::new();
+        let a = atoms(3);
+        let shared = root.intern(&Value::pair(a[0], a[1]));
+        let base = root.freeze();
+        let mut left = ValueStore::overlay(Arc::clone(&base));
+        let mut right = ValueStore::overlay(Arc::clone(&base));
+        // Prefix ids are identical across overlays, without re-interning.
+        assert_eq!(left.intern(&Value::pair(a[0], a[1])), shared);
+        assert_eq!(right.intern(&Value::pair(a[0], a[1])), shared);
+        assert_eq!(left.len(), base.len());
+        // Private writes never collide: both overlays may intern new values
+        // concurrently, and reads (resolve/project/membership) route prefix
+        // ids to the base.
+        let l = left.intern(&Value::pair(a[1], a[2]));
+        let r = right.intern(&Value::pair(a[2], a[0]));
+        assert_eq!(left.resolve(shared), Value::pair(a[0], a[1]));
+        assert_eq!(left.resolve(l), Value::pair(a[1], a[2]));
+        assert_eq!(right.resolve(r), Value::pair(a[2], a[0]));
+        assert_eq!(
+            left.project(shared, 1),
+            Some(left.intern(&Value::Atom(a[0])))
+        );
+        // The byte estimate counts the shared prefix once plus private growth.
+        assert!(left.approx_bytes() > base.approx_bytes());
+    }
+
+    #[test]
+    fn absorb_translates_and_deduplicates_worker_arenas() {
+        let mut root = ValueStore::new();
+        let a = atoms(4);
+        root.intern(&Value::Atom(a[0]));
+        let base = root.freeze();
+        let mut coordinator = ValueStore::overlay(Arc::clone(&base));
+        let mut worker = ValueStore::overlay(Arc::clone(&base));
+        // The worker builds a set over ids the coordinator has never seen;
+        // the coordinator interns an overlapping value of its own first, so
+        // the same structural value gets *different* ids in the two overlays.
+        let dup = coordinator.intern(&Value::pair(a[1], a[2]));
+        let w_dup = worker.intern(&Value::pair(a[1], a[2]));
+        let w_set = worker.intern(&Value::set(vec![
+            Value::pair(a[1], a[2]),
+            Value::pair(a[2], a[3]),
+        ]));
+        assert_eq!(
+            dup, w_dup,
+            "same base, same interning order for the first value"
+        );
+        let mapping = worker.nodes.len();
+        let translation = coordinator.absorb(&worker);
+        assert_eq!(translation.len(), mapping);
+        // The worker's set survives translation with structural identity.
+        let translated = translation[(w_set.0 - worker.base_len) as usize];
+        assert_eq!(
+            coordinator.resolve(translated),
+            Value::set(vec![Value::pair(a[1], a[2]), Value::pair(a[2], a[3])])
+        );
+        // The duplicated pair deduplicated onto the coordinator's id.
+        assert_eq!(translation[(w_dup.0 - worker.base_len) as usize], dup);
+    }
+
+    #[test]
+    fn absorb_recanonicalizes_sets_whose_element_order_flips() {
+        // In the worker, element X interns *after* Y, so the set node is
+        // ordered [Y, X] by local ids; in the coordinator X interns first.
+        // Absorb must re-sort, or the same structural set would get two ids.
+        let base = ValueStore::new().freeze();
+        let a = atoms(4);
+        let mut coordinator = ValueStore::overlay(Arc::clone(&base));
+        let x = Value::pair(a[0], a[1]);
+        let y = Value::pair(a[2], a[3]);
+        coordinator.intern(&x);
+        let c_set = coordinator.intern(&Value::set(vec![x.clone(), y.clone()]));
+        let mut worker = ValueStore::overlay(Arc::clone(&base));
+        worker.intern(&y);
+        let w_set = worker.intern(&Value::set(vec![x.clone(), y.clone()]));
+        let translation = coordinator.absorb(&worker);
+        assert_eq!(translation[(w_set.0 - worker.base_len) as usize], c_set);
+    }
+
+    #[test]
+    fn domain_cache_overlays_replay_the_shared_prefix() {
+        let mut store = ValueStore::new();
+        let mut root = DomainCache::new(atoms(3));
+        let ty = Type::set(Type::flat_tuple(2));
+        let h = root.handle(&ty);
+        // The coordinator pre-materialises a prefix, then freezes both sides.
+        for rank in 0..100u128 {
+            root.nth(h, rank, &mut store).unwrap();
+        }
+        let misses_before = root.misses();
+        let frozen_cache = root.freeze();
+        let frozen_store = store.freeze();
+        let mut worker_store = ValueStore::overlay(Arc::clone(&frozen_store));
+        let mut worker = DomainCache::overlay(Arc::clone(&frozen_cache));
+        // Handles copied from the base resolve to the same indices.
+        assert_eq!(worker.handle(&ty), h);
+        assert_eq!(worker.size(h).unwrap(), 512);
+        // Prefix ranks are hits against the shared base; deeper ranks extend
+        // privately without touching it.
+        let shared = worker.nth(h, 42, &mut worker_store).unwrap();
+        assert_eq!(
+            worker_store.resolve(shared),
+            itq_value_at_rank(&ty, &atoms(3), 42)
+        );
+        assert_eq!(worker.misses(), 0, "prefix ranks are free for workers");
+        let deep = worker.nth(h, 300, &mut worker_store).unwrap();
+        assert_eq!(
+            worker_store.resolve(deep),
+            itq_value_at_rank(&ty, &atoms(3), 300)
+        );
+        assert!(worker.misses() > 0);
+        assert_eq!(frozen_cache.misses(), misses_before, "base never mutates");
+        // A second worker over the same prefix agrees on every shared id.
+        let mut other_store = ValueStore::overlay(Arc::clone(&frozen_store));
+        let mut other = DomainCache::overlay(Arc::clone(&frozen_cache));
+        assert_eq!(other.nth(h, 42, &mut other_store).unwrap(), shared);
+        // Types the base never saw register privately in the overlay.
+        let fresh = worker.handle(&Type::set(Type::set(Type::Atomic)));
+        assert!(worker.nth(fresh, 3, &mut worker_store).is_ok());
+    }
+
+    #[test]
     fn empty_atom_set_domains() {
         let mut store = ValueStore::new();
         let mut cache = DomainCache::new(Vec::new());
@@ -659,5 +959,88 @@ mod tests {
         assert_eq!(cache.size(set_h).unwrap(), 1);
         let only = cache.nth(set_h, 0, &mut store).unwrap();
         assert_eq!(store.resolve(only), Value::empty_set());
+    }
+
+    /// Regression pin for the parallel-answers determinism contract: the
+    /// order answers come out in must be *structural* (the `Value` ordering
+    /// that ranks the constructive domain), never the [`ValueId`] allocation
+    /// order — sharded/parallel interning assigns ids in whatever order the
+    /// workers happen to run.  Interning the same answer set through two
+    /// opposite id orders, and through two overlays absorbed in opposite
+    /// orders, must render byte-identically.
+    #[test]
+    fn answer_order_is_structural_not_interning_order() {
+        use crate::instance::Instance;
+        let answers = [
+            Value::set([Value::atom(2), Value::atom(0)]),
+            Value::atom(1),
+            Value::tuple(vec![Value::atom(3), Value::set([Value::atom(1)])]),
+            Value::atom(0),
+            Value::empty_set(),
+        ];
+
+        // Two stores intern the answers in opposite orders, so every value
+        // gets different ids in each.
+        let mut forward = ValueStore::new();
+        let forward_ids: Vec<ValueId> = answers.iter().map(|v| forward.intern(v)).collect();
+        let mut backward = ValueStore::new();
+        let backward_ids: Vec<ValueId> = answers.iter().rev().map(|v| backward.intern(v)).collect();
+        assert_ne!(
+            forward_ids
+                .iter()
+                .map(|id| forward.resolve(*id))
+                .collect::<Vec<_>>(),
+            backward_ids
+                .iter()
+                .map(|id| backward.resolve(*id))
+                .collect::<Vec<_>>(),
+            "the resolve order genuinely differs — ids are allocation-ordered"
+        );
+        let from_forward = Instance::from_values(forward_ids.iter().map(|id| forward.resolve(*id)));
+        let from_backward =
+            Instance::from_values(backward_ids.iter().map(|id| backward.resolve(*id)));
+        assert_eq!(from_forward, from_backward);
+        assert_eq!(
+            from_forward.iter().collect::<Vec<_>>(),
+            from_backward.iter().collect::<Vec<_>>(),
+            "iteration (rendering) order is structural, id-order independent"
+        );
+
+        // The parallel shape proper: two worker overlays intern disjoint
+        // halves over a shared frozen base, and two coordinators absorb them
+        // in opposite orders — the merged answers still canonicalise.
+        let mut base = ValueStore::new();
+        base.intern(&Value::atom(9));
+        let frozen = base.freeze();
+        let mut worker_a = ValueStore::overlay(Arc::clone(&frozen));
+        let ids_a: Vec<ValueId> = answers[..2].iter().map(|v| worker_a.intern(v)).collect();
+        let mut worker_b = ValueStore::overlay(Arc::clone(&frozen));
+        let ids_b: Vec<ValueId> = answers[2..].iter().map(|v| worker_b.intern(v)).collect();
+
+        let merge = |first: (&ValueStore, &[ValueId]), second: (&ValueStore, &[ValueId])| {
+            let mut coordinator = ValueStore::overlay(Arc::clone(&frozen));
+            let mut merged: Vec<Value> = Vec::new();
+            for (overlay, ids) in [first, second] {
+                let mapping = coordinator.absorb(overlay);
+                let base_len = frozen.len();
+                for id in ids {
+                    let mapped = if id.index() < base_len {
+                        *id
+                    } else {
+                        mapping[id.index() - base_len]
+                    };
+                    merged.push(coordinator.resolve(mapped));
+                }
+            }
+            Instance::from_values(merged)
+        };
+        let ab = merge((&worker_a, &ids_a), (&worker_b, &ids_b));
+        let ba = merge((&worker_b, &ids_b), (&worker_a, &ids_a));
+        assert_eq!(ab, from_forward);
+        assert_eq!(
+            ab.iter().collect::<Vec<_>>(),
+            ba.iter().collect::<Vec<_>>(),
+            "absorb order must not leak into answer order"
+        );
     }
 }

@@ -9,6 +9,7 @@
 //! itq --trace FILE ...     # append one JSON trace span per traced event
 //! itq --deadline-ms 500 ...    # resource governor: wall-clock limit per execution
 //! itq --memory-limit 1048576 ... # resource governor: interned-bytes ceiling
+//! itq serve --addr 127.0.0.1:7171 --threads 4   # multi-session TCP server
 //! ```
 //!
 //! The REPL keeps going after an error; batch and one-shot modes exit with
@@ -18,19 +19,25 @@
 //!
 //! ## Cancellation
 //!
-//! The engine's resource governor supports cooperative cancellation through a
-//! shared `CancelFlag` raised from another thread, and a governed execution
-//! stops at its next poll point with
-//! `error: execution cancelled`.  The REPL does **not** wire Ctrl-C to that
-//! flag: installing a SIGINT handler requires unsafe FFI (or a signal-handling
-//! dependency), and this workspace is `#![forbid(unsafe_code)]` with a frozen
-//! dependency set — so Ctrl-C still terminates the whole process.  To bound a
-//! runaway statement, arm a deadline instead (`--deadline-ms` here, or
-//! `set deadline <millis>;` inside the session).
+//! Ctrl-C cancels the statement that is currently executing instead of
+//! terminating the process.  The `itq-signal` shim latches SIGINT into an
+//! atomic flag (the only unsafe code in the workspace — one `signal(2)` FFI
+//! call); a watcher thread polls that latch every ~25 ms and raises the
+//! engine's shared [`CancelFlag`], and the governed execution stops at its
+//! next poll point with `error: execution cancelled`.  The flag is lowered
+//! again before each statement, so the session keeps going afterwards.
+//! Because glibc installs the handler with `SA_RESTART`, a Ctrl-C while the
+//! REPL is *idle* at its prompt (blocked in `read(2)`) does not interrupt the
+//! read — it is absorbed harmlessly before the next statement runs.
+//! Deadlines (`--deadline-ms`, or `set deadline <millis>;` in the session)
+//! remain the way to bound a statement unattended.
 
+use itq_object::CancelFlag;
 use itq_surface::check_script;
 use itq_surface::script::split_statements;
+use itq_surface::serve::{serve, ServeConfig};
 use itq_surface::session::{Control, Session};
+use itq_surface::statement_complete;
 use itq_trace::JsonLinesSink;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -44,12 +51,17 @@ enum Mode {
 }
 
 fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `itq serve …` is a subcommand with its own flag set.
+    if raw.first().map(String::as_str) == Some("serve") {
+        return serve_main(&raw[1..]);
+    }
     let mut quiet = false;
     let mut trace: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut memory_limit: Option<u64> = None;
     let mut mode: Option<Mode> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quiet" | "-q" => quiet = true,
@@ -97,6 +109,7 @@ fn main() -> ExitCode {
         governor.deadline_millis = deadline_ms;
         governor.memory_ceiling = memory_limit;
     }
+    let cancel = install_ctrl_c(&mut session);
     if let Some(path) = trace {
         match std::fs::File::create(&path) {
             Ok(file) => session.set_trace_sink(Box::new(JsonLinesSink::new(file))),
@@ -107,10 +120,73 @@ fn main() -> ExitCode {
         }
     }
     match mode {
-        None => repl(session),
-        Some(Mode::Script(path)) => batch(&mut session, &file_contents(&path), Some(&path)),
+        None => repl(session, &cancel),
+        Some(Mode::Script(path)) => {
+            batch(&mut session, &cancel, &file_contents(&path), Some(&path))
+        }
         Some(Mode::Check(path)) => check(&path, &file_contents(&path)),
-        Some(Mode::Eval(stmts)) => batch(&mut session, &stmts, None),
+        Some(Mode::Eval(stmts)) => batch(&mut session, &cancel, &stmts, None),
+    }
+}
+
+/// Wire Ctrl-C to cooperative cancellation: link a [`CancelFlag`] into the
+/// session's governor and start a watcher thread that raises it whenever the
+/// `itq-signal` latch reports a SIGINT.  The in-flight statement then stops
+/// at its next governor poll with `execution cancelled`; the driver lowers
+/// the flag again before the next statement.  When no handler can be
+/// installed (non-unix), the flag is still returned but never raised —
+/// Ctrl-C keeps its default terminate-the-process behaviour there.
+fn install_ctrl_c(session: &mut Session) -> CancelFlag {
+    let cancel = CancelFlag::new();
+    if itq_signal::install() {
+        session.engine_mut().governor_mut().cancel = Some(cancel.clone());
+        let watcher = cancel.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            if itq_signal::take() {
+                watcher.cancel();
+            }
+        });
+    }
+    cancel
+}
+
+/// Parse `itq serve` flags and run the server.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut config = ServeConfig::default();
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr.clone(),
+                None => return usage_error("--addr needs a host:port argument"),
+            },
+            "--threads" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(workers)) if workers >= 1 => config.threads = workers,
+                _ => return usage_error("--threads needs a worker count of at least 1"),
+            },
+            "--deadline-ms" => match args.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(millis)) => config.deadline_millis = Some(millis),
+                _ => return usage_error("--deadline-ms needs a number of milliseconds"),
+            },
+            "--memory-limit" => match args.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(bytes)) => config.memory_ceiling = Some(bytes),
+                _ => return usage_error("--memory-limit needs a number of bytes"),
+            },
+            "--quiet" | "-q" => config.quiet = true,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unrecognised serve argument `{other}`")),
+        }
+    }
+    match serve(config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -136,14 +212,19 @@ fn print_usage() {
         "usage: itq [--quiet] [--trace FILE] [--deadline-ms N] [--memory-limit N] \
          [--script FILE.itq | --check FILE.itq | -e 'STATEMENTS' | --help]"
     );
+    println!("       itq serve [--addr HOST:PORT] [--threads N] [--deadline-ms N] [--memory-limit N] [--quiet]");
     println!("With no mode argument, reads `;`-terminated statements from stdin.");
     println!("  --quiet            print result headers only, not the answer objects");
     println!("  --trace FILE       write one JSON span per eval/epoch to FILE (JSON lines)");
     println!("  --check FILE       static analysis only; exit 0 clean/info, 1 warnings, 2 errors");
     println!("  --deadline-ms N    stop any execution after N wall-clock milliseconds");
     println!("  --memory-limit N   stop any execution interning more than N bytes");
-    println!("Ctrl-C terminates the process (no SIGINT handler under forbid(unsafe_code));");
-    println!("use `--deadline-ms` or `set deadline <millis>;` to bound runaway statements.");
+    println!("serve mode: one session per TCP connection, a shared prepared-plan cache,");
+    println!("  per-request budgets, `.`-terminated responses; SIGINT drains and exits.");
+    println!("  --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 = ephemeral)");
+    println!("  --threads N        in-query worker count for every session (default 1)");
+    println!("Ctrl-C cancels the in-flight statement (`error: … execution cancelled`) and");
+    println!("the session continues; deadlines still bound statements left unattended.");
     println!("Type `help;` inside the session for the statement reference.");
 }
 
@@ -158,8 +239,9 @@ fn file_contents(path: &str) -> String {
 }
 
 /// Batch mode: run every statement, stop (exit 1) at the first error.
-fn batch(session: &mut Session, src: &str, origin: Option<&str>) -> ExitCode {
+fn batch(session: &mut Session, cancel: &CancelFlag, src: &str, origin: Option<&str>) -> ExitCode {
     for (chunk, base) in split_statements(src) {
+        cancel.reset();
         match session.run_statement(&chunk, base) {
             Ok(output) => {
                 for line in &output.lines {
@@ -183,7 +265,7 @@ fn batch(session: &mut Session, src: &str, origin: Option<&str>) -> ExitCode {
 
 /// Interactive mode: prompt, accumulate input until a `;` completes at least
 /// one statement, execute, report errors, continue.
-fn repl(mut session: Session) -> ExitCode {
+fn repl(mut session: Session, cancel: &CancelFlag) -> ExitCode {
     println!("itq — intermediate-type queries (type `help;`, quit with `quit;`)");
     let stdin = std::io::stdin();
     let mut pending = String::new();
@@ -205,7 +287,7 @@ fn repl(mut session: Session) -> ExitCode {
         // string does not trigger execution.
         if statement_complete(&pending) {
             let src = std::mem::take(&mut pending);
-            if run_and_report(&mut session, &src) == Control::Quit {
+            if run_and_report(&mut session, cancel, &src) == Control::Quit {
                 return ExitCode::SUCCESS;
             }
             prompt = "itq> ";
@@ -219,26 +301,13 @@ fn repl(mut session: Session) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// True if the buffered text ends with a statement terminator (outside quotes
-/// and comments) or contains nothing but whitespace/comments.
-fn statement_complete(buffered: &str) -> bool {
-    let chunks = split_statements(buffered);
-    if chunks.is_empty() {
-        return true;
-    }
-    // The splitter drops the terminator itself; re-scan for a trailing `;`
-    // after the start of the last chunk by checking whether appending a
-    // harmless statement would merge with it.
-    let mut probe = buffered.to_string();
-    probe.push_str("\nlist");
-    let probed = split_statements(&probe);
-    probed.len() > chunks.len()
-}
-
 /// Run buffered statements against the REPL session, reporting (but not
-/// aborting on) errors.
-fn run_and_report(session: &mut Session, src: &str) -> Control {
+/// aborting on) errors.  The cancellation flag is lowered before each
+/// statement so a Ctrl-C aimed at one statement (or absorbed while idle)
+/// never bleeds into the next.
+fn run_and_report(session: &mut Session, cancel: &CancelFlag, src: &str) -> Control {
     for (chunk, base) in split_statements(src) {
+        cancel.reset();
         match session.run_statement(&chunk, base) {
             Ok(output) => {
                 for line in &output.lines {

@@ -49,6 +49,7 @@ pub mod check;
 pub mod error;
 pub mod parser;
 pub mod script;
+pub mod serve;
 pub mod session;
 pub mod spans;
 pub mod token;
@@ -60,8 +61,9 @@ pub use parser::{
     parse_query, parse_query_with, parse_schema, parse_sel_formula, parse_term, parse_term_with,
     parse_type, parse_value, parse_value_with, Parser,
 };
-pub use script::{parse_script, SetKnob, Stmt};
-pub use session::Session;
+pub use script::{parse_script, statement_complete, SetKnob, Stmt};
+pub use serve::{serve, ServeConfig};
+pub use session::{PlanCache, Session};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ParseError>;

@@ -300,6 +300,24 @@ pub fn split_statements(src: &str) -> Vec<(String, Pos)> {
     out
 }
 
+/// True if the buffered text ends with a statement terminator (outside quotes
+/// and comments) or contains nothing but whitespace/comments — the "is this
+/// input ready to execute?" probe shared by the REPL and the `itq serve`
+/// connection loop.
+pub fn statement_complete(buffered: &str) -> bool {
+    let chunks = split_statements(buffered);
+    if chunks.is_empty() {
+        return true;
+    }
+    // The splitter drops the terminator itself; re-scan for a trailing `;`
+    // after the start of the last chunk by checking whether appending a
+    // harmless statement would merge with it.
+    let mut probe = buffered.to_string();
+    probe.push_str("\nlist");
+    let probed = split_statements(&probe);
+    probed.len() > chunks.len()
+}
+
 /// Skip to end of line, appending the terminating newline to the open chunk.
 fn consume_comment(
     chars: &mut std::iter::Peekable<std::str::Chars<'_>>,

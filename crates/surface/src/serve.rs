@@ -1,0 +1,266 @@
+//! `itq serve` — a multi-session TCP server over the surface language.
+//!
+//! Each accepted connection gets its own thread and its own [`Session`]
+//! (schemas, databases, queries, metrics — nothing semantic is shared), so
+//! concurrent clients behave exactly like concurrent REPLs.  Three things
+//! *are* shared, each deliberately:
+//!
+//! * **The prepared-plan cache.**  A [`PlanCache`] is handed to every
+//!   session: the static half of preparing a statement (typing,
+//!   classification, compilation, planning) runs once per distinct
+//!   declaration text, and each session re-budgets the cached handle with its
+//!   own governor ([`itq_core::pipeline::Prepared::with_governor`]) — one
+//!   session tripping its deadline or cancelling mid-query can never affect
+//!   another session running the same plan.
+//! * **The per-request budgets.**  `--deadline-ms` / `--memory-limit` arm
+//!   every connection's governor identically; each *execution* starts its own
+//!   clock and its own interning meter, so a request that trips reports its
+//!   error on its own connection and the session keeps serving.
+//! * **The shutdown path.**  SIGINT (latched by the `itq-signal` shim) stops
+//!   the accept loop, cancels every connection's [`CancelFlag`] so in-flight
+//!   executions stop at their next governor poll with `execution cancelled`,
+//!   and then joins every connection thread — a graceful drain, not an abort.
+//!
+//! The wire protocol is the surface language itself, line-oriented: the
+//! client sends statements terminated by `;` (possibly spanning lines), and
+//! the server replies with the same output lines the REPL would print —
+//! errors included, prefixed `error:` — followed by a single `.` on a line of
+//! its own to mark the end of the response.  `quit;` closes that connection;
+//! the server keeps accepting others.
+//!
+//! Every blocking edge polls: the listener is non-blocking (glibc's
+//! `signal(2)` installs handlers with `SA_RESTART`, so a blocking `accept(2)`
+//! would simply restart and never notice the latch) and connection reads use
+//! a short timeout, both re-checking the shutdown flag at the poll interval
+//! (25 ms).
+
+use crate::script::{split_statements, statement_complete};
+use crate::session::{Control, PlanCache, Session};
+use itq_core::engine::Engine;
+use itq_object::CancelFlag;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// How often the blocked loops (accept, connection reads) wake to re-check
+/// the SIGINT latch and the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Configuration for [`serve`] (the `itq serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, `host:port`.  Port `0` asks the OS for an ephemeral
+    /// port; the bound address is always printed as `listening on …`.
+    pub addr: String,
+    /// In-query worker count for every session's engine (the
+    /// [`itq_core::pipeline::EngineBuilder::parallelism`] knob) — *not* a
+    /// connection limit; connections each get their own thread regardless.
+    pub threads: usize,
+    /// Per-execution wall-clock deadline armed on every session's governor.
+    pub deadline_millis: Option<u64>,
+    /// Per-execution interned-bytes ceiling armed on every session's governor.
+    pub memory_ceiling: Option<u64>,
+    /// Suppress per-answer output lines (headers and errors still go to the
+    /// client).
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            threads: 1,
+            deadline_millis: None,
+            memory_ceiling: None,
+            quiet: false,
+        }
+    }
+}
+
+/// Run the server until SIGINT (or an unrecoverable bind error).  Prints
+/// `listening on HOST:PORT` once the socket is bound, drains gracefully on
+/// SIGINT, and returns `Err` only for setup failures — a misbehaving client
+/// never takes the server down.
+pub fn serve(config: ServeConfig) -> Result<(), String> {
+    let listener = TcpListener::bind(&config.addr)
+        .map_err(|e| format!("cannot bind `{}`: {e}", config.addr))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot make listener non-blocking: {e}"))?;
+    if !itq_signal::install() {
+        eprintln!("warning: no SIGINT handler available; stop the server by killing the process");
+    }
+    println!("listening on {local}");
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let cache = PlanCache::new();
+    let config = Arc::new(config);
+    let mut connections: Vec<(thread::JoinHandle<()>, CancelFlag)> = Vec::new();
+
+    loop {
+        if itq_signal::take() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let cancel = CancelFlag::new();
+                let thread_cancel = cancel.clone();
+                let thread_config = Arc::clone(&config);
+                let thread_cache = cache.clone();
+                let thread_shutdown = Arc::clone(&shutdown);
+                let handle = thread::spawn(move || {
+                    handle_connection(
+                        stream,
+                        &thread_config,
+                        thread_cache,
+                        thread_cancel,
+                        &thread_shutdown,
+                    );
+                });
+                connections.push((handle, cancel));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(e) => {
+                // Transient accept failures (connection reset mid-handshake,
+                // fd pressure) should not take the whole server down.
+                eprintln!("warning: accept failed: {e}");
+                thread::sleep(POLL_INTERVAL);
+            }
+        }
+        // Reap finished connection threads so a long-lived server does not
+        // accumulate join handles.
+        connections = connections
+            .into_iter()
+            .filter_map(|(handle, cancel)| {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                    None
+                } else {
+                    Some((handle, cancel))
+                }
+            })
+            .collect();
+    }
+
+    // Graceful drain: stop accepting, cancel every in-flight execution, and
+    // wait for each connection thread to notice and return.
+    shutdown.store(true, Ordering::SeqCst);
+    for (_, cancel) in &connections {
+        cancel.cancel();
+    }
+    let active = connections.len();
+    if active > 0 {
+        println!("draining {active} connection(s)");
+    }
+    for (handle, _) in connections {
+        let _ = handle.join();
+    }
+    println!("shutdown complete");
+    Ok(())
+}
+
+/// One connection: a private [`Session`] fed by `;`-terminated statement
+/// batches, answered with REPL-identical output lines plus a terminating `.`
+/// line per batch.  Returns (closing the connection) on client EOF, `quit;`,
+/// a write failure, or server shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    config: &ServeConfig,
+    cache: PlanCache,
+    cancel: CancelFlag,
+    shutdown: &AtomicBool,
+) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(clone) => BufWriter::new(clone),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    let mut builder = Engine::builder()
+        .parallelism(config.threads)
+        .cancel_flag(cancel.clone());
+    if let Some(millis) = config.deadline_millis {
+        builder = builder.deadline_millis(millis);
+    }
+    if let Some(bytes) = config.memory_ceiling {
+        builder = builder.memory_ceiling(bytes);
+    }
+    let mut session = Session::with_engine(builder.build());
+    session.set_quiet(config.quiet);
+    session.set_shared_plans(cache);
+
+    let mut pending = String::new();
+    let mut raw: Vec<u8> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) => return, // client closed its end
+            Ok(_) => {
+                pending.push_str(&String::from_utf8_lossy(&raw));
+                raw.clear();
+                if !statement_complete(&pending) {
+                    continue;
+                }
+                let src = std::mem::take(&mut pending);
+                // Lower any cancellation left over from a previous request —
+                // unless the server is draining, in which case the raised
+                // flag is exactly what stops this batch promptly.
+                if !shutdown.load(Ordering::SeqCst) {
+                    cancel.reset();
+                }
+                if run_batch(&mut session, &src, &mut writer) == Control::Quit {
+                    return;
+                }
+            }
+            // A timed-out read keeps any partial line it already pulled in
+            // `raw`; just poll the shutdown flag and resume.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Run one statement batch against the connection's session, mirroring the
+/// REPL's keep-going-after-errors behaviour, and terminate the response with
+/// a `.` line.  Returns [`Control::Quit`] when the batch asked to close the
+/// connection (or the client stopped reading).
+fn run_batch<W: Write>(session: &mut Session, src: &str, writer: &mut W) -> Control {
+    let mut control = Control::Continue;
+    for (chunk, base) in split_statements(src) {
+        match session.run_statement(&chunk, base) {
+            Ok(output) => {
+                for line in &output.lines {
+                    if writeln!(writer, "{line}").is_err() {
+                        return Control::Quit;
+                    }
+                }
+                if output.control == Control::Quit {
+                    control = Control::Quit;
+                    break;
+                }
+            }
+            Err(e) => {
+                // Budget trips, cancellations, and parse errors answer the
+                // request that caused them; the session itself keeps serving.
+                if writeln!(writer, "{e}").is_err() {
+                    return Control::Quit;
+                }
+            }
+        }
+    }
+    if writeln!(writer, ".").is_err() || writer.flush().is_err() {
+        return Control::Quit;
+    }
+    control
+}

@@ -24,6 +24,8 @@ use itq_object::{Database, Instance, Schema, Value};
 use itq_trace::{MetricsRegistry, NoopSink, TraceSink};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// An error from running a statement: a parse error (with script-absolute
 /// position) or an execution failure.
@@ -70,6 +72,89 @@ pub struct StmtOutput {
     pub control: Control,
 }
 
+/// A thread-safe prepared-plan cache shared between sessions.
+///
+/// The static half of a [`Prepared`] handle — type-checking, classification,
+/// normal forms, the Theorem 3.8 compilation, the physical plan — depends
+/// only on the statement text (plus, for algebra expressions, the schema it
+/// was typed against), never on which session asked.  A multi-session server
+/// therefore prepares each distinct statement once: sessions that declare the
+/// same text get the cached handle back, *re-budgeted* through
+/// [`Prepared::with_governor`] with their own deadline, memory ceiling, and
+/// cancellation flag, so one session tripping its budget can never affect
+/// another session running the same plan.
+///
+/// Keys are the declaration source text, prefixed with the statement kind and
+/// (for algebra expressions) a structural fingerprint of the schema — two
+/// sessions whose `R` predicates have different types must not share a plan.
+///
+/// Cloning is shallow: every clone shares the same map and counters, which is
+/// how `itq serve` hands one cache to every connection thread.
+#[derive(Clone, Default)]
+pub struct PlanCache {
+    plans: Arc<Mutex<BTreeMap<String, Prepared>>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The cached handle for a key, counting the hit or miss.
+    fn lookup(&self, key: &str) -> Option<Prepared> {
+        let found = self
+            .plans
+            .lock()
+            .expect("plan cache poisoned")
+            .get(key)
+            .cloned();
+        match found {
+            Some(handle) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(handle)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a freshly prepared handle under its key.  First writer wins:
+    /// if two sessions race to prepare the same text, the loser's (equal)
+    /// handle is dropped so later lookups stay stable.
+    fn publish(&self, key: String, handle: &Prepared) {
+        self.plans
+            .lock()
+            .expect("plan cache poisoned")
+            .entry(key)
+            .or_insert_with(|| handle.clone());
+    }
+
+    /// Number of distinct plans cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// True when no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a fresh prepare.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// A named-object session over an [`Engine`].
 ///
 /// Evaluation runs entirely through the prepare-once / execute-many pipeline:
@@ -99,6 +184,10 @@ pub struct Session {
     metrics: MetricsRegistry,
     /// Suppress per-answer output lines (`--quiet`).
     quiet: bool,
+    /// Cross-session prepared-plan cache (`itq serve`): `None` for a
+    /// standalone session, in which case only the per-session `prepared` map
+    /// above caches handles.
+    shared_plans: Option<PlanCache>,
 }
 
 impl Default for Session {
@@ -122,6 +211,7 @@ impl Session {
             sink: Box::new(NoopSink),
             metrics: MetricsRegistry::new(),
             quiet: false,
+            shared_plans: None,
         }
     }
 
@@ -166,6 +256,14 @@ impl Session {
     /// print (`itq --quiet`).
     pub fn set_quiet(&mut self, quiet: bool) {
         self.quiet = quiet;
+    }
+
+    /// Join a cross-session [`PlanCache`]: prepares consult (and feed) the
+    /// shared cache before doing static work themselves.  Handles retrieved
+    /// from the cache are re-budgeted with *this* session's governor and
+    /// worker count — see [`PlanCache`] for the isolation contract.
+    pub fn set_shared_plans(&mut self, cache: PlanCache) {
+        self.shared_plans = Some(cache);
     }
 
     /// Look up a declared schema.
@@ -532,6 +630,25 @@ impl Session {
         if self.prepared.contains_key(name) {
             return Ok(Vec::new());
         }
+        // `itq serve`: another session may already have done the static work
+        // for this exact declaration text.  A cache hit is re-budgeted with
+        // this session's own governor and worker count, so budget trips and
+        // cancellations stay per-session even though the plan is shared.
+        let shared_key = if self.shared_plans.is_some() {
+            self.shared_plan_key(name)
+        } else {
+            None
+        };
+        if let (Some(cache), Some(key)) = (&self.shared_plans, &shared_key) {
+            if let Some(shared) = cache.lookup(key) {
+                let handle = shared
+                    .with_governor(self.engine.governor().clone())
+                    .with_parallelism(self.engine.parallelism());
+                let warnings = self.prepare_warnings(name, &handle);
+                self.prepared.insert(name.to_string(), handle);
+                return Ok(warnings);
+            }
+        }
         let handle = if let Some((_, query)) = self.queries.get(name) {
             self.engine
                 .prepare(query)
@@ -549,6 +666,17 @@ impl Session {
                 "no query or algebra expression named `{name}`"
             )));
         };
+        if let (Some(cache), Some(key)) = (&self.shared_plans, shared_key) {
+            cache.publish(key, &handle);
+        }
+        let warnings = self.prepare_warnings(name, &handle);
+        self.prepared.insert(name.to_string(), handle);
+        Ok(warnings)
+    }
+
+    /// The warning-level diagnostic lines a fresh prepare of `name` prints
+    /// (suppressed by `--quiet`).
+    fn prepare_warnings(&self, name: &str, handle: &Prepared) -> Vec<String> {
         let mut warnings = Vec::new();
         if !self.quiet {
             for d in handle.diagnostics().at_least(Severity::Warning) {
@@ -558,8 +686,25 @@ impl Session {
                 ));
             }
         }
-        self.prepared.insert(name.to_string(), handle);
-        Ok(warnings)
+        warnings
+    }
+
+    /// The cross-session cache key for a named query or algebra expression:
+    /// statement kind, then (for algebra) a structural schema fingerprint,
+    /// then the declaration source text, joined by a separator that cannot
+    /// appear in statement text.  `None` when the declaration has no recorded
+    /// source (never the case for statements that went through
+    /// [`Session::run_statement`]).
+    fn shared_plan_key(&self, name: &str) -> Option<String> {
+        let (src, _) = self.sources.get(name)?;
+        if self.queries.contains_key(name) {
+            Some(format!("query\u{1f}{src}"))
+        } else if let Some((schema_name, _)) = self.algebras.get(name) {
+            let schema = self.schemas.get(schema_name)?;
+            Some(format!("algebra\u{1f}{schema:?}\u{1f}{src}"))
+        } else {
+            None
+        }
     }
 
     fn eval(
@@ -1239,7 +1384,10 @@ mod tests {
 
     #[test]
     fn explain_analyze_renders_annotated_trees_for_every_backend() {
-        let mut s = Session::with_engine(Engine::builder().max_invented(1).build());
+        // Sequential pin: the `quantifier slot` lines below belong to the
+        // sequential compiled span tree, which an `ITQ_PARALLELISM` override
+        // would replace with partition spans.
+        let mut s = Session::with_engine(Engine::builder().parallelism(1).max_invented(1).build());
         genealogy(&mut s);
         // Planned algebra: the physical plan with actual per-operator rows.
         let out = run(

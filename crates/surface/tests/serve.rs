@@ -1,0 +1,331 @@
+//! End-to-end tests for `itq serve`: concurrent sessions over real TCP
+//! connections against the shipped binary, shared-plan-cache semantics at the
+//! library level, per-session budget isolation, and the SIGINT drain path.
+
+use itq_surface::script::split_statements;
+use itq_surface::{PlanCache, Session};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+// One line: the server answers one response batch per newline-completed
+// input, so multi-statement batches stay on a single line.
+const DECLARATIONS: &str = "schema Gen {PAR : [U, U]}; \
+    database family : Gen {PAR = {[Tom, Mary], [Mary, Sue]}}; \
+    query gp : Gen {t/[U, U] | exists x/[U, U] exists y/[U, U] \
+    (PAR(x) and PAR(y) and x.2 == y.1 and t.1 == x.1 and t.2 == y.2)};\n";
+
+/// A serve child whose stdout is continuously drained into a shared buffer
+/// (so the `listening on` line can be parsed first and the drain banner
+/// checked last, without ever blocking the server on a full pipe).
+struct Server {
+    child: Child,
+    addr: String,
+    stdout: Arc<Mutex<Vec<String>>>,
+}
+
+impl Server {
+    fn spawn(extra_args: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_itq"))
+            .arg("serve")
+            .arg("--addr")
+            .arg("127.0.0.1:0")
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn itq serve");
+        let mut lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+        let banner = lines
+            .next()
+            .expect("server prints a listening banner")
+            .expect("banner is readable");
+        let addr = banner
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+            .to_string();
+        let stdout = Arc::new(Mutex::new(vec![banner]));
+        let sink = Arc::clone(&stdout);
+        thread::spawn(move || {
+            for line in lines.map_while(Result::ok) {
+                sink.lock().unwrap().push(line);
+            }
+        });
+        Server {
+            child,
+            addr,
+            stdout,
+        }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("connect to itq serve");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("set client read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone client stream"));
+        Client { stream, reader }
+    }
+
+    fn interrupt(&self) {
+        let status = Command::new("kill")
+            .arg("-INT")
+            .arg(self.child.id().to_string())
+            .status()
+            .expect("run kill -INT");
+        assert!(status.success(), "kill -INT failed");
+    }
+
+    /// Wait (bounded) for the server to exit and return (status, stdout).
+    fn wait(mut self) -> (std::process::ExitStatus, Vec<String>) {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("poll server exit") {
+                // Give the stdout pump a moment to drain the tail.
+                thread::sleep(Duration::from_millis(100));
+                let lines = self.stdout.lock().unwrap().clone();
+                return (status, lines);
+            }
+            assert!(Instant::now() < deadline, "server did not exit in time");
+            thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn send(&mut self, text: &str) {
+        self.stream
+            .write_all(text.as_bytes())
+            .expect("client write");
+        self.stream.flush().expect("client flush");
+    }
+
+    /// Read one response batch: every line up to (excluding) the `.` marker.
+    fn read_batch(&mut self) -> Vec<String> {
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).expect("client read");
+            assert!(n > 0, "server closed mid-batch; got {lines:?}");
+            let line = line.trim_end_matches('\n').to_string();
+            if line == "." {
+                return lines;
+            }
+            lines.push(line);
+        }
+    }
+
+    /// Statements followed by the batch they produce.
+    fn roundtrip(&mut self, text: &str) -> Vec<String> {
+        self.send(text);
+        self.read_batch()
+    }
+
+    /// Read until EOF (the server closed the connection), returning whatever
+    /// arrived — used after a drain, where the final `.` still gets written.
+    fn read_to_eof(mut self) -> String {
+        let mut out = String::new();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut buf = [0u8; 1024];
+        loop {
+            match self.reader.read(&mut buf) {
+                Ok(0) => return out,
+                Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    assert!(Instant::now() < deadline, "no EOF from server; got {out:?}");
+                }
+                Err(e) => panic!("client read failed: {e}; got {out:?}"),
+            }
+        }
+    }
+}
+
+/// Eight concurrent clients declare the same schema/database/query (hitting
+/// the shared plan cache), all get the right answer, one client trips its own
+/// deadline without affecting anyone else, and `quit;` only closes its own
+/// connection.
+#[test]
+fn concurrent_sessions_are_isolated_but_share_plans() {
+    let server = Server::spawn(&["--threads", "2"]);
+
+    let workers: Vec<thread::JoinHandle<()>> = (0..8)
+        .map(|_| {
+            let mut client = server.connect();
+            thread::spawn(move || {
+                let decl = client.roundtrip(DECLARATIONS);
+                assert!(
+                    decl.iter().all(|l| !l.starts_with("error:")),
+                    "declarations failed: {decl:?}"
+                );
+                let eval = client.roundtrip("eval gp on family;\n");
+                assert!(
+                    eval.iter()
+                        .any(|l| l.contains("eval gp on family with limited: 1 object")),
+                    "missing result header: {eval:?}"
+                );
+                assert!(
+                    eval.iter().any(|l| l.contains("[Tom, Sue]")),
+                    "missing answer: {eval:?}"
+                );
+                let bye = client.roundtrip("quit;\n");
+                assert!(bye.iter().any(|l| l == "bye"), "missing bye: {bye:?}");
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    // A ninth session arms its own zero deadline: its request trips with the
+    // canonical message, and the *same* session (same connection, same cached
+    // plan) recovers once the deadline is lifted — budgets are per session
+    // and per execution, never baked into the shared plan.
+    let mut tripped = server.connect();
+    tripped.roundtrip(DECLARATIONS);
+    let err = tripped.roundtrip("set deadline 0; eval gp on family;\n");
+    assert!(
+        err.iter()
+            .any(|l| l.contains("execution deadline of 0 ms exceeded")),
+        "expected deadline trip: {err:?}"
+    );
+    let recovered = tripped.roundtrip("set deadline 60000; eval gp on family;\n");
+    assert!(
+        recovered
+            .iter()
+            .any(|l| l.contains("eval gp on family with limited: 1 object")),
+        "session did not recover after its own trip: {recovered:?}"
+    );
+    tripped.roundtrip("quit;\n");
+
+    server.interrupt();
+    let (status, stdout) = server.wait();
+    assert!(status.success(), "server exited with {status}");
+    assert!(
+        stdout.iter().any(|l| l == "shutdown complete"),
+        "missing shutdown banner: {stdout:?}"
+    );
+}
+
+/// SIGINT with a query in flight: the execution stops with `execution
+/// cancelled` on the client's connection, the server drains that connection,
+/// and the process still exits cleanly.
+#[cfg(unix)]
+#[test]
+fn sigint_cancels_in_flight_queries_and_drains() {
+    let server = Server::spawn(&[]);
+
+    // A cycle large enough that the triple join runs for several seconds —
+    // long enough to interrupt, far below the step budget.
+    let n: u32 = if cfg!(debug_assertions) { 120 } else { 400 };
+    let edges: Vec<String> = (0..n)
+        .map(|i| format!("[a{i}, a{}]", (i + 1) % n))
+        .collect();
+    let decl = format!(
+        "schema Gen {{PAR : [U, U]}}; \
+         database big : Gen {{PAR = {{{}}}}}; \
+         query tri : Gen {{t/[U, U] | exists x/[U, U] exists y/[U, U] exists z/[U, U] \
+         (PAR(x) and PAR(y) and PAR(z) and x.2 == y.1 and y.2 == z.1 \
+         and t.1 == x.1 and t.2 == z.2)}};\n",
+        edges.join(", ")
+    );
+
+    let mut client = server.connect();
+    client.roundtrip(&decl);
+    client.send("eval tri on big;\n");
+    // Let the evaluation actually start before interrupting it.
+    thread::sleep(Duration::from_millis(750));
+    server.interrupt();
+
+    let response = client.read_to_eof();
+    assert!(
+        response.contains("execution cancelled"),
+        "expected a cancellation on the client connection: {response:?}"
+    );
+
+    let (status, stdout) = server.wait();
+    assert!(status.success(), "server exited with {status}");
+    assert!(
+        stdout.iter().any(|l| l == "draining 1 connection(s)"),
+        "missing drain banner: {stdout:?}"
+    );
+    assert!(
+        stdout.iter().any(|l| l == "shutdown complete"),
+        "missing shutdown banner: {stdout:?}"
+    );
+}
+
+/// The [`PlanCache`] contract at the library level: the second session's
+/// identical declaration is a cache hit, and the cached handle is re-budgeted
+/// per session — a zero deadline in one session trips only that session.
+#[test]
+fn plan_cache_is_shared_and_rebudgeted_per_session() {
+    let cache = PlanCache::new();
+
+    let run = |session: &mut Session, src: &str| -> Vec<String> {
+        let mut lines = Vec::new();
+        for (chunk, base) in split_statements(src) {
+            match session.run_statement(&chunk, base) {
+                Ok(output) => lines.extend(output.lines),
+                Err(e) => lines.push(e.to_string()),
+            }
+        }
+        lines
+    };
+
+    let mut first = Session::new();
+    first.set_shared_plans(cache.clone());
+    let script = format!("{DECLARATIONS}eval gp on family;\n");
+    let out = run(&mut first, &script);
+    assert!(
+        out.iter().any(|l| l.contains("limited: 1 object")),
+        "{out:?}"
+    );
+    assert_eq!(
+        (cache.hits(), cache.misses()),
+        (0, 1),
+        "first prepare misses"
+    );
+
+    let mut second = Session::new();
+    second.engine_mut().governor_mut().deadline_millis = Some(0);
+    second.set_shared_plans(cache.clone());
+    let out = run(&mut second, &script);
+    assert!(
+        out.iter()
+            .any(|l| l.contains("execution deadline of 0 ms exceeded")),
+        "{out:?}"
+    );
+    assert_eq!(
+        (cache.hits(), cache.misses()),
+        (1, 1),
+        "second prepare hits the shared plan"
+    );
+
+    // The first session is untouched by the second session's budget.
+    let out = run(&mut first, "eval gp on family;\n");
+    assert!(
+        out.iter().any(|l| l.contains("limited: 1 object")),
+        "shared plan leaked a governor across sessions: {out:?}"
+    );
+    assert_eq!(cache.len(), 1, "one distinct declaration, one cached plan");
+}

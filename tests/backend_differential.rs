@@ -572,7 +572,9 @@ fn resource_errors_are_byte_identical_across_the_trio() {
     // interning backends — but trips them with the identical message.  The
     // planned path observes its value store at the masked poll cadence
     // (every `POLL_MASK`+1 work units), so its database must be large enough
-    // to reach a poll after interning.
+    // to reach a poll after interning — *per partition*, since an
+    // `ITQ_PARALLELISM` override splits the probe across workers that each
+    // poll on their own cadence.
     let ceiling = GovernorConfig {
         memory_ceiling: Some(1),
         ..GovernorConfig::default()
@@ -581,7 +583,7 @@ fn resource_errors_are_byte_identical_across_the_trio() {
     let [(_, planner), (_, tuple), (_, tree)] = trio(&ceiling);
     let big_db = Database::single(
         "PAR",
-        Instance::from_pairs((0..300).map(|i| (Atom(i), Atom(i + 1)))),
+        Instance::from_pairs((0..1200).map(|i| (Atom(i), Atom(i + 1)))),
     )
     .with("PERSON", Instance::empty());
     let planner_err = planner

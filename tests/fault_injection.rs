@@ -53,7 +53,16 @@ const BACKENDS: [&str; 4] = ["compiled", "tree-walk", "planned", "tuple"];
 /// A fresh prepared handle for one backend under one governor.  Prepared
 /// handles snapshot the governor, so every run arms its own engine.
 fn prepare(backend: &str, governor: GovernorConfig) -> Prepared {
-    let builder = Engine::builder().max_invented(1).governor(governor);
+    // Poll-indexed faults (`trip_after`) force the sequential path, so the
+    // whole suite pins `parallelism(1)`: otherwise an `ITQ_PARALLELISM`
+    // override would run the non-poll-indexed faults partitioned and their
+    // worker-dependent stats (cache hits, `partitions`) could never match the
+    // sequential baseline.  Worker-count independence of governor trips is
+    // pinned separately in tests/parallel_equivalence.rs.
+    let builder = Engine::builder()
+        .parallelism(1)
+        .max_invented(1)
+        .governor(governor);
     match backend {
         "compiled" => builder
             .build()

@@ -36,7 +36,12 @@ fn query() -> BoxedStrategy<itq_calculus::Query> {
 
 /// The compiled slot evaluator (default) and the legacy tree walker, both
 /// with a tight invention bound and a capped step budget so pathological
-/// draws die on a classified error instead of burning minutes.
+/// draws die on a classified error instead of burning minutes.  Pinned to
+/// `parallelism(1)`: the span-shape assertions below describe the sequential
+/// compiled tree (per-slot children carrying `draws`), which an
+/// `ITQ_PARALLELISM` override would replace with partition spans.  The
+/// partition grammar is pinned separately in
+/// [`recorded_spans_render_with_the_pinned_grammar`].
 fn engines() -> [(&'static str, Engine); 2] {
     let capped = EvalConfig {
         max_steps: 500_000,
@@ -50,6 +55,7 @@ fn engines() -> [(&'static str, Engine); 2] {
         (
             "compiled",
             Engine::builder()
+                .parallelism(1)
                 .calc_config(capped)
                 .invention_config(invention)
                 .build(),
@@ -57,6 +63,7 @@ fn engines() -> [(&'static str, Engine); 2] {
         (
             "tree-walk",
             Engine::builder()
+                .parallelism(1)
                 .calc_config(capped)
                 .invention_config(invention)
                 .use_compiled(false)
@@ -234,8 +241,10 @@ fn tracing_never_changes_algebra_outcomes() {
 /// so downstream log scrapers can rely on the format.
 #[test]
 fn recorded_spans_render_with_the_pinned_grammar() {
-    let engine = Engine::new();
     let db = queries::parent_database(&[(Atom(0), Atom(1)), (Atom(1), Atom(2))]);
+
+    // Sequential compiled tree: per-slot children.
+    let engine = Engine::builder().parallelism(1).build();
     let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
     let sink = CollectingSink::new();
     assert!(sink.is_enabled());
@@ -250,4 +259,30 @@ fn recorded_spans_render_with_the_pinned_grammar() {
         "pinned grammar violated: {first}"
     );
     assert!(rendered.contains("└─ quantifier slot"), "{rendered}");
+
+    // Parallel compiled tree: the slot children give way to one child span
+    // per partition, each carrying its rank tile — same root grammar.
+    let engine = Engine::builder().parallelism(4).build();
+    let prepared = engine.prepare(&queries::grandparent_query()).unwrap();
+    let sink = CollectingSink::new();
+    let outcome = prepared
+        .execute_with_sink(&db, Semantics::Limited, &sink)
+        .unwrap();
+    assert!(outcome.stats.partitions > 0, "parallel path engaged");
+    let span = sink.take().pop().unwrap();
+    let rendered = span.to_string();
+    let first = rendered.lines().next().unwrap();
+    assert!(
+        first.starts_with("compiled-eval  (") && first.ends_with("µs)"),
+        "pinned grammar violated: {first}"
+    );
+    assert!(
+        rendered.contains("├─ partition 0  (rank_start 0,"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("└─ partition 3"), "{rendered}");
+    assert!(
+        !rendered.contains("quantifier slot"),
+        "partitioned runs replace slot spans: {rendered}"
+    );
 }
